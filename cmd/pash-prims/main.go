@@ -1,0 +1,116 @@
+// Command pash-prims provides PaSh's runtime primitives to generated
+// scripts (§5.2): split, eager relays, identity relays, and the custom
+// aggregators. Emitted scripts invoke it as "$PASH_PRIMS" <subcommand>.
+//
+//	pash-prims split IN OUT1 OUT2...   # line-balanced input dispersal
+//	pash-prims eager < IN > OUT        # eager relay (unbounded buffer)
+//	pash-prims relay < IN > OUT        # identity relay
+//	pash-prims agg-uniq [-c] F1 F2...  # uniq boundary merge
+//	pash-prims agg-wc F1 F2...         # wc column sums
+//	pash-prims agg-sum F1 F2...        # integer sum
+//	pash-prims agg-tac F1 F2...        # reverse-order concatenation
+//	pash-prims agg-bigrams F1 F2...    # bigram boundary stitching
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/agg"
+	"repro/internal/commands"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "pash-prims: missing subcommand")
+		os.Exit(2)
+	}
+	sub := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch sub {
+	case "split":
+		err = runSplit(args)
+	case "eager", "relay":
+		// In a separate process, both are a buffered copy loop: the
+		// process's scheduling makes it eager (it consumes input as fast
+		// as the producer writes, buffering in its own memory).
+		err = relay(os.Stdin, os.Stdout)
+	case "agg-uniq", "agg-wc", "agg-sum", "agg-tac", "agg-bigrams", "agg-head", "agg-tail":
+		reg := commands.NewRegistry()
+		agg.Install(reg)
+		err = reg.Run("pash-"+sub, &commands.Context{
+			Args:   args,
+			Stdin:  os.Stdin,
+			Stdout: os.Stdout,
+			Stderr: os.Stderr,
+			FS:     commands.OSFS{},
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "pash-prims: unknown subcommand %q\n", sub)
+		os.Exit(2)
+	}
+	if err != nil {
+		code := commands.ExitCode(err)
+		if code == 0 {
+			code = 1
+		}
+		fmt.Fprintf(os.Stderr, "pash-prims %s: %v\n", sub, err)
+		os.Exit(code)
+	}
+}
+
+// runSplit reads IN (or stdin when IN is "-") and distributes its lines
+// evenly across the output files, counting first (the general split).
+func runSplit(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: split IN OUT...")
+	}
+	var in io.Reader = os.Stdin
+	if args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	lines, err := commands.ReadAllLines(in)
+	if err != nil {
+		return err
+	}
+	outs := args[1:]
+	per := (len(lines) + len(outs) - 1) / len(outs)
+	idx := 0
+	for _, name := range outs {
+		f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriterSize(f, 1<<16)
+		for j := 0; j < per && idx < len(lines); j++ {
+			bw.Write(lines[idx]) //nolint:errcheck // flushed below
+			bw.WriteByte('\n')   //nolint:errcheck
+			idx++
+		}
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// relay copies input to output through a large buffer.
+func relay(r io.Reader, w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := io.Copy(bw, bufio.NewReaderSize(r, 1<<20)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,8 @@
+package main
+
+import (
+	"os"
+	"repro/internal/annot"
+)
+
+func main() { annot.WriteTable1(os.Stdout) }

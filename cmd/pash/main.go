@@ -1,0 +1,97 @@
+// Command pash compiles or runs a POSIX shell script with PaSh's
+// parallelizing transformations.
+//
+// Usage:
+//
+//	pash [-width N] [-no-split] [-eager MODE] [-curl-root DIR] script.sh
+//	pash -c 'cat f | grep x | sort'
+//	pash -emit script.sh     # print the Fig. 3-style parallel script
+//	pash -stats -c '...'     # report region/node statistics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dfg"
+	"repro/pash"
+)
+
+func main() {
+	var (
+		width    = flag.Int("width", 4, "parallelism width (1 = sequential)")
+		noSplit  = flag.Bool("no-split", false, "disable split insertion (t2)")
+		eager    = flag.String("eager", "full", "eager mode: none|blocking|full")
+		emit     = flag.Bool("emit", false, "emit the compiled parallel script instead of running")
+		script   = flag.String("c", "", "script source (instead of a file argument)")
+		stats    = flag.Bool("stats", false, "print region statistics to stderr")
+		curlRoot = flag.String("curl-root", os.Getenv("PASH_CURL_ROOT"), "offline root for the curl simulation")
+		dir      = flag.String("dir", "", "working directory for file access")
+	)
+	flag.Parse()
+
+	src := *script
+	if src == "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: pash [flags] script.sh  |  pash [flags] -c 'script'")
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pash: %v\n", err)
+			os.Exit(1)
+		}
+		src = string(data)
+	}
+
+	opts := pash.DefaultOptions(*width)
+	if *noSplit {
+		opts.Split = false
+	}
+	switch *eager {
+	case "none":
+		opts.Eager = dfg.EagerNone
+	case "blocking":
+		opts.Eager = dfg.EagerBlocking
+		opts.BlockingEagerBytes = 1 << 20
+	case "full":
+		opts.Eager = dfg.EagerFull
+	default:
+		fmt.Fprintf(os.Stderr, "pash: unknown eager mode %q\n", *eager)
+		os.Exit(2)
+	}
+
+	s := pash.NewSession(opts)
+	s.Dir = *dir
+	if *curlRoot != "" {
+		s.Vars = map[string]string{"PASH_CURL_ROOT": *curlRoot}
+	}
+
+	if *emit {
+		plan, err := s.Compile(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pash: %v\n", err)
+			os.Exit(1)
+		}
+		if err := plan.Emit(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "pash: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	code, st, err := s.RunStats(context.Background(), src, os.Stdin, os.Stdout, os.Stderr)
+	if *stats {
+		fmt.Fprintf(os.Stderr, "pash: %d region(s), %d total nodes, largest region %d nodes\n",
+			st.Regions, st.TotalNodes, st.MaxNodes)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pash: %v\n", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

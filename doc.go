@@ -1,0 +1,5 @@
+// Package repro is a from-scratch Go reproduction of "PaSh: Light-touch
+// Data-Parallel Shell Processing" (EuroSys 2021). The public API lives in
+// package repro/pash; see README.md for the tour and DESIGN.md for the
+// system inventory and experiment index.
+package repro

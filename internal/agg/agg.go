@@ -1,0 +1,118 @@
+// Package agg implements PaSh's aggregator library (§5.2): for each
+// parallelizable pure command it supplies a (map, aggregate) pair
+// satisfying f(x·x') = agg(m(x)·m(x'), s), plus the aggregate command
+// implementations themselves. The aggregators iterate over any number of
+// input streams and apply pure fixups at stream boundaries, exactly as
+// the paper describes.
+package agg
+
+import (
+	"repro/internal/annot"
+	"repro/internal/commands"
+	"repro/internal/dfg"
+)
+
+// Resolve returns the (map, aggregate) pair for a command invocation, or
+// false when no sound aggregator is known — in which case the node stays
+// sequential (the conservative default). flagArgs are the invocation's
+// non-stream arguments (flags and config operands).
+func Resolve(name string, flagArgs []string, inv *annot.Invocation) (*dfg.AggSpec, bool) {
+	switch name {
+	case "sort":
+		// sort -m already expects sorted runs; -o/-c/-R were demoted by
+		// annotations before we get here.
+		if inv.Opts.Has("-m") || inv.Opts.Has("-c") || inv.Opts.Has("-o") {
+			return nil, false
+		}
+		return &dfg.AggSpec{
+			MapName: "sort", MapArgs: flagArgs,
+			AggName: "sort", AggArgs: append([]string{"-m"}, flagArgs...),
+		}, true
+	case "uniq":
+		// Boundary merging is implemented for plain uniq and uniq -c.
+		for _, o := range inv.Opts.Options() {
+			switch o {
+			case "-c":
+			default:
+				return nil, false
+			}
+		}
+		return &dfg.AggSpec{
+			MapName: "uniq", MapArgs: flagArgs,
+			AggName: "pash-agg-uniq", AggArgs: flagArgs,
+		}, true
+	case "wc":
+		return &dfg.AggSpec{
+			MapName: "wc", MapArgs: flagArgs,
+			AggName: "pash-agg-wc", AggArgs: flagArgs,
+		}, true
+	case "grep":
+		// Only the counting form aggregates: sum of per-chunk counts.
+		// Positional flags (-n, -m) have no sound chunk-local meaning.
+		if !inv.Opts.Has("-c") || inv.Opts.Has("-n") || inv.Opts.Has("-m") ||
+			inv.Opts.Has("-l") || inv.Opts.Has("-q") {
+			return nil, false
+		}
+		return &dfg.AggSpec{
+			MapName: "grep", MapArgs: flagArgs,
+			AggName: "pash-agg-sum", AggArgs: nil,
+		}, true
+	case "head":
+		n, ok := inv.Opts.Value("-n")
+		if inv.Opts.Has("-c") || (ok && len(n) > 0 && n[0] == '+') {
+			return nil, false
+		}
+		// head_K(x·x') == head_K(head_K(x)·head_K(x')). The aggregate is
+		// a dedicated primitive rather than head itself because real
+		// multi-file head prints "==> f <==" headers.
+		return &dfg.AggSpec{
+			MapName: "head", MapArgs: flagArgs,
+			AggName: "pash-agg-head", AggArgs: flagArgs,
+		}, true
+	case "tail":
+		n, ok := inv.Opts.Value("-n")
+		if inv.Opts.Has("-c") || (ok && len(n) > 0 && n[0] == '+') {
+			return nil, false
+		}
+		// tail_K(x·x') == tail_K(tail_K(x)·tail_K(x')).
+		return &dfg.AggSpec{
+			MapName: "tail", MapArgs: flagArgs,
+			AggName: "pash-agg-tail", AggArgs: flagArgs,
+		}, true
+	case "tac":
+		if len(flagArgs) > 0 {
+			return nil, false
+		}
+		// tac(x·x') == tac(x')·tac(x): concatenate map outputs in
+		// reverse stream order (§5.2: tac "consumes stream descriptors
+		// in reverse order").
+		return &dfg.AggSpec{
+			MapName: "tac", MapArgs: nil,
+			AggName: "pash-agg-tac", AggArgs: nil,
+		}, true
+	case "bigrams-aux":
+		// The §3.2 custom-aggregator story: map emits boundary markers,
+		// the aggregate stitches cross-chunk bigrams back in.
+		if len(flagArgs) > 0 {
+			return nil, false
+		}
+		return &dfg.AggSpec{
+			MapName: "bigrams-aux", MapArgs: []string{"--marked"},
+			AggName: "pash-agg-bigrams", AggArgs: nil,
+		}, true
+	}
+	return nil, false
+}
+
+// Install registers the aggregate command implementations into a command
+// registry. They live on the PATH like any other command (§2.3), so both
+// the in-process runtime and emitted scripts can invoke them.
+func Install(reg *commands.Registry) {
+	reg.Register("pash-agg-uniq", aggUniq)
+	reg.Register("pash-agg-wc", aggWc)
+	reg.Register("pash-agg-sum", aggSum)
+	reg.Register("pash-agg-tac", aggTac)
+	reg.Register("pash-agg-bigrams", aggBigrams)
+	reg.Register("pash-agg-head", aggHead)
+	reg.Register("pash-agg-tail", aggTail)
+}

@@ -1,0 +1,195 @@
+package annot
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file encodes the parallelizability study of §3.1 (Table 1): a
+// classification of GNU Coreutils and POSIX utilities into the four
+// classes. Membership involves judgment calls for borderline commands
+// (noted inline); totals match the paper's Table 1 counts:
+//
+//	            S           P          N           E
+//	Coreutils   22 (21.1%)  8 (7.6%)   13 (12.4%)  57 (58.8%)
+//	POSIX       28 (18%)    9 (5%)     13 (8.3%)   105 (67.8%)
+
+// StudyEntry is one command's classification in the study.
+type StudyEntry struct {
+	Name  string
+	Class Class
+}
+
+// coreutilsStudy classifies the GNU Coreutils command set.
+var coreutilsStudy = map[Class][]string{
+	Stateless: {
+		"base32", "base64", "basenc", "basename", "cat", "cut", "dirname",
+		"echo", "expand", "factor", "fmt", "fold", "numfmt", "od", "paste",
+		"pr", "printf", "realpath", "seq", "tr", "unexpand", "yes",
+	},
+	Pure: {
+		"comm", "head", "nl", "sort", "tac", "tail", "uniq", "wc",
+	},
+	NonParallelizable: {
+		// Hashes/checksums keep complex sequential state; csplit is
+		// borderline (pure content split, but writes output files);
+		// shuf is pure only under a fixed random source.
+		"b2sum", "cksum", "csplit", "md5sum", "ptx", "sha1sum", "sha224sum",
+		"sha256sum", "sha384sum", "sha512sum", "shuf", "sum", "tsort",
+	},
+	SideEffectful: {
+		"arch", "chcon", "chgrp", "chmod", "chown", "chroot", "cp", "date",
+		"dd", "df", "dir", "dircolors", "du", "env", "expr", "false",
+		"groups", "hostid", "id", "install", "kill", "link", "ln",
+		"logname", "ls", "mkdir", "mkfifo", "mknod", "mktemp", "mv", "nice",
+		"nohup", "nproc", "pathchk", "pinky", "printenv", "pwd", "readlink",
+		"rm", "rmdir", "runcon", "shred", "sleep", "split", "stat",
+		"stdbuf", "stty", "sync", "tee", "test", "timeout", "touch", "true",
+		"truncate", "tty", "uname", "unlink",
+	},
+}
+
+// posixStudy classifies the POSIX (XCU) utility set.
+var posixStudy = map[Class][]string{
+	Stateless: {
+		// dd in its default form is a pure byte-stream copy; device- and
+		// seek-oriented flags demote it (handled by annotations, not the
+		// study). more acts as a stateless formatter when non-interactive.
+		"asa", "basename", "cat", "cut", "dd", "dirname", "echo", "egrep",
+		"expand", "fgrep", "file", "fold", "grep", "iconv", "more", "nm",
+		"od", "paste", "pr", "printf", "sed", "strings", "tr", "unexpand",
+		"uudecode", "uuencode", "what", "xargs",
+	},
+	Pure: {
+		"cmp", "comm", "head", "join", "nl", "sort", "tail", "uniq", "wc",
+	},
+	NonParallelizable: {
+		// Compressors/codecs carry stream state; lex/yacc are pure
+		// compilers over their whole input (borderline: they write
+		// fixed-name output files).
+		"awk", "bc", "cksum", "compress", "csplit", "dc", "diff", "lex",
+		"m4", "tsort", "uncompress", "yacc", "zcat",
+	},
+	SideEffectful: {
+		"admin", "alias", "ar", "at", "batch", "bg", "c99", "cal", "cd",
+		"cflow", "chgrp", "chmod", "chown", "command", "cp", "crontab",
+		"ctags", "cxref", "date", "delta", "df", "du", "ed", "env", "ex",
+		"false", "fc", "fg", "find", "fuser", "gencat", "get", "getconf",
+		"getopts", "hash", "id", "ipcrm", "ipcs", "jobs", "kill", "link",
+		"ln", "locale", "localedef", "logger", "logname", "lp", "ls",
+		"mailx", "make", "man", "mesg", "mkdir", "mkfifo", "mv", "newgrp",
+		"nice", "nohup", "pathchk", "pax", "prs", "ps", "pwd", "qalter",
+		"qdel", "qhold", "qmove", "qmsg", "qrerun", "qrls", "qselect",
+		"qsig", "qstat", "qsub", "read", "renice", "rm", "rmdel", "rmdir",
+		"sact", "sccs", "sh", "sleep", "split", "strip", "stty", "tabs",
+		"talk", "tee", "test", "time", "touch", "tput", "true", "tty",
+		"type", "ulimit", "umask", "unalias", "uname", "unget", "unlink",
+		"uucp", "uustat", "uux",
+	},
+}
+
+// Study is the result of the parallelizability study for one command set.
+type Study struct {
+	SetName string
+	Entries []StudyEntry
+}
+
+// Count returns the number of commands in the given class.
+func (s *Study) Count(c Class) int {
+	n := 0
+	for _, e := range s.Entries {
+		if e.Class == c {
+			n++
+		}
+	}
+	return n
+}
+
+// Total returns the number of classified commands.
+func (s *Study) Total() int { return len(s.Entries) }
+
+// Percent returns the share of commands in the class, in percent.
+func (s *Study) Percent(c Class) float64 {
+	if s.Total() == 0 {
+		return 0
+	}
+	return 100 * float64(s.Count(c)) / float64(s.Total())
+}
+
+// Classify returns the study class for a command, if present.
+func (s *Study) Classify(name string) (Class, bool) {
+	for _, e := range s.Entries {
+		if e.Name == name {
+			return e.Class, true
+		}
+	}
+	return 0, false
+}
+
+func buildStudy(name string, m map[Class][]string) *Study {
+	s := &Study{SetName: name}
+	for _, c := range []Class{Stateless, Pure, NonParallelizable, SideEffectful} {
+		names := append([]string(nil), m[c]...)
+		sort.Strings(names)
+		for _, n := range names {
+			s.Entries = append(s.Entries, StudyEntry{Name: n, Class: c})
+		}
+	}
+	return s
+}
+
+// CoreutilsStudy returns the GNU Coreutils study.
+func CoreutilsStudy() *Study { return buildStudy("Coreutils", coreutilsStudy) }
+
+// POSIXStudy returns the POSIX utility study.
+func POSIXStudy() *Study { return buildStudy("POSIX", posixStudy) }
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	Class          Class
+	Examples       string
+	CoreutilsCount int
+	CoreutilsPct   float64
+	POSIXCount     int
+	POSIXPct       float64
+}
+
+// Table1 recomputes the paper's Table 1 from the study data.
+func Table1() []Table1Row {
+	cu, px := CoreutilsStudy(), POSIXStudy()
+	examples := map[Class]string{
+		Stateless:         "tr, cat, grep",
+		Pure:              "sort, wc, uniq",
+		NonParallelizable: "sha1sum",
+		SideEffectful:     "env, cp, whoami",
+	}
+	var rows []Table1Row
+	for _, c := range []Class{Stateless, Pure, NonParallelizable, SideEffectful} {
+		rows = append(rows, Table1Row{
+			Class:          c,
+			Examples:       examples[c],
+			CoreutilsCount: cu.Count(c),
+			CoreutilsPct:   cu.Percent(c),
+			POSIXCount:     px.Count(c),
+			POSIXPct:       px.Percent(c),
+		})
+	}
+	return rows
+}
+
+// WriteTable1 renders Table 1 in the paper's layout.
+func WriteTable1(w io.Writer) {
+	fmt.Fprintf(w, "%-28s %-18s %-16s %s\n", "Class", "Key Examples", "Coreutils", "POSIX")
+	names := map[Class]string{
+		Stateless:         "Stateless",
+		Pure:              "Parallelizable Pure",
+		NonParallelizable: "Non-parallelizable Pure",
+		SideEffectful:     "Side-effectful",
+	}
+	for _, r := range Table1() {
+		fmt.Fprintf(w, "%-28s %-18s %3d (%4.1f%%)     %3d (%4.1f%%)\n",
+			names[r.Class]+" ("+r.Class.String()+")", r.Examples,
+			r.CoreutilsCount, r.CoreutilsPct, r.POSIXCount, r.POSIXPct)
+	}
+}

@@ -1,0 +1,266 @@
+// Package benchscripts defines the paper's benchmark corpus in
+// executable form: the twelve classic one-liners of Tab. 2 / Fig. 7, the
+// Unix50 pipelines of Fig. 8, and the two large use cases (§6.3 NOAA,
+// §6.4 Wikipedia). Each benchmark knows how to generate its input data
+// at a given scale and produce the script to run.
+package benchscripts
+
+import (
+	"os"
+	"path/filepath"
+
+	"repro/internal/workload"
+)
+
+// Bench is one benchmark script plus its workload.
+type Bench struct {
+	// Name as used in Tab. 2 / Fig. 7 / Fig. 8.
+	Name string
+	// Structure summarizes command classes, e.g. "3xS" or "S,P" (Tab. 2).
+	Structure string
+	// Highlights reproduces Tab. 2's notes.
+	Highlights string
+	// Setup generates input data under dir at the given scale (a line
+	// count multiplier) and returns the script source.
+	Setup func(dir string, scale int) (string, error)
+	// Vars returns extra environment (PASH_CURL_ROOT etc.).
+	Vars func(dir string) map[string]string
+}
+
+// seed for all generated workloads; fixed for reproducibility.
+const seed = 20210426 // EuroSys'21 presentation day
+
+func writeText(dir, name string, lines int) error {
+	return workload.TextFile(filepath.Join(dir, name), lines, seed)
+}
+
+// OneLiners returns the Tab. 2 collection. scale=1 means roughly 20k
+// input lines (laptop-sized); the paper used 1-100 GB.
+func OneLiners() []Bench {
+	return []Bench{
+		{
+			Name:       "grep",
+			Structure:  "3xS",
+			Highlights: "complex NFA regex",
+			Setup: func(dir string, scale int) (string, error) {
+				if err := writeText(dir, "in.txt", 20000*scale); err != nil {
+					return "", err
+				}
+				return `cat in.txt | tr A-Z a-z | grep -E '(the|of|and).*(water|people|number).*(word|time|day|waltz)'`, nil
+			},
+		},
+		{
+			Name:       "sort",
+			Structure:  "S,P",
+			Highlights: "sorting",
+			Setup: func(dir string, scale int) (string, error) {
+				if err := writeText(dir, "in.txt", 20000*scale); err != nil {
+					return "", err
+				}
+				return `cat in.txt | tr A-Z a-z | sort`, nil
+			},
+		},
+		{
+			Name:       "top-n",
+			Structure:  "2xS,4xP",
+			Highlights: "double sort, uniq reduction",
+			Setup: func(dir string, scale int) (string, error) {
+				if err := writeText(dir, "in.txt", 20000*scale); err != nil {
+					return "", err
+				}
+				return `cat in.txt | tr -cs A-Za-z '\n' | tr A-Z a-z | sort | uniq -c | sort -rn | head -n 100`, nil
+			},
+		},
+		{
+			Name:       "wf",
+			Structure:  "3xS,3xP",
+			Highlights: "double sort, uniq reduction",
+			Setup: func(dir string, scale int) (string, error) {
+				if err := writeText(dir, "in.txt", 20000*scale); err != nil {
+					return "", err
+				}
+				return `cat in.txt | tr -cs A-Za-z '\n' | tr A-Z a-z | grep -v '^$' | sort | uniq -c | sort -rn`, nil
+			},
+		},
+		{
+			Name:       "grep-light",
+			Structure:  "3xS",
+			Highlights: "IO-intensive, computation-light",
+			Setup: func(dir string, scale int) (string, error) {
+				if err := writeText(dir, "in.txt", 40000*scale); err != nil {
+					return "", err
+				}
+				return `cat in.txt | grep water | cut -d ' ' -f1`, nil
+			},
+		},
+		{
+			Name:       "spell",
+			Structure:  "4xS,3xP",
+			Highlights: "comparisons (comm)",
+			Setup: func(dir string, scale int) (string, error) {
+				if err := writeText(dir, "in.txt", 20000*scale); err != nil {
+					return "", err
+				}
+				if err := workload.Dictionary(filepath.Join(dir, "dict.txt")); err != nil {
+					return "", err
+				}
+				return `cat in.txt | iconv -f utf-8 -t ascii | tr -cs A-Za-z '\n' | tr A-Z a-z | tr -d '0-9' | sort | uniq | comm -23 - dict.txt`, nil
+			},
+		},
+		{
+			Name:       "shortest-scripts",
+			Structure:  "5xS,2xP",
+			Highlights: "long S pipeline ending with P",
+			Setup: func(dir string, scale int) (string, error) {
+				n := 200 * scale
+				if n > 1000 {
+					n = 1000
+				}
+				listing, err := workload.ScriptsDir(filepath.Join(dir, "bin"), n, seed)
+				if err != nil {
+					return "", err
+				}
+				_ = listing
+				return `cat bin/PATHLIST | sed 's;^;bin/;' | file | grep -E 'script' | cut -d: -f1 | xargs -L 1 wc -l | sort -n | head -n 15`, nil
+			},
+		},
+		{
+			Name:       "diff",
+			Structure:  "2xS,3xP",
+			Highlights: "non-parallelizable diffing",
+			Setup: func(dir string, scale int) (string, error) {
+				if err := writeText(dir, "in1.txt", 8000*scale); err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(filepath.Join(dir, "in2.txt"),
+					[]byte(workload.Text(8000*scale, seed+1)), 0o644); err != nil {
+					return "", err
+				}
+				return `tr A-Z a-z < in1.txt | sort > s1.tmp
+tr A-Z a-z < in2.txt | sort > s2.tmp
+diff s1.tmp s2.tmp | grep -c '^>'`, nil
+			},
+		},
+		{
+			Name:       "bi-grams",
+			Structure:  "3xS,3xP",
+			Highlights: "stream shifting and merging",
+			Setup: func(dir string, scale int) (string, error) {
+				if err := writeText(dir, "in.txt", 12000*scale); err != nil {
+					return "", err
+				}
+				return `cat in.txt | tr -cs A-Za-z '\n' | tr A-Z a-z > words.tmp
+tail -n +2 words.tmp > next.tmp
+paste -d ' ' words.tmp next.tmp | sort | uniq`, nil
+			},
+		},
+		{
+			Name:       "bi-grams-opt",
+			Structure:  "3xS,P",
+			Highlights: "optimized version of bigrams",
+			Setup: func(dir string, scale int) (string, error) {
+				if err := writeText(dir, "in.txt", 12000*scale); err != nil {
+					return "", err
+				}
+				return `cat in.txt | tr -cs A-Za-z '\n' | tr A-Z a-z | bigrams-aux | sort -u`, nil
+			},
+		},
+		{
+			Name:       "set-diff",
+			Structure:  "5xS,2xP",
+			Highlights: "two pipelines merging to a comm",
+			Setup: func(dir string, scale int) (string, error) {
+				if err := writeText(dir, "in1.txt", 10000*scale); err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(filepath.Join(dir, "in2.txt"),
+					[]byte(workload.Text(10000*scale, seed+2)), 0o644); err != nil {
+					return "", err
+				}
+				// Both branches deduplicate (sort -u) before comm: like
+				// Spell, comm's stateless annotation assumes set inputs.
+				return `cut -d ' ' -f1 in1.txt | tr A-Z a-z | sort -u > sa.tmp
+cut -d ' ' -f1 in2.txt | tr A-Z a-z | grep -v '^w' | sort -u > sb.tmp
+comm -23 sa.tmp sb.tmp`, nil
+			},
+		},
+		{
+			Name:       "sort-sort",
+			Structure:  "S,2xP",
+			Highlights: "parallelizable P after P",
+			Setup: func(dir string, scale int) (string, error) {
+				if err := writeText(dir, "in.txt", 15000*scale); err != nil {
+					return "", err
+				}
+				return `cat in.txt | tr ' ' '\n' | sort | sort -r`, nil
+			},
+		},
+	}
+}
+
+// FindOneLiner returns the named Tab. 2 benchmark.
+func FindOneLiner(name string) (Bench, bool) {
+	for _, b := range OneLiners() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Bench{}, false
+}
+
+// NOAA returns the §6.3 weather use case (Fig. 1's script against the
+// offline archive).
+func NOAA() Bench {
+	return Bench{
+		Name:       "noaa",
+		Structure:  "Fig. 1 (12 stages)",
+		Highlights: "temperature analysis, pre-processing + max",
+		Setup: func(dir string, scale int) (string, error) {
+			cfg := workload.NOAAConfig{
+				FirstYear: 2015, LastYear: 2019,
+				Stations:          4 * scale,
+				RecordsPerStation: 2000 * scale,
+				Seed:              seed,
+			}
+			if err := workload.NOAA(dir, cfg); err != nil {
+				return "", err
+			}
+			return `base="ftp://host/noaa";
+for y in {2015..2019}; do
+ curl -s $base/$y.index | grep gz | tr -s ' ' | cut -d ' ' -f9 |
+ sed "s;^;$base/$y/;" | xargs -n 1 curl -s | gunzip |
+ cut -c 89-92 | grep -v 999 | sort -rn | head -n 1 |
+ sed "s/^/Maximum temperature for $y is: /"
+done`, nil
+		},
+		Vars: func(dir string) map[string]string {
+			return map[string]string{"PASH_CURL_ROOT": dir}
+		},
+	}
+}
+
+// WebIndex returns the §6.4 Wikipedia indexing use case: fetch pages,
+// strip HTML, stem, and index (term frequencies and trigrams).
+func WebIndex() Bench {
+	return Bench{
+		Name:       "web-index",
+		Structure:  "S-heavy multi-language pipeline",
+		Highlights: "HTML-to-text dominates; custom annotated commands",
+		Setup: func(dir string, scale int) (string, error) {
+			_, err := workload.Web(dir, workload.WebConfig{
+				Pages:        40 * scale,
+				ParasPerPage: 30,
+				Seed:         seed,
+			})
+			if err != nil {
+				return "", err
+			}
+			return `cat urls.txt | xargs -n 1 curl -s | html-to-text | word-stem |
+tr -cs a-z '\n' | grep -v '^$' | sort | uniq -c | sort -rn > termfreq.tmp
+cat urls.txt | xargs -n 1 curl -s | html-to-text | trigrams | sort | uniq -c | sort -rn | head -n 100`, nil
+		},
+		Vars: func(dir string) map[string]string {
+			return map[string]string{"PASH_CURL_ROOT": dir}
+		},
+	}
+}

@@ -1,0 +1,84 @@
+package benchscripts
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/workload"
+)
+
+// Unix50 returns the 34 found-in-the-wild pipelines of §6.2, modeled on
+// the unofficial Unix50-game solutions: 2-12 stage pipelines written by
+// non-experts, mixing parallelizable stages with awk/sed usage that PaSh
+// must conservatively leave alone, and a few head-only pipelines whose
+// runtime is dominated by setup (the paper's slowdown cases 2, 19, 31).
+// The original solutions operate on the Unix-history text corpus; the
+// synthetic corpus preserves the line/word statistics that matter.
+func Unix50() []Bench {
+	pipelines := []struct {
+		script    string
+		structure string
+	}{
+		// 0-5: sort-centric pipelines (capped speedup per the paper).
+		{`cat in.txt | tr A-Z a-z | sort | uniq -c | sort -rn | head -n 20`, "2xS,4xP"},
+		{`cat in.txt | cut -d ' ' -f1 | sort | uniq | wc -l`, "2xS,3xP"},
+		{`cat in.txt | head -n 2 | tr A-Z a-z`, "head-bound"},
+		{`cat in.txt | tr -cs A-Za-z '\n' | sort -u`, "2xS,P"},
+		{`cat in.txt | grep the | wc -l`, "S,P"},
+		{`cat in.txt | cut -d ' ' -f2 | grep -c a`, "2xS,P"},
+		// 6-12: deeper pipelines with existing task parallelism.
+		{`cat in.txt | tr A-Z a-z | tr -cs a-z '\n' | grep -v '^$' | sort | uniq -c | sort -rn | head -n 10`, "3xS,4xP"},
+		{`cat in.txt | grep of | tr A-Z a-z | cut -d ' ' -f1-3 | sort | uniq | head -n 50`, "3xS,3xP"},
+		{`cat in.txt | sed 's/ /\n/g' | grep -v '^$' | sort | uniq -c | sort -n | tail -n 5`, "2xS,4xP"},
+		{`cat in.txt | cut -d ' ' -f3 | sed 's/[^a-zA-Z]//g' | grep -v '^$' | sort -u`, "3xS,P"},
+		{`cat in.txt | rev | cut -c 1-5 | rev | sort | uniq -c | sort -rn | head -n 10`, "3xS,4xP"},
+		{`cat in.txt | fold -w 30 | grep a | wc -l`, "2xS,P"},
+		{`cat in.txt | tr ' ' '\n' | grep -c '^the$'`, "S,P"},
+		// 13: awk column reordering — PaSh cannot parallelize awk (the
+		// paper's example: replacing it with sort -k unlocks 8.1x).
+		{`cat in.txt | awk '{print $2, $0}' | sort -r | head -n 10`, "awk-bound"},
+		// 14-18: mixed.
+		{`cat in.txt | grep -E '(water|number)' | tr A-Z a-z | sort | uniq`, "2xS,2xP"},
+		{`cat in.txt | cut -d ' ' -f1,2 | tr ' ' '-' | sort | uniq -c | sort -rn | head -n 10`, "3xS,4xP"},
+		{`cat in.txt | tr -d '0-9' | tr -s ' ' | sort | head -n 30`, "3xS,2xP"},
+		{`cat in.txt | grep people | cut -d ' ' -f1 | sort | uniq -c`, "2xS,2xP"},
+		{`cat in.txt | tr A-Z a-z | grep -o 'th.' | sort | uniq -c | sort -rn`, "2xS,3xP"},
+		// 19: head-only (slowdown case: setup dominates).
+		{`cat in.txt | head -n 1`, "head-bound"},
+		// 20-23: wordy pipelines.
+		{`cat in.txt | tr -cs A-Za-z '\n' | tr A-Z a-z | sort | uniq -u | wc -l`, "3xS,3xP"},
+		{`cat in.txt | cut -c 1-40 | sort | uniq | wc -l`, "2xS,3xP"},
+		{`cat in.txt | grep -v the | wc`, "S,P"},
+		{`cat in.txt | sed 's/the/THE/g' | grep -c THE`, "2xS,P"},
+		// 24-26: awk/sed-bound (no speedup group).
+		{`cat in.txt | awk '{s += NF} END {print s}'`, "awk-bound"},
+		{`cat in.txt | awk 'NR % 2 == 0'`, "awk-bound"},
+		{`cat in.txt | sed -n '2p'`, "positional-sed"},
+		// 27-28: sort-heavy deep pipelines.
+		{`cat in.txt | tr ' ' '\n' | sort | uniq -c | sort -rn | head -n 40 | tac`, "2xS,5xP"},
+		{`cat in.txt | cut -d ' ' -f1 | sort | uniq -c | sort -n | tail -n 3`, "2xS,4xP"},
+		// 29-30: no parallelizable stages / stateful stream edits.
+		{`cat in.txt | awk '{print NR, $1}' | head -n 5`, "awk-bound"},
+		{`cat in.txt | nl | grep '5' | head -n 5`, "nl-bound"},
+		// 31: another setup-dominated one.
+		{`cat in.txt | head -n 3 | rev`, "head-bound"},
+		// 32-33: closing sort-centric pair.
+		{`cat in.txt | tr A-Z a-z | tr -cs a-z '\n' | bigrams-aux | sort | uniq -c | sort -rn | head -n 10`, "2xS,5xP"},
+		{`cat in.txt | grep -E '[aeiou]{2}' | sort -u | wc -l`, "S,3xP"},
+	}
+	out := make([]Bench, len(pipelines))
+	for i, p := range pipelines {
+		i, p := i, p
+		out[i] = Bench{
+			Name:      fmt.Sprintf("unix50-%02d", i),
+			Structure: p.structure,
+			Setup: func(dir string, scale int) (string, error) {
+				if err := workload.TextFile(filepath.Join(dir, "in.txt"), 10000*scale, seed+int64(i)); err != nil {
+					return "", err
+				}
+				return p.script, nil
+			},
+		}
+	}
+	return out
+}

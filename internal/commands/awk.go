@@ -1,0 +1,336 @@
+package commands
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func init() { register("awk", awk) }
+
+// awk implements the AWK subset that shell pipelines in the wild lean on:
+//
+//   - rules: [pattern] { action }, bare patterns (default action print),
+//     BEGIN and END blocks
+//   - patterns: /regex/, relational expressions, !, &&, ||
+//   - expressions: fields ($0, $1, $(expr)), variables, NR, NF, FS, OFS,
+//     numbers, string literals, arithmetic (+ - * / % ^), unary minus,
+//     concatenation, comparisons, ternary ?:, assignment (= += -= *= /=),
+//     ++/-- (pre/post), associative arrays (a[k], k in a),
+//     length(s), substr(s,m[,n]), tolower(s), toupper(s), int(x),
+//     sprintf(fmt, ...), split(s, a[, fs])
+//   - statements: print [exprs], printf fmt[, exprs], if/else, while,
+//     for(;;), for (k in a), next, blocks, ; separators
+//
+// Flags: -F SEP (field separator, regex if >1 char), -v NAME=VALUE.
+func awk(ctx *Context) error {
+	fs := " "
+	var assigns []string
+	var operands []string
+	args := ctx.Args
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		grab := func(attached string) (string, error) {
+			if attached != "" {
+				return attached, nil
+			}
+			i++
+			if i >= len(args) {
+				return "", ctx.Errorf("option %q requires an argument", a)
+			}
+			return args[i], nil
+		}
+		switch {
+		case strings.HasPrefix(a, "-F"):
+			v, err := grab(a[2:])
+			if err != nil {
+				return err
+			}
+			fs = v
+		case strings.HasPrefix(a, "-v"):
+			v, err := grab(a[2:])
+			if err != nil {
+				return err
+			}
+			assigns = append(assigns, v)
+		case a == "-f":
+			return ctx.Errorf("-f program files are not supported")
+		case a == "-" || !strings.HasPrefix(a, "-"):
+			operands = append(operands, a)
+		default:
+			return ctx.Errorf("unsupported flag %q", a)
+		}
+	}
+	if len(operands) == 0 {
+		return ctx.Errorf("missing program")
+	}
+	progSrc := operands[0]
+	operands = operands[1:]
+
+	prog, err := parseAwk(progSrc)
+	if err != nil {
+		return ctx.Errorf("%v", err)
+	}
+
+	interp := &awkInterp{
+		globals: map[string]awkValue{},
+		arrays:  map[string]map[string]awkValue{},
+		out:     NewLineWriter(ctx.Stdout),
+	}
+	defer interp.out.Flush()
+	interp.setVar("FS", awkStr(fs))
+	interp.setVar("OFS", awkStr(" "))
+	interp.setVar("ORS", awkStr("\n"))
+	for _, as := range assigns {
+		eq := strings.IndexByte(as, '=')
+		if eq <= 0 {
+			return ctx.Errorf("invalid -v assignment %q", as)
+		}
+		interp.setVar(as[:eq], awkStrNum(as[eq+1:]))
+	}
+
+	for _, r := range prog.begins {
+		if err := interp.execBlock(r); err != nil && err != errAwkNext {
+			return err
+		}
+	}
+
+	readers, cleanup, err := ctx.OpenInputs(operands)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	nr := 0
+	err = EachLineReaders(readers, func(line []byte) error {
+		nr++
+		interp.setRecord(string(line))
+		interp.setVar("NR", awkNum(float64(nr)))
+		for _, rule := range prog.rules {
+			match, err := interp.ruleMatches(rule)
+			if err != nil {
+				return err
+			}
+			if !match {
+				continue
+			}
+			if err := interp.execBlock(rule.action); err != nil {
+				if err == errAwkNext {
+					break
+				}
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range prog.ends {
+		if err := interp.execBlock(r); err != nil && err != errAwkNext {
+			return err
+		}
+	}
+	return interp.out.Flush()
+}
+
+// --- values ---
+
+type awkValue struct {
+	s     string
+	f     float64
+	isNum bool
+	// strnum marks values from input/untyped sources: they compare
+	// numerically when they look numeric.
+	strnum bool
+}
+
+func awkStr(s string) awkValue  { return awkValue{s: s} }
+func awkNum(f float64) awkValue { return awkValue{f: f, isNum: true} }
+
+// awkStrNum builds a value with POSIX "string that may be numeric"
+// semantics.
+func awkStrNum(s string) awkValue {
+	v := awkValue{s: s, strnum: true}
+	if f, err := strconv.ParseFloat(strings.TrimSpace(s), 64); err == nil {
+		v.f = f
+	}
+	return v
+}
+
+func (v awkValue) num() float64 {
+	if v.isNum {
+		return v.f
+	}
+	f, _ := strconv.ParseFloat(strings.TrimSpace(numPrefix(v.s)), 64)
+	return f
+}
+
+func numPrefix(s string) string {
+	s = strings.TrimSpace(s)
+	i := 0
+	if i < len(s) && (s[i] == '+' || s[i] == '-') {
+		i++
+	}
+	for i < len(s) && (s[i] >= '0' && s[i] <= '9' || s[i] == '.' || s[i] == 'e' || s[i] == 'E') {
+		i++
+	}
+	return s[:i]
+}
+
+func (v awkValue) str() string {
+	if !v.isNum {
+		return v.s
+	}
+	if v.f == math.Trunc(v.f) && math.Abs(v.f) < 1e16 {
+		return strconv.FormatInt(int64(v.f), 10)
+	}
+	return strconv.FormatFloat(v.f, 'g', 6, 64)
+}
+
+func (v awkValue) bool() bool {
+	if v.isNum {
+		return v.f != 0
+	}
+	if v.strnum {
+		if looksNumeric(v.s) {
+			return v.num() != 0
+		}
+	}
+	return v.s != ""
+}
+
+func looksNumeric(s string) bool {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return false
+	}
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}
+
+func awkCompare(a, b awkValue) int {
+	numeric := (a.isNum || a.strnum && looksNumeric(a.s)) &&
+		(b.isNum || b.strnum && looksNumeric(b.s))
+	if numeric {
+		x, y := a.num(), b.num()
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(a.str(), b.str())
+}
+
+// --- program representation ---
+
+type awkProgram struct {
+	begins []awkStmt
+	ends   []awkStmt
+	rules  []awkRule
+}
+
+type awkRule struct {
+	pattern awkExpr // nil = match all
+	action  awkStmt // nil = print $0
+}
+
+type awkStmt interface{ stmt() }
+
+type stBlock struct{ list []awkStmt }
+type stPrint struct{ args []awkExpr }
+type stPrintf struct{ args []awkExpr }
+type stExpr struct{ e awkExpr }
+type stIf struct {
+	cond        awkExpr
+	then, else_ awkStmt
+}
+type stWhile struct {
+	cond awkExpr
+	body awkStmt
+}
+type stFor struct {
+	init, post awkStmt
+	cond       awkExpr
+	body       awkStmt
+}
+type stForIn struct {
+	varName, arrName string
+	body             awkStmt
+}
+type stNext struct{}
+
+func (*stBlock) stmt()  {}
+func (*stPrint) stmt()  {}
+func (*stPrintf) stmt() {}
+func (*stExpr) stmt()   {}
+func (*stIf) stmt()     {}
+func (*stWhile) stmt()  {}
+func (*stFor) stmt()    {}
+func (*stForIn) stmt()  {}
+func (*stNext) stmt()   {}
+
+type awkExpr interface{ expr() }
+
+type exNum struct{ f float64 }
+type exStr struct{ s string }
+type exRegex struct{ re *regexp.Regexp }
+type exField struct{ idx awkExpr }
+type exVar struct{ name string }
+type exIndex struct {
+	arr string
+	idx []awkExpr
+}
+type exBinary struct {
+	op   string
+	l, r awkExpr
+}
+type exUnary struct {
+	op string
+	e  awkExpr
+}
+type exTernary struct{ cond, a, b awkExpr }
+type exAssign struct {
+	op     string // "=", "+=", ...
+	target awkExpr
+	val    awkExpr
+}
+type exIncDec struct {
+	op     string // "++" or "--"
+	pre    bool
+	target awkExpr
+}
+type exCall struct {
+	name string
+	args []awkExpr
+}
+type exMatch struct {
+	neg bool
+	l   awkExpr
+	re  awkExpr
+}
+type exIn struct {
+	key awkExpr
+	arr string
+}
+
+func (*exNum) expr()     {}
+func (*exStr) expr()     {}
+func (*exRegex) expr()   {}
+func (*exField) expr()   {}
+func (*exVar) expr()     {}
+func (*exIndex) expr()   {}
+func (*exBinary) expr()  {}
+func (*exUnary) expr()   {}
+func (*exTernary) expr() {}
+func (*exAssign) expr()  {}
+func (*exIncDec) expr()  {}
+func (*exCall) expr()    {}
+func (*exMatch) expr()   {}
+func (*exIn) expr()      {}
+
+var errAwkNext = fmt.Errorf("awk: next")

@@ -1,0 +1,676 @@
+package commands
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// awkInterp is the evaluation state for one awk run.
+type awkInterp struct {
+	globals map[string]awkValue
+	arrays  map[string]map[string]awkValue
+	fields  []string // fields[0] is $0
+	fsRe    *regexp.Regexp
+	fsSrc   string
+	out     *LineWriter
+}
+
+func (in *awkInterp) setVar(name string, v awkValue) {
+	in.globals[name] = v
+}
+
+func (in *awkInterp) getVar(name string) awkValue {
+	if v, ok := in.globals[name]; ok {
+		return v
+	}
+	return awkValue{strnum: true}
+}
+
+func (in *awkInterp) array(name string) map[string]awkValue {
+	a, ok := in.arrays[name]
+	if !ok {
+		a = map[string]awkValue{}
+		in.arrays[name] = a
+	}
+	return a
+}
+
+// setRecord splits $0 into fields per FS.
+func (in *awkInterp) setRecord(line string) {
+	in.fields = in.fields[:0]
+	in.fields = append(in.fields, line)
+	fs := in.getVar("FS").str()
+	switch {
+	case fs == " ":
+		in.fields = append(in.fields, strings.Fields(line)...)
+	case len(fs) == 1:
+		in.fields = append(in.fields, strings.Split(line, fs)...)
+	default:
+		if in.fsRe == nil || in.fsSrc != fs {
+			in.fsRe = regexp.MustCompile(fs)
+			in.fsSrc = fs
+		}
+		in.fields = append(in.fields, in.fsRe.Split(line, -1)...)
+	}
+	in.setVar("NF", awkNum(float64(len(in.fields)-1)))
+}
+
+// rebuildRecord recomputes $0 after a field assignment.
+func (in *awkInterp) rebuildRecord() {
+	ofs := in.getVar("OFS").str()
+	in.fields[0] = strings.Join(in.fields[1:], ofs)
+}
+
+func (in *awkInterp) field(i int) awkValue {
+	if i < 0 || i >= len(in.fields) {
+		return awkValue{strnum: true}
+	}
+	return awkStrNum(in.fields[i])
+}
+
+func (in *awkInterp) setField(i int, v string) {
+	if i == 0 {
+		in.setRecord(v)
+		return
+	}
+	for len(in.fields) <= i {
+		in.fields = append(in.fields, "")
+	}
+	in.fields[i] = v
+	in.setVar("NF", awkNum(float64(len(in.fields)-1)))
+	in.rebuildRecord()
+}
+
+func (in *awkInterp) ruleMatches(r awkRule) (bool, error) {
+	if r.pattern == nil {
+		return true, nil
+	}
+	if re, ok := r.pattern.(*exRegex); ok {
+		return re.re.MatchString(in.fields[0]), nil
+	}
+	v, err := in.eval(r.pattern)
+	if err != nil {
+		return false, err
+	}
+	return v.bool(), nil
+}
+
+func (in *awkInterp) execBlock(st awkStmt) error {
+	if st == nil {
+		// Default action: print $0.
+		return in.out.WriteString(in.fields0() + in.getVar("ORS").str())
+	}
+	return in.exec(st)
+}
+
+func (in *awkInterp) fields0() string {
+	if len(in.fields) == 0 {
+		return ""
+	}
+	return in.fields[0]
+}
+
+func (in *awkInterp) exec(st awkStmt) error {
+	switch st := st.(type) {
+	case *stBlock:
+		for _, s := range st.list {
+			if err := in.exec(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *stPrint:
+		ofs := in.getVar("OFS").str()
+		ors := in.getVar("ORS").str()
+		if len(st.args) == 0 {
+			return in.out.WriteString(in.fields0() + ors)
+		}
+		var parts []string
+		for _, a := range st.args {
+			v, err := in.eval(a)
+			if err != nil {
+				return err
+			}
+			parts = append(parts, v.str())
+		}
+		return in.out.WriteString(strings.Join(parts, ofs) + ors)
+	case *stPrintf:
+		vals := make([]awkValue, len(st.args))
+		for i, a := range st.args {
+			v, err := in.eval(a)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		s, err := awkSprintf(vals[0].str(), vals[1:])
+		if err != nil {
+			return err
+		}
+		return in.out.WriteString(s)
+	case *stExpr:
+		_, err := in.eval(st.e)
+		return err
+	case *stIf:
+		v, err := in.eval(st.cond)
+		if err != nil {
+			return err
+		}
+		if v.bool() {
+			return in.exec(st.then)
+		}
+		if st.else_ != nil {
+			return in.exec(st.else_)
+		}
+		return nil
+	case *stWhile:
+		for {
+			v, err := in.eval(st.cond)
+			if err != nil {
+				return err
+			}
+			if !v.bool() {
+				return nil
+			}
+			if err := in.exec(st.body); err != nil {
+				return err
+			}
+		}
+	case *stFor:
+		if st.init != nil {
+			if err := in.exec(st.init); err != nil {
+				return err
+			}
+		}
+		for {
+			if st.cond != nil {
+				v, err := in.eval(st.cond)
+				if err != nil {
+					return err
+				}
+				if !v.bool() {
+					return nil
+				}
+			}
+			if err := in.exec(st.body); err != nil {
+				return err
+			}
+			if st.post != nil {
+				if err := in.exec(st.post); err != nil {
+					return err
+				}
+			}
+		}
+	case *stForIn:
+		arr := in.array(st.arrName)
+		keys := make([]string, 0, len(arr))
+		for k := range arr {
+			keys = append(keys, k)
+		}
+		sortStrings(keys) // deterministic iteration
+		for _, k := range keys {
+			in.setVar(st.varName, awkStrNum(k))
+			if err := in.exec(st.body); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *stNext:
+		return errAwkNext
+	}
+	return fmt.Errorf("awk: unknown statement %T", st)
+}
+
+func sortStrings(s []string) {
+	sort.Strings(s)
+}
+
+func (in *awkInterp) eval(e awkExpr) (awkValue, error) {
+	switch e := e.(type) {
+	case *exNum:
+		return awkNum(e.f), nil
+	case *exStr:
+		return awkStr(e.s), nil
+	case *exRegex:
+		// A bare regex in expression position matches against $0.
+		if e.re.MatchString(in.fields0()) {
+			return awkNum(1), nil
+		}
+		return awkNum(0), nil
+	case *exField:
+		iv, err := in.eval(e.idx)
+		if err != nil {
+			return awkValue{}, err
+		}
+		return in.field(int(iv.num())), nil
+	case *exVar:
+		return in.getVar(e.name), nil
+	case *exIndex:
+		key, err := in.arrayKey(e.idx)
+		if err != nil {
+			return awkValue{}, err
+		}
+		return in.array(e.arr)[key], nil
+	case *exUnary:
+		v, err := in.eval(e.e)
+		if err != nil {
+			return awkValue{}, err
+		}
+		if e.op == "!" {
+			if v.bool() {
+				return awkNum(0), nil
+			}
+			return awkNum(1), nil
+		}
+		return awkNum(-v.num()), nil
+	case *exTernary:
+		c, err := in.eval(e.cond)
+		if err != nil {
+			return awkValue{}, err
+		}
+		if c.bool() {
+			return in.eval(e.a)
+		}
+		return in.eval(e.b)
+	case *exBinary:
+		return in.evalBinary(e)
+	case *exMatch:
+		lv, err := in.eval(e.l)
+		if err != nil {
+			return awkValue{}, err
+		}
+		var re *regexp.Regexp
+		if r, ok := e.re.(*exRegex); ok {
+			re = r.re
+		} else {
+			rv, err := in.eval(e.re)
+			if err != nil {
+				return awkValue{}, err
+			}
+			re, err = regexp.Compile(rv.str())
+			if err != nil {
+				return awkValue{}, fmt.Errorf("awk: bad dynamic regex: %v", err)
+			}
+		}
+		m := re.MatchString(lv.str())
+		if m != e.neg {
+			return awkNum(1), nil
+		}
+		return awkNum(0), nil
+	case *exIn:
+		key, err := in.eval(e.key)
+		if err != nil {
+			return awkValue{}, err
+		}
+		if _, ok := in.array(e.arr)[key.str()]; ok {
+			return awkNum(1), nil
+		}
+		return awkNum(0), nil
+	case *exAssign:
+		return in.evalAssign(e)
+	case *exIncDec:
+		old, err := in.eval(e.target)
+		if err != nil {
+			return awkValue{}, err
+		}
+		delta := 1.0
+		if e.op == "--" {
+			delta = -1
+		}
+		nv := awkNum(old.num() + delta)
+		if err := in.assign(e.target, nv); err != nil {
+			return awkValue{}, err
+		}
+		if e.pre {
+			return nv, nil
+		}
+		return awkNum(old.num()), nil
+	case *exCall:
+		return in.evalCall(e)
+	}
+	return awkValue{}, fmt.Errorf("awk: unknown expression %T", e)
+}
+
+func (in *awkInterp) arrayKey(idx []awkExpr) (string, error) {
+	var parts []string
+	for _, ie := range idx {
+		v, err := in.eval(ie)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, v.str())
+	}
+	return strings.Join(parts, "\x1c"), nil // SUBSEP
+}
+
+func (in *awkInterp) evalBinary(e *exBinary) (awkValue, error) {
+	if e.op == "&&" || e.op == "||" {
+		l, err := in.eval(e.l)
+		if err != nil {
+			return awkValue{}, err
+		}
+		if e.op == "&&" && !l.bool() {
+			return awkNum(0), nil
+		}
+		if e.op == "||" && l.bool() {
+			return awkNum(1), nil
+		}
+		r, err := in.eval(e.r)
+		if err != nil {
+			return awkValue{}, err
+		}
+		if r.bool() {
+			return awkNum(1), nil
+		}
+		return awkNum(0), nil
+	}
+	l, err := in.eval(e.l)
+	if err != nil {
+		return awkValue{}, err
+	}
+	r, err := in.eval(e.r)
+	if err != nil {
+		return awkValue{}, err
+	}
+	switch e.op {
+	case "concat":
+		return awkStr(l.str() + r.str()), nil
+	case "+":
+		return awkNum(l.num() + r.num()), nil
+	case "-":
+		return awkNum(l.num() - r.num()), nil
+	case "*":
+		return awkNum(l.num() * r.num()), nil
+	case "/":
+		return awkNum(l.num() / r.num()), nil
+	case "%":
+		return awkNum(math.Mod(l.num(), r.num())), nil
+	case "^":
+		return awkNum(math.Pow(l.num(), r.num())), nil
+	case "==", "!=", "<", "<=", ">", ">=":
+		c := awkCompare(l, r)
+		ok := false
+		switch e.op {
+		case "==":
+			ok = c == 0
+		case "!=":
+			ok = c != 0
+		case "<":
+			ok = c < 0
+		case "<=":
+			ok = c <= 0
+		case ">":
+			ok = c > 0
+		case ">=":
+			ok = c >= 0
+		}
+		if ok {
+			return awkNum(1), nil
+		}
+		return awkNum(0), nil
+	}
+	return awkValue{}, fmt.Errorf("awk: unknown operator %q", e.op)
+}
+
+func (in *awkInterp) evalAssign(e *exAssign) (awkValue, error) {
+	rv, err := in.eval(e.val)
+	if err != nil {
+		return awkValue{}, err
+	}
+	if e.op != "=" {
+		old, err := in.eval(e.target)
+		if err != nil {
+			return awkValue{}, err
+		}
+		var f float64
+		switch e.op {
+		case "+=":
+			f = old.num() + rv.num()
+		case "-=":
+			f = old.num() - rv.num()
+		case "*=":
+			f = old.num() * rv.num()
+		case "/=":
+			f = old.num() / rv.num()
+		case "%=":
+			f = math.Mod(old.num(), rv.num())
+		case "^=":
+			f = math.Pow(old.num(), rv.num())
+		}
+		rv = awkNum(f)
+	}
+	if err := in.assign(e.target, rv); err != nil {
+		return awkValue{}, err
+	}
+	return rv, nil
+}
+
+func (in *awkInterp) assign(target awkExpr, v awkValue) error {
+	switch t := target.(type) {
+	case *exVar:
+		in.setVar(t.name, v)
+		return nil
+	case *exField:
+		iv, err := in.eval(t.idx)
+		if err != nil {
+			return err
+		}
+		in.setField(int(iv.num()), v.str())
+		return nil
+	case *exIndex:
+		key, err := in.arrayKey(t.idx)
+		if err != nil {
+			return err
+		}
+		in.array(t.arr)[key] = v
+		return nil
+	}
+	return fmt.Errorf("awk: cannot assign to %T", target)
+}
+
+func (in *awkInterp) evalCall(e *exCall) (awkValue, error) {
+	evalArgs := func() ([]awkValue, error) {
+		out := make([]awkValue, len(e.args))
+		for i, a := range e.args {
+			v, err := in.eval(a)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	switch e.name {
+	case "length":
+		if len(e.args) == 0 {
+			return awkNum(float64(len(in.fields0()))), nil
+		}
+		// length(arr) counts elements.
+		if v, ok := e.args[0].(*exVar); ok {
+			if arr, exists := in.arrays[v.name]; exists {
+				return awkNum(float64(len(arr))), nil
+			}
+		}
+		args, err := evalArgs()
+		if err != nil {
+			return awkValue{}, err
+		}
+		return awkNum(float64(len(args[0].str()))), nil
+	case "substr":
+		args, err := evalArgs()
+		if err != nil {
+			return awkValue{}, err
+		}
+		if len(args) < 2 {
+			return awkValue{}, fmt.Errorf("awk: substr needs 2 or 3 arguments")
+		}
+		s := args[0].str()
+		m := int(args[1].num())
+		if m < 1 {
+			m = 1
+		}
+		if m > len(s) {
+			return awkStr(""), nil
+		}
+		out := s[m-1:]
+		if len(args) >= 3 {
+			n := int(args[2].num())
+			if n < 0 {
+				n = 0
+			}
+			if n < len(out) {
+				out = out[:n]
+			}
+		}
+		return awkStr(out), nil
+	case "tolower", "toupper":
+		args, err := evalArgs()
+		if err != nil {
+			return awkValue{}, err
+		}
+		if len(args) != 1 {
+			return awkValue{}, fmt.Errorf("awk: %s needs 1 argument", e.name)
+		}
+		if e.name == "tolower" {
+			return awkStr(strings.ToLower(args[0].str())), nil
+		}
+		return awkStr(strings.ToUpper(args[0].str())), nil
+	case "int":
+		args, err := evalArgs()
+		if err != nil {
+			return awkValue{}, err
+		}
+		return awkNum(math.Trunc(args[0].num())), nil
+	case "index":
+		args, err := evalArgs()
+		if err != nil {
+			return awkValue{}, err
+		}
+		if len(args) != 2 {
+			return awkValue{}, fmt.Errorf("awk: index needs 2 arguments")
+		}
+		return awkNum(float64(strings.Index(args[0].str(), args[1].str()) + 1)), nil
+	case "sprintf":
+		args, err := evalArgs()
+		if err != nil {
+			return awkValue{}, err
+		}
+		if len(args) == 0 {
+			return awkValue{}, fmt.Errorf("awk: sprintf needs a format")
+		}
+		s, err := awkSprintf(args[0].str(), args[1:])
+		if err != nil {
+			return awkValue{}, err
+		}
+		return awkStr(s), nil
+	case "split":
+		if len(e.args) < 2 || len(e.args) > 3 {
+			return awkValue{}, fmt.Errorf("awk: split needs 2 or 3 arguments")
+		}
+		sv, err := in.eval(e.args[0])
+		if err != nil {
+			return awkValue{}, err
+		}
+		arrName, ok := e.args[1].(*exVar)
+		if !ok {
+			return awkValue{}, fmt.Errorf("awk: split needs an array name")
+		}
+		fs := in.getVar("FS").str()
+		if len(e.args) == 3 {
+			fsv, err := in.eval(e.args[2])
+			if err != nil {
+				return awkValue{}, err
+			}
+			fs = fsv.str()
+		}
+		var parts []string
+		switch {
+		case fs == " ":
+			parts = strings.Fields(sv.str())
+		case len(fs) == 1:
+			parts = strings.Split(sv.str(), fs)
+		default:
+			re, err := regexp.Compile(fs)
+			if err != nil {
+				return awkValue{}, fmt.Errorf("awk: bad split separator: %v", err)
+			}
+			parts = re.Split(sv.str(), -1)
+		}
+		arr := map[string]awkValue{}
+		for i, p := range parts {
+			arr[strconv.Itoa(i+1)] = awkStrNum(p)
+		}
+		in.arrays[arrName.name] = arr
+		return awkNum(float64(len(parts))), nil
+	}
+	return awkValue{}, fmt.Errorf("awk: unknown function %q", e.name)
+}
+
+// awkSprintf implements the printf verbs awk programs use: %s %d %i %f
+// %g %x %c %% with width/precision.
+func awkSprintf(format string, args []awkValue) (string, error) {
+	var sb strings.Builder
+	ai := 0
+	nextArg := func() awkValue {
+		if ai < len(args) {
+			v := args[ai]
+			ai++
+			return v
+		}
+		return awkValue{}
+	}
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		switch {
+		case c == '\\' && i+1 < len(format):
+			i++
+			switch format[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			default:
+				sb.WriteByte('\\')
+				sb.WriteByte(format[i])
+			}
+		case c == '%' && i+1 < len(format):
+			j := i + 1
+			for j < len(format) && strings.ContainsRune("-+ 0123456789.", rune(format[j])) {
+				j++
+			}
+			if j >= len(format) {
+				return "", fmt.Errorf("awk: bad format %q", format)
+			}
+			verb := format[j]
+			spec := format[i : j+1]
+			switch verb {
+			case '%':
+				sb.WriteByte('%')
+			case 's':
+				fmt.Fprintf(&sb, spec, nextArg().str())
+			case 'c':
+				s := nextArg().str()
+				if s == "" {
+					s = "\x00"
+				}
+				fmt.Fprintf(&sb, strings.Replace(spec, "c", "s", 1), s[:1])
+			case 'd', 'i':
+				fmt.Fprintf(&sb, strings.Replace(spec, "i", "d", 1), int64(nextArg().num()))
+			case 'f', 'g', 'e':
+				fmt.Fprintf(&sb, spec, nextArg().num())
+			case 'x', 'X', 'o':
+				fmt.Fprintf(&sb, spec, int64(nextArg().num()))
+			default:
+				return "", fmt.Errorf("awk: unsupported verb %%%c", verb)
+			}
+			i = j
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,780 @@
+package commands
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// awk lexer.
+
+type awkTok struct {
+	kind string // "num" "str" "regex" "name" "func" or the operator text
+	text string
+	f    float64
+}
+
+type awkLexer struct {
+	src  string
+	pos  int
+	toks []awkTok
+}
+
+var awkKeywords = map[string]bool{
+	"BEGIN": true, "END": true, "print": true, "printf": true, "if": true,
+	"else": true, "while": true, "for": true, "in": true, "next": true,
+}
+
+var awkFuncs = map[string]bool{
+	"length": true, "substr": true, "tolower": true, "toupper": true,
+	"int": true, "sprintf": true, "split": true, "index": true,
+}
+
+func lexAwk(src string) ([]awkTok, error) {
+	l := &awkLexer{src: src}
+	prevAllowsRegex := true // at start, '/' begins a regex
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\\' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '\n':
+			if c == '\\' {
+				l.pos++
+			}
+			l.pos++
+			continue
+		case c == '\n' || c == ';':
+			l.emit(awkTok{kind: ";"})
+			l.pos++
+			prevAllowsRegex = true
+			continue
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			j := l.pos
+			for j < len(l.src) && (l.src[j] >= '0' && l.src[j] <= '9' || l.src[j] == '.' ||
+				l.src[j] == 'e' || l.src[j] == 'E' ||
+				(l.src[j] == '+' || l.src[j] == '-') && j > l.pos && (l.src[j-1] == 'e' || l.src[j-1] == 'E')) {
+				j++
+			}
+			f, err := strconv.ParseFloat(l.src[l.pos:j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("awk: bad number %q", l.src[l.pos:j])
+			}
+			l.emit(awkTok{kind: "num", f: f})
+			l.pos = j
+			prevAllowsRegex = false
+			continue
+		case c == '"':
+			j := l.pos + 1
+			var sb strings.Builder
+			for j < len(l.src) && l.src[j] != '"' {
+				if l.src[j] == '\\' && j+1 < len(l.src) {
+					j++
+					switch l.src[j] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '\\':
+						sb.WriteByte('\\')
+					case '"':
+						sb.WriteByte('"')
+					case '/':
+						sb.WriteByte('/')
+					default:
+						sb.WriteByte('\\')
+						sb.WriteByte(l.src[j])
+					}
+				} else {
+					sb.WriteByte(l.src[j])
+				}
+				j++
+			}
+			if j >= len(l.src) {
+				return nil, fmt.Errorf("awk: unterminated string")
+			}
+			l.emit(awkTok{kind: "str", text: sb.String()})
+			l.pos = j + 1
+			prevAllowsRegex = false
+			continue
+		case c == '/' && prevAllowsRegex:
+			j := l.pos + 1
+			for j < len(l.src) && l.src[j] != '/' {
+				if l.src[j] == '\\' {
+					j++
+				}
+				j++
+			}
+			if j >= len(l.src) {
+				return nil, fmt.Errorf("awk: unterminated regex")
+			}
+			l.emit(awkTok{kind: "regex", text: l.src[l.pos+1 : j]})
+			l.pos = j + 1
+			prevAllowsRegex = false
+			continue
+		case isAwkNameStart(c):
+			j := l.pos
+			for j < len(l.src) && isAwkNameByte(l.src[j]) {
+				j++
+			}
+			name := l.src[l.pos:j]
+			l.pos = j
+			if awkKeywords[name] {
+				l.emit(awkTok{kind: name})
+				prevAllowsRegex = true
+			} else {
+				l.emit(awkTok{kind: "name", text: name})
+				prevAllowsRegex = false
+			}
+			continue
+		}
+		// Operators, longest first.
+		ops := []string{"+=", "-=", "*=", "/=", "%=", "^=", "==", "!=", "<=",
+			">=", "&&", "||", "++", "--", "!~", "{", "}", "(", ")", "[", "]",
+			",", "$", "+", "-", "*", "/", "%", "^", "<", ">", "=", "!", "?",
+			":", "~"}
+		matched := false
+		for _, op := range ops {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.emit(awkTok{kind: op})
+				l.pos += len(op)
+				prevAllowsRegex = op != ")" && op != "]" && op != "$"
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("awk: unexpected character %q", string(c))
+		}
+	}
+	return l.toks, nil
+}
+
+func (l *awkLexer) emit(t awkTok) { l.toks = append(l.toks, t) }
+
+func isAwkNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isAwkNameByte(c byte) bool {
+	return isAwkNameStart(c) || c >= '0' && c <= '9'
+}
+
+// awk parser.
+
+type awkParser struct {
+	toks []awkTok
+	pos  int
+}
+
+func parseAwk(src string) (*awkProgram, error) {
+	toks, err := lexAwk(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &awkParser{toks: toks}
+	prog := &awkProgram{}
+	for !p.eof() {
+		p.skipSemis()
+		if p.eof() {
+			break
+		}
+		switch {
+		case p.at("BEGIN"):
+			p.pos++
+			blk, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			prog.begins = append(prog.begins, blk)
+		case p.at("END"):
+			p.pos++
+			blk, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			prog.ends = append(prog.ends, blk)
+		case p.at("{"):
+			blk, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			prog.rules = append(prog.rules, awkRule{action: blk})
+		default:
+			pat, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			var action awkStmt
+			if p.at("{") {
+				action, err = p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+			}
+			prog.rules = append(prog.rules, awkRule{pattern: pat, action: action})
+		}
+	}
+	return prog, nil
+}
+
+func (p *awkParser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *awkParser) at(kind string) bool {
+	return !p.eof() && p.toks[p.pos].kind == kind
+}
+
+func (p *awkParser) expect(kind string) error {
+	if !p.at(kind) {
+		got := "EOF"
+		if !p.eof() {
+			got = p.toks[p.pos].kind
+		}
+		return fmt.Errorf("awk: expected %q, got %q", kind, got)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *awkParser) skipSemis() {
+	for p.at(";") {
+		p.pos++
+	}
+}
+
+func (p *awkParser) parseBlock() (awkStmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	blk := &stBlock{}
+	for {
+		p.skipSemis()
+		if p.at("}") {
+			p.pos++
+			return blk, nil
+		}
+		if p.eof() {
+			return nil, fmt.Errorf("awk: unterminated block")
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.list = append(blk.list, st)
+	}
+}
+
+func (p *awkParser) parseStmt() (awkStmt, error) {
+	switch {
+	case p.at("{"):
+		return p.parseBlock()
+	case p.at("print"):
+		p.pos++
+		var args []awkExpr
+		for !p.at(";") && !p.at("}") && !p.eof() {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+			if p.at(",") {
+				p.pos++
+				continue
+			}
+			break
+		}
+		return &stPrint{args: args}, nil
+	case p.at("printf"):
+		p.pos++
+		var args []awkExpr
+		for !p.at(";") && !p.at("}") && !p.eof() {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+			if p.at(",") {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if len(args) == 0 {
+			return nil, fmt.Errorf("awk: printf needs a format")
+		}
+		return &stPrintf{args: args}, nil
+	case p.at("next"):
+		p.pos++
+		return &stNext{}, nil
+	case p.at("if"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		p.skipSemis()
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &stIf{cond: cond, then: then}
+		save := p.pos
+		p.skipSemis()
+		if p.at("else") {
+			p.pos++
+			p.skipSemis()
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.else_ = els
+		} else {
+			p.pos = save
+		}
+		return st, nil
+	case p.at("while"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &stWhile{cond: cond, body: body}, nil
+	case p.at("for"):
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		// for (name in arr) ...
+		if p.at("name") && p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == "in" {
+			varName := p.toks[p.pos].text
+			p.pos += 2
+			if !p.at("name") {
+				return nil, fmt.Errorf("awk: expected array name after in")
+			}
+			arr := p.toks[p.pos].text
+			p.pos++
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			body, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			return &stForIn{varName: varName, arrName: arr, body: body}, nil
+		}
+		var init, post awkStmt
+		var cond awkExpr
+		if !p.at(";") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			init = &stExpr{e: e}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if !p.at(";") {
+			var err error
+			cond, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if !p.at(")") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			post = &stExpr{e: e}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &stFor{init: init, cond: cond, post: post, body: body}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &stExpr{e: e}, nil
+}
+
+// Expression parsing, precedence climbing:
+// ternary < || < && < in < match(~ !~) < compare < concat < add < mul <
+// pow < unary < postfix < primary. Assignment is right-assoc at the top.
+func (p *awkParser) parseExpr() (awkExpr, error) {
+	return p.parseAssign()
+}
+
+func (p *awkParser) parseAssign() (awkExpr, error) {
+	l, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"=", "+=", "-=", "*=", "/=", "%=", "^="} {
+		if p.at(op) {
+			if !isLvalue(l) {
+				return nil, fmt.Errorf("awk: assignment to non-lvalue")
+			}
+			p.pos++
+			r, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			return &exAssign{op: op, target: l, val: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func isLvalue(e awkExpr) bool {
+	switch e.(type) {
+	case *exVar, *exField, *exIndex:
+		return true
+	}
+	return false
+}
+
+func (p *awkParser) parseTernary() (awkExpr, error) {
+	cond, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at("?") {
+		return cond, nil
+	}
+	p.pos++
+	a, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	b, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return &exTernary{cond: cond, a: a, b: b}, nil
+}
+
+func (p *awkParser) parseOr() (awkExpr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("||") {
+		p.pos++
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &exBinary{op: "||", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *awkParser) parseAnd() (awkExpr, error) {
+	l, err := p.parseIn()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("&&") {
+		p.pos++
+		r, err := p.parseIn()
+		if err != nil {
+			return nil, err
+		}
+		l = &exBinary{op: "&&", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *awkParser) parseIn() (awkExpr, error) {
+	l, err := p.parseMatch()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("in") {
+		p.pos++
+		if !p.at("name") {
+			return nil, fmt.Errorf("awk: expected array name after in")
+		}
+		arr := p.toks[p.pos].text
+		p.pos++
+		l = &exIn{key: l, arr: arr}
+	}
+	return l, nil
+}
+
+func (p *awkParser) parseMatch() (awkExpr, error) {
+	l, err := p.parseCompare()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("~") || p.at("!~") {
+		neg := p.at("!~")
+		p.pos++
+		r, err := p.parseCompare()
+		if err != nil {
+			return nil, err
+		}
+		l = &exMatch{neg: neg, l: l, re: r}
+	}
+	return l, nil
+}
+
+func (p *awkParser) parseCompare() (awkExpr, error) {
+	l, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"==", "!=", "<=", ">=", "<", ">"} {
+		if p.at(op) {
+			p.pos++
+			r, err := p.parseConcat()
+			if err != nil {
+				return nil, err
+			}
+			return &exBinary{op: op, l: l, r: r}, nil
+		}
+	}
+	return l, nil
+}
+
+// parseConcat handles string concatenation by juxtaposition.
+func (p *awkParser) parseConcat() (awkExpr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for p.startsOperand() {
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		l = &exBinary{op: "concat", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *awkParser) startsOperand() bool {
+	if p.eof() {
+		return false
+	}
+	switch p.toks[p.pos].kind {
+	case "num", "str", "regex", "name", "$", "(", "!":
+		return true
+	}
+	return false
+}
+
+func (p *awkParser) parseAdd() (awkExpr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("+") || p.at("-") {
+		op := p.toks[p.pos].kind
+		p.pos++
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &exBinary{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *awkParser) parseMul() (awkExpr, error) {
+	l, err := p.parsePow()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("*") || p.at("/") || p.at("%") {
+		op := p.toks[p.pos].kind
+		p.pos++
+		r, err := p.parsePow()
+		if err != nil {
+			return nil, err
+		}
+		l = &exBinary{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *awkParser) parsePow() (awkExpr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if p.at("^") {
+		p.pos++
+		r, err := p.parsePow() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return &exBinary{op: "^", l: l, r: r}, nil
+	}
+	return l, nil
+}
+
+func (p *awkParser) parseUnary() (awkExpr, error) {
+	switch {
+	case p.at("!"):
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &exUnary{op: "!", e: e}, nil
+	case p.at("-"):
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &exUnary{op: "-", e: e}, nil
+	case p.at("+"):
+		p.pos++
+		return p.parseUnary()
+	case p.at("++"), p.at("--"):
+		op := p.toks[p.pos].kind
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if !isLvalue(e) {
+			return nil, fmt.Errorf("awk: %s on non-lvalue", op)
+		}
+		return &exIncDec{op: op, pre: true, target: e}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *awkParser) parsePostfix() (awkExpr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("++") || p.at("--") {
+		if !isLvalue(e) {
+			break
+		}
+		op := p.toks[p.pos].kind
+		p.pos++
+		e = &exIncDec{op: op, target: e}
+	}
+	return e, nil
+}
+
+func (p *awkParser) parsePrimary() (awkExpr, error) {
+	if p.eof() {
+		return nil, fmt.Errorf("awk: unexpected end of program")
+	}
+	t := p.toks[p.pos]
+	switch t.kind {
+	case "num":
+		p.pos++
+		return &exNum{f: t.f}, nil
+	case "str":
+		p.pos++
+		return &exStr{s: t.text}, nil
+	case "regex":
+		p.pos++
+		re, err := regexp.Compile(t.text)
+		if err != nil {
+			return nil, fmt.Errorf("awk: bad regex /%s/: %v", t.text, err)
+		}
+		return &exRegex{re: re}, nil
+	case "$":
+		p.pos++
+		idx, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &exField{idx: idx}, nil
+	case "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case "name":
+		name := t.text
+		p.pos++
+		if !awkFuncs[name] && p.at("(") {
+			// POSIX: a name immediately followed by '(' is a function
+			// call; we have no user-defined functions, so this is an
+			// unknown function.
+			return nil, fmt.Errorf("awk: unknown function %q", name)
+		}
+		if awkFuncs[name] && p.at("(") {
+			p.pos++
+			var args []awkExpr
+			for !p.at(")") {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.at(",") {
+					p.pos++
+				}
+			}
+			p.pos++
+			return &exCall{name: name, args: args}, nil
+		}
+		if p.at("[") {
+			p.pos++
+			var idx []awkExpr
+			for !p.at("]") {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				idx = append(idx, a)
+				if p.at(",") {
+					p.pos++
+				}
+			}
+			p.pos++
+			return &exIndex{arr: name, idx: idx}, nil
+		}
+		return &exVar{name: name}, nil
+	}
+	return nil, fmt.Errorf("awk: unexpected token %q", t.kind)
+}

@@ -1,0 +1,196 @@
+package commands
+
+import (
+	"strings"
+	"testing"
+)
+
+func awkRun(t *testing.T, prog string, stdin string, flags ...string) string {
+	t.Helper()
+	return run(t, "awk", append(flags, prog), stdin)
+}
+
+func TestAwkPrint(t *testing.T) {
+	if got := awkRun(t, "{print}", "a\nb\n"); got != "a\nb\n" {
+		t.Errorf("print = %q", got)
+	}
+	if got := awkRun(t, "{print $2}", "a b c\nd e f\n"); got != "b\ne\n" {
+		t.Errorf("print $2 = %q", got)
+	}
+	if got := awkRun(t, "{print $2, $0}", "x y\n"); got != "y x y\n" {
+		t.Errorf("print $2,$0 = %q", got)
+	}
+	if got := awkRun(t, "{print NF}", "a b c\n\n"); got != "3\n0\n" {
+		t.Errorf("NF = %q", got)
+	}
+	if got := awkRun(t, "{print NR}", "a\nb\n"); got != "1\n2\n" {
+		t.Errorf("NR = %q", got)
+	}
+}
+
+func TestAwkFieldSeparator(t *testing.T) {
+	if got := awkRun(t, "{print $2}", "a:b:c\n", "-F", ":"); got != "b\n" {
+		t.Errorf("-F: = %q", got)
+	}
+	if got := awkRun(t, "{print $1}", "a12b\n", "-F", "[0-9]+"); got != "a\n" {
+		t.Errorf("-F regex = %q", got)
+	}
+}
+
+func TestAwkPatterns(t *testing.T) {
+	in := "apple 5\nbanana 3\ncherry 9\n"
+	if got := awkRun(t, "/an/ {print $1}", in); got != "banana\n" {
+		t.Errorf("regex pattern = %q", got)
+	}
+	if got := awkRun(t, "$2 > 4 {print $1}", in); got != "apple\ncherry\n" {
+		t.Errorf("relational pattern = %q", got)
+	}
+	if got := awkRun(t, "NR == 2", in); got != "banana 3\n" {
+		t.Errorf("bare pattern = %q", got)
+	}
+	if got := awkRun(t, "$2 > 4 && $1 != \"cherry\" {print}", in); got != "apple 5\n" {
+		t.Errorf("&& pattern = %q", got)
+	}
+}
+
+func TestAwkBeginEnd(t *testing.T) {
+	if got := awkRun(t, "BEGIN {print \"start\"} {s += $1} END {print s}", "1\n2\n3\n"); got != "start\n6\n" {
+		t.Errorf("BEGIN/END = %q", got)
+	}
+}
+
+func TestAwkArrays(t *testing.T) {
+	got := awkRun(t, "{count[$1]++} END {for (k in count) print k, count[k]}", "b\na\nb\n")
+	if got != "a 1\nb 2\n" {
+		t.Errorf("arrays = %q", got)
+	}
+}
+
+func TestAwkArithmetic(t *testing.T) {
+	if got := awkRun(t, "{print $1 + $2, $1 * $2, $2 % $1}", "3 7\n"); got != "10 21 1\n" {
+		t.Errorf("arith = %q", got)
+	}
+	if got := awkRun(t, "{print 2^10}", "x\n"); got != "1024\n" {
+		t.Errorf("pow = %q", got)
+	}
+	if got := awkRun(t, "{x = 5; x += 2; print -x}", "_\n"); got != "-7\n" {
+		t.Errorf("assign ops = %q", got)
+	}
+}
+
+func TestAwkStrings(t *testing.T) {
+	if got := awkRun(t, `{print length($1), toupper($2), substr($1, 2, 2)}`, "hello world\n"); got != "5 WORLD el\n" {
+		t.Errorf("string funcs = %q", got)
+	}
+	if got := awkRun(t, `{print $1 "-" $2}`, "a b\n"); got != "a-b\n" {
+		t.Errorf("concat = %q", got)
+	}
+	if got := awkRun(t, `{n = split($0, parts, ":"); print n, parts[2]}`, "x:y:z\n"); got != "3 y\n" {
+		t.Errorf("split = %q", got)
+	}
+	if got := awkRun(t, `{print index($0, "lo")}`, "hello\n"); got != "4\n" {
+		t.Errorf("index = %q", got)
+	}
+}
+
+func TestAwkControlFlow(t *testing.T) {
+	if got := awkRun(t, `{if ($1 > 2) print "big"; else print "small"}`, "1\n5\n"); got != "small\nbig\n" {
+		t.Errorf("if/else = %q", got)
+	}
+	if got := awkRun(t, `{i = 0; while (i < $1) {print i; i++}}`, "3\n"); got != "0\n1\n2\n" {
+		t.Errorf("while = %q", got)
+	}
+	if got := awkRun(t, `{for (i = 0; i < 2; i++) print i, $0}`, "x\n"); got != "0 x\n1 x\n" {
+		t.Errorf("for = %q", got)
+	}
+	if got := awkRun(t, `/skip/ {next} {print}`, "a\nskip me\nb\n"); got != "a\nb\n" {
+		t.Errorf("next = %q", got)
+	}
+}
+
+func TestAwkPrintf(t *testing.T) {
+	if got := awkRun(t, `{printf "%s=%d\n", $1, $2}`, "x 42\n"); got != "x=42\n" {
+		t.Errorf("printf = %q", got)
+	}
+	if got := awkRun(t, `{printf "%5.1f|", $1}`, "3.14159\n"); got != "  3.1|" {
+		t.Errorf("printf width = %q", got)
+	}
+}
+
+func TestAwkFieldAssign(t *testing.T) {
+	if got := awkRun(t, `{$2 = "Q"; print}`, "a b c\n"); got != "a Q c\n" {
+		t.Errorf("field assign = %q", got)
+	}
+}
+
+func TestAwkTernaryMatch(t *testing.T) {
+	if got := awkRun(t, `{print ($1 > 3 ? "hi" : "lo")}`, "5\n1\n"); got != "hi\nlo\n" {
+		t.Errorf("ternary = %q", got)
+	}
+	if got := awkRun(t, `$1 ~ /^b/ {print}`, "apple\nbanana\n"); got != "banana\n" {
+		t.Errorf("~ = %q", got)
+	}
+	if got := awkRun(t, `$1 !~ /^b/ {print}`, "apple\nbanana\n"); got != "apple\n" {
+		t.Errorf("!~ = %q", got)
+	}
+}
+
+func TestAwkVFlag(t *testing.T) {
+	if got := awkRun(t, `{print v, $1}`, "x\n", "-v", "v=hello"); got != "hello x\n" {
+		t.Errorf("-v = %q", got)
+	}
+}
+
+func TestAwkNumericStringComparison(t *testing.T) {
+	// Input fields compare numerically when both look numeric.
+	if got := awkRun(t, `$1 < $2 {print "lt"}`, "9 10\n"); got != "lt\n" {
+		t.Errorf("strnum compare = %q", got)
+	}
+	// String constants force string comparison.
+	if got := awkRun(t, `"9" < "10" {print "lt"} "9" >= "10" {print "ge"}`, "x\n"); got != "ge\n" {
+		t.Errorf("string compare = %q", got)
+	}
+}
+
+func TestAwkWordFrequencyIdiom(t *testing.T) {
+	// The tabulating word-count alternative to Wf (McIlroy discussion).
+	got := awkRun(t, `{for (i = 1; i <= NF; i++) freq[$i]++} END {for (w in freq) print freq[w], w}`,
+		"the cat the dog\nthe end\n")
+	want := "1 cat\n1 dog\n1 end\n3 the\n"
+	if got != want {
+		t.Errorf("word freq = %q, want %q", got, want)
+	}
+}
+
+func TestAwkErrors(t *testing.T) {
+	for _, prog := range []string{
+		"{print",      // unterminated block
+		"{print $}",   // missing field index... actually $} is a parse error
+		"{x = }",      // missing rhs
+		"{1 = 2}",     // assign to non-lvalue
+		"{nosuch(1)}", // unknown function
+	} {
+		if _, err := runErr(t, "awk", []string{prog}, "x\n"); err == nil {
+			t.Errorf("awk %q succeeded, want error", prog)
+		}
+	}
+}
+
+func TestAwkUnsupportedFlags(t *testing.T) {
+	if _, err := runErr(t, "awk", []string{"-f", "prog.awk"}, ""); err == nil {
+		t.Error("awk -f must be rejected")
+	}
+}
+
+func TestAwkLongInput(t *testing.T) {
+	var in strings.Builder
+	for i := 0; i < 10000; i++ {
+		in.WriteString("word ")
+		in.WriteString(string(rune('a' + i%26)))
+		in.WriteByte('\n')
+	}
+	got := awkRun(t, "{n++} END {print n}", in.String())
+	if got != "10000\n" {
+		t.Errorf("long input count = %q", got)
+	}
+}

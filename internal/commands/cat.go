@@ -1,0 +1,76 @@
+package commands
+
+import (
+	"fmt"
+	"io"
+)
+
+func init() { register("cat", cat) }
+
+// cat concatenates inputs. Flags: -n (number all lines), -b (number
+// non-blank lines), -s (squeeze repeated blank lines).
+func cat(ctx *Context) error {
+	var numberAll, numberNonBlank, squeeze bool
+	var operands []string
+	for _, a := range ctx.Args {
+		switch a {
+		case "-n":
+			numberAll = true
+		case "-b":
+			numberNonBlank = true
+		case "-s":
+			squeeze = true
+		case "-":
+			operands = append(operands, a)
+		default:
+			if len(a) > 1 && a[0] == '-' {
+				return ctx.Errorf("unsupported flag %q", a)
+			}
+			operands = append(operands, a)
+		}
+	}
+	readers, cleanup, err := ctx.OpenInputs(operands)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	lw := NewLineWriter(ctx.Stdout)
+	defer lw.Flush()
+
+	if !numberAll && !numberNonBlank && !squeeze {
+		// Fast path: raw byte copy preserves inputs exactly.
+		for _, r := range readers {
+			if _, err := io.Copy(lw, r); err != nil {
+				return err
+			}
+		}
+		return lw.Flush()
+	}
+
+	lineno := 0
+	prevBlank := false
+	err = EachLineReaders(readers, func(line []byte) error {
+		blank := len(line) == 0
+		if squeeze && blank && prevBlank {
+			return nil
+		}
+		prevBlank = blank
+		switch {
+		case numberNonBlank && !blank:
+			lineno++
+			if err := lw.WriteString(fmt.Sprintf("%6d\t", lineno)); err != nil {
+				return err
+			}
+		case numberAll && !numberNonBlank:
+			lineno++
+			if err := lw.WriteString(fmt.Sprintf("%6d\t", lineno)); err != nil {
+				return err
+			}
+		}
+		return lw.WriteLine(line)
+	})
+	if err != nil {
+		return err
+	}
+	return lw.Flush()
+}

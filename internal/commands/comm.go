@@ -1,0 +1,114 @@
+package commands
+
+import "bytes"
+
+func init() { register("comm", comm) }
+
+// comm compares two sorted files line by line, producing up to three
+// columns: lines only in file1, lines only in file2, lines in both.
+// Flags -1, -2, -3 suppress the corresponding column.
+func comm(ctx *Context) error {
+	sup := [4]bool{}
+	var operands []string
+	for _, a := range ctx.Args {
+		switch a {
+		case "-1":
+			sup[1] = true
+		case "-2":
+			sup[2] = true
+		case "-3":
+			sup[3] = true
+		case "-12", "-21":
+			sup[1], sup[2] = true, true
+		case "-13", "-31":
+			sup[1], sup[3] = true, true
+		case "-23", "-32":
+			sup[2], sup[3] = true, true
+		case "-123":
+			sup[1], sup[2], sup[3] = true, true, true
+		case "-":
+			operands = append(operands, a)
+		default:
+			if len(a) > 1 && a[0] == '-' {
+				return ctx.Errorf("unsupported flag %q", a)
+			}
+			operands = append(operands, a)
+		}
+	}
+	if len(operands) != 2 {
+		return ctx.Errorf("expected exactly two inputs")
+	}
+	r1s, cleanup1, err := ctx.OpenInputs(operands[0:1])
+	if err != nil {
+		return err
+	}
+	defer cleanup1()
+	r2s, cleanup2, err := ctx.OpenInputs(operands[1:2])
+	if err != nil {
+		return err
+	}
+	defer cleanup2()
+
+	lw := NewLineWriter(ctx.Stdout)
+	defer lw.Flush()
+
+	// Column indentation depends on which earlier columns are shown.
+	col2Prefix := ""
+	if !sup[1] {
+		col2Prefix = "\t"
+	}
+	col3Prefix := col2Prefix
+	if !sup[2] {
+		col3Prefix += "\t"
+	}
+
+	emit := func(col int, line []byte) error {
+		if sup[col] {
+			return nil
+		}
+		prefix := ""
+		switch col {
+		case 2:
+			prefix = col2Prefix
+		case 3:
+			prefix = col3Prefix
+		}
+		if prefix != "" {
+			if err := lw.WriteString(prefix); err != nil {
+				return err
+			}
+		}
+		return lw.WriteLine(line)
+	}
+
+	it1, it2 := NewLineIter(r1s[0]), NewLineIter(r2s[0])
+	l1, ok1 := it1.Next()
+	l2, ok2 := it2.Next()
+	for ok1 || ok2 {
+		switch {
+		case !ok2 || (ok1 && bytes.Compare(l1, l2) < 0):
+			if err := emit(1, l1); err != nil {
+				return err
+			}
+			l1, ok1 = it1.Next()
+		case !ok1 || bytes.Compare(l1, l2) > 0:
+			if err := emit(2, l2); err != nil {
+				return err
+			}
+			l2, ok2 = it2.Next()
+		default:
+			if err := emit(3, l1); err != nil {
+				return err
+			}
+			l1, ok1 = it1.Next()
+			l2, ok2 = it2.Next()
+		}
+	}
+	if err := it1.Err(); err != nil {
+		return err
+	}
+	if err := it2.Err(); err != nil {
+		return err
+	}
+	return lw.Flush()
+}

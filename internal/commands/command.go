@@ -1,0 +1,254 @@
+// Package commands implements the UNIX command substrate: streaming,
+// in-process Go implementations of the POSIX/GNU commands that PaSh's
+// benchmarks exercise, plus the custom commands used by the paper's use
+// cases. Each command is a function from argv + stdio to an exit status,
+// so the runtime can wire them into dataflow graphs with one goroutine
+// per node — the in-process analog of one UNIX process per command.
+package commands
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Func is a command implementation. A nil error is exit status 0; an
+// *ExitError carries a non-zero status without aborting the pipeline; any
+// other error aborts execution.
+type Func func(ctx *Context) error
+
+// ExitError is a non-zero exit status that is still a "normal" result
+// (e.g. grep with no matches exits 1).
+type ExitError struct {
+	Code int
+}
+
+func (e *ExitError) Error() string { return fmt.Sprintf("exit status %d", e.Code) }
+
+// ExitCode extracts the conventional exit code from a command error:
+// 0 for nil, the embedded code for *ExitError, 1 otherwise.
+func ExitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ee *ExitError
+	if errors.As(err, &ee) {
+		return ee.Code
+	}
+	return 1
+}
+
+// ErrUsage signals a command-line usage error.
+var ErrUsage = errors.New("usage error")
+
+// FS abstracts file access so the runtime can splice dataflow edges in
+// place of named files (virtual FIFOs) without commands noticing.
+type FS interface {
+	Open(path string) (io.ReadCloser, error)
+	Create(path string) (io.WriteCloser, error)
+	Append(path string) (io.WriteCloser, error)
+}
+
+// OSFS is the real filesystem rooted at Dir (when relative paths are
+// used).
+type OSFS struct {
+	Dir string
+}
+
+func (fs OSFS) resolve(path string) string {
+	if filepath.IsAbs(path) || fs.Dir == "" {
+		return path
+	}
+	return filepath.Join(fs.Dir, path)
+}
+
+// Open opens a file for reading.
+func (fs OSFS) Open(path string) (io.ReadCloser, error) { return os.Open(fs.resolve(path)) }
+
+// Create truncates/creates a file for writing.
+func (fs OSFS) Create(path string) (io.WriteCloser, error) { return os.Create(fs.resolve(path)) }
+
+// Append opens a file for appending.
+func (fs OSFS) Append(path string) (io.WriteCloser, error) {
+	return os.OpenFile(fs.resolve(path), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// Context carries everything a command invocation needs.
+type Context struct {
+	Name   string
+	Args   []string
+	Stdin  io.Reader
+	Stdout io.Writer
+	Stderr io.Writer
+	FS     FS
+	Env    map[string]string
+	// Exec lets commands that run other commands (xargs) dispatch through
+	// the registry.
+	Exec func(name string, args []string, stdin io.Reader, stdout io.Writer) error
+}
+
+// Getenv looks up a context environment variable.
+func (ctx *Context) Getenv(key string) string {
+	if ctx.Env == nil {
+		return ""
+	}
+	return ctx.Env[key]
+}
+
+// Errorf writes a diagnostic to stderr and returns a usage error.
+func (ctx *Context) Errorf(format string, args ...interface{}) error {
+	fmt.Fprintf(ctx.Stderr, "%s: %s\n", ctx.Name, fmt.Sprintf(format, args...))
+	return fmt.Errorf("%s: %w", ctx.Name, ErrUsage)
+}
+
+// OpenInputs opens the command's input streams following the UNIX
+// convention: each operand is opened as a file, "-" means stdin, and no
+// operands at all means stdin.
+func (ctx *Context) OpenInputs(operands []string) ([]io.Reader, func(), error) {
+	if len(operands) == 0 {
+		return []io.Reader{ctx.stdin()}, func() {}, nil
+	}
+	var readers []io.Reader
+	var closers []io.Closer
+	cleanup := func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}
+	for _, op := range operands {
+		if op == "-" {
+			readers = append(readers, ctx.stdin())
+			continue
+		}
+		f, err := ctx.FS.Open(op)
+		if err != nil {
+			cleanup()
+			fmt.Fprintf(ctx.Stderr, "%s: %v\n", ctx.Name, err)
+			return nil, nil, err
+		}
+		readers = append(readers, f)
+		closers = append(closers, f)
+	}
+	return readers, cleanup, nil
+}
+
+func (ctx *Context) stdin() io.Reader {
+	if ctx.Stdin == nil {
+		return strings.NewReader("")
+	}
+	return ctx.Stdin
+}
+
+// Registry maps command names to implementations — the in-process PATH.
+type Registry struct {
+	mu   sync.RWMutex
+	cmds map[string]Func
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{cmds: map[string]Func{}}
+}
+
+// Register adds or replaces a command.
+func (r *Registry) Register(name string, f Func) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cmds[name] = f
+}
+
+// Lookup finds a command.
+func (r *Registry) Lookup(name string) (Func, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.cmds[name]
+	return f, ok
+}
+
+// Names returns registered command names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.cmds))
+	for k := range r.cmds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes a command by name with the given context. The context's
+// Name is set and, when unset, stdio/FS get safe defaults. Exec defaults
+// to dispatching back into the registry.
+func (r *Registry) Run(name string, ctx *Context) error {
+	f, ok := r.Lookup(name)
+	if !ok {
+		if ctx.Stderr != nil {
+			fmt.Fprintf(ctx.Stderr, "%s: command not found\n", name)
+		}
+		return fmt.Errorf("commands: %q: not found", name)
+	}
+	ctx.Name = name
+	if ctx.Stdout == nil {
+		ctx.Stdout = io.Discard
+	}
+	if ctx.Stderr == nil {
+		ctx.Stderr = io.Discard
+	}
+	if ctx.FS == nil {
+		ctx.FS = OSFS{}
+	}
+	if ctx.Exec == nil {
+		ctx.Exec = func(name string, args []string, stdin io.Reader, stdout io.Writer) error {
+			sub := *ctx
+			sub.Args = args
+			sub.Stdin = stdin
+			sub.Stdout = stdout
+			return r.Run(name, &sub)
+		}
+	}
+	return f(ctx)
+}
+
+var (
+	stdOnce sync.Once
+	stdReg  *Registry
+)
+
+// Std returns the shared registry with every built-in command installed.
+func Std() *Registry {
+	stdOnce.Do(func() {
+		stdReg = NewRegistry()
+		installAll(stdReg)
+	})
+	return stdReg
+}
+
+// NewStd returns a fresh registry with all built-ins, isolated from the
+// shared one.
+func NewStd() *Registry {
+	r := NewRegistry()
+	installAll(r)
+	return r
+}
+
+func installAll(r *Registry) {
+	for name, f := range builtins {
+		r.Register(name, f)
+	}
+}
+
+// builtins is populated by the per-command files' register calls.
+var builtins = map[string]Func{}
+
+func register(name string, f Func) {
+	if _, dup := builtins[name]; dup {
+		panic("commands: duplicate registration of " + name)
+	}
+	builtins[name] = f
+}

@@ -1,0 +1,177 @@
+package commands
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+)
+
+func init() { register("cut", cut) }
+
+// cut selects fields (-f, with -d delimiter, default TAB) or character
+// positions (-c, -b) from each line. List syntax: N, N-M, N-, -M,
+// comma-separated. -s suppresses lines without delimiters (field mode).
+func cut(ctx *Context) error {
+	var fieldList, charList string
+	delim := byte('\t')
+	suppress := false
+	var operands []string
+	args := ctx.Args
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		grab := func(attached string) (string, error) {
+			if attached != "" {
+				return attached, nil
+			}
+			i++
+			if i >= len(args) {
+				return "", ctx.Errorf("option %q requires an argument", a)
+			}
+			return args[i], nil
+		}
+		switch {
+		case strings.HasPrefix(a, "-f"):
+			v, err := grab(a[2:])
+			if err != nil {
+				return err
+			}
+			fieldList = v
+		case strings.HasPrefix(a, "-c"):
+			v, err := grab(a[2:])
+			if err != nil {
+				return err
+			}
+			charList = v
+		case strings.HasPrefix(a, "-b"):
+			v, err := grab(a[2:])
+			if err != nil {
+				return err
+			}
+			charList = v
+		case strings.HasPrefix(a, "-d"):
+			v, err := grab(a[2:])
+			if err != nil {
+				return err
+			}
+			if len(v) != 1 {
+				return ctx.Errorf("delimiter must be a single character")
+			}
+			delim = v[0]
+		case a == "-s":
+			suppress = true
+		case a == "-":
+			operands = append(operands, a)
+		case strings.HasPrefix(a, "-"):
+			return ctx.Errorf("unsupported flag %q", a)
+		default:
+			operands = append(operands, a)
+		}
+	}
+	if (fieldList == "") == (charList == "") {
+		return ctx.Errorf("specify exactly one of -f or -c/-b")
+	}
+	spec := fieldList
+	if spec == "" {
+		spec = charList
+	}
+	ranges, err := parseCutList(spec)
+	if err != nil {
+		return ctx.Errorf("bad list %q: %v", spec, err)
+	}
+
+	readers, cleanup, err := ctx.OpenInputs(operands)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	lw := NewLineWriter(ctx.Stdout)
+	defer lw.Flush()
+
+	var out []byte
+	err = EachLineReaders(readers, func(line []byte) error {
+		out = out[:0]
+		if charList != "" {
+			for _, r := range ranges {
+				lo, hi := r.lo, r.hi
+				if lo < 1 {
+					lo = 1
+				}
+				if hi < 0 || hi > len(line) {
+					hi = len(line)
+				}
+				if lo <= hi {
+					out = append(out, line[lo-1:hi]...)
+				}
+			}
+			return lw.WriteLine(out)
+		}
+		// Field mode.
+		if !bytes.ContainsRune(line, rune(delim)) {
+			if suppress {
+				return nil
+			}
+			return lw.WriteLine(line)
+		}
+		fields := bytes.Split(line, []byte{delim})
+		first := true
+		for _, r := range ranges {
+			lo, hi := r.lo, r.hi
+			if lo < 1 {
+				lo = 1
+			}
+			if hi < 0 || hi > len(fields) {
+				hi = len(fields)
+			}
+			for f := lo; f <= hi; f++ {
+				if !first {
+					out = append(out, delim)
+				}
+				out = append(out, fields[f-1]...)
+				first = false
+			}
+		}
+		return lw.WriteLine(out)
+	})
+	if err != nil {
+		return err
+	}
+	return lw.Flush()
+}
+
+type cutRange struct {
+	lo, hi int // 1-based inclusive; hi=-1 means open
+}
+
+func parseCutList(spec string) ([]cutRange, error) {
+	var out []cutRange
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, strconv.ErrSyntax
+		}
+		if dash := strings.IndexByte(part, '-'); dash >= 0 {
+			lo, hi := 1, -1
+			var err error
+			if dash > 0 {
+				lo, err = strconv.Atoi(part[:dash])
+				if err != nil {
+					return nil, err
+				}
+			}
+			if dash < len(part)-1 {
+				hi, err = strconv.Atoi(part[dash+1:])
+				if err != nil {
+					return nil, err
+				}
+			}
+			out = append(out, cutRange{lo: lo, hi: hi})
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cutRange{lo: n, hi: n})
+	}
+	return out, nil
+}

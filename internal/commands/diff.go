@@ -1,0 +1,245 @@
+package commands
+
+import (
+	"fmt"
+	"strings"
+)
+
+func init() { register("diff", diffCmd) }
+
+// diffCmd compares two files line by line, printing normal-format diff
+// output (the N-class command of the Diff benchmark). It implements the
+// Myers O(ND) algorithm with a divergence cap; beyond the cap it falls
+// back to a coarse whole-block difference, which keeps worst-case cost
+// linear while remaining a correct (if non-minimal) diff.
+func diffCmd(ctx *Context) error {
+	var operands []string
+	for _, a := range ctx.Args {
+		switch {
+		case a == "-q" || a == "-u":
+			return ctx.Errorf("unsupported flag %q (normal format only)", a)
+		case a == "-":
+			operands = append(operands, a)
+		case strings.HasPrefix(a, "-"):
+			return ctx.Errorf("unsupported flag %q", a)
+		default:
+			operands = append(operands, a)
+		}
+	}
+	if len(operands) != 2 {
+		return ctx.Errorf("expected exactly two files")
+	}
+	r1, cleanup1, err := ctx.OpenInputs(operands[0:1])
+	if err != nil {
+		return err
+	}
+	defer cleanup1()
+	r2, cleanup2, err := ctx.OpenInputs(operands[1:2])
+	if err != nil {
+		return err
+	}
+	defer cleanup2()
+	a, err := ReadAllLines(r1[0])
+	if err != nil {
+		return err
+	}
+	b, err := ReadAllLines(r2[0])
+	if err != nil {
+		return err
+	}
+
+	lw := NewLineWriter(ctx.Stdout)
+	defer lw.Flush()
+	hunks := diffHunks(a, b)
+	for _, h := range hunks {
+		if err := emitHunk(lw, h, a, b); err != nil {
+			return err
+		}
+	}
+	if err := lw.Flush(); err != nil {
+		return err
+	}
+	if len(hunks) > 0 {
+		return &ExitError{Code: 1}
+	}
+	return nil
+}
+
+// hunk is a difference region: a[aLo:aHi] was replaced by b[bLo:bHi].
+type hunk struct {
+	aLo, aHi, bLo, bHi int
+}
+
+// diffHunks computes difference regions using Myers' algorithm over
+// interned lines, capped at maxD edits.
+func diffHunks(a, b [][]byte) []hunk {
+	// Trim common prefix/suffix first — cheap and usually large.
+	lo := 0
+	for lo < len(a) && lo < len(b) && string(a[lo]) == string(b[lo]) {
+		lo++
+	}
+	aHi, bHi := len(a), len(b)
+	for aHi > lo && bHi > lo && string(a[aHi-1]) == string(b[bHi-1]) {
+		aHi--
+		bHi--
+	}
+	if lo == aHi && lo == bHi {
+		return nil
+	}
+	const maxD = 2000
+	script := myers(a[lo:aHi], b[lo:bHi], maxD)
+	if script == nil {
+		// Too divergent: one coarse hunk.
+		return []hunk{{aLo: lo, aHi: aHi, bLo: lo, bHi: bHi}}
+	}
+	// Convert match points into hunks.
+	var hunks []hunk
+	ai, bi := lo, lo
+	for _, m := range script {
+		ma, mb := m[0]+lo, m[1]+lo
+		if ma > ai || mb > bi {
+			hunks = append(hunks, hunk{aLo: ai, aHi: ma, bLo: bi, bHi: mb})
+		}
+		ai, bi = ma+1, mb+1
+	}
+	if aHi > ai || bHi > bi {
+		hunks = append(hunks, hunk{aLo: ai, aHi: aHi, bLo: bi, bHi: bHi})
+	}
+	return hunks
+}
+
+// myers returns the sequence of matched index pairs of an LCS, or nil if
+// more than maxD edits are needed.
+func myers(a, b [][]byte, maxD int) [][2]int {
+	n, m := len(a), len(b)
+	max := n + m
+	if max > maxD {
+		max = maxD
+	}
+	// v[k] = furthest x on diagonal k; store per-D snapshots for
+	// backtracking.
+	offset := max
+	v := make([]int, 2*max+2)
+	var trace [][]int
+	var solved bool
+	var dFinal int
+	for d := 0; d <= max; d++ {
+		snapshot := make([]int, len(v))
+		copy(snapshot, v)
+		trace = append(trace, snapshot)
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && v[offset+k-1] < v[offset+k+1]) {
+				x = v[offset+k+1]
+			} else {
+				x = v[offset+k-1] + 1
+			}
+			y := x - k
+			for x < n && y < m && string(a[x]) == string(b[y]) {
+				x++
+				y++
+			}
+			v[offset+k] = x
+			if x >= n && y >= m {
+				solved = true
+				dFinal = d
+				break
+			}
+		}
+		if solved {
+			break
+		}
+	}
+	if !solved {
+		return nil
+	}
+	// Backtrack to collect matches.
+	var matchesRev [][2]int
+	x, y := n, m
+	for d := dFinal; d > 0; d-- {
+		vprev := trace[d]
+		k := x - y
+		var prevK int
+		if k == -d || (k != d && vprev[offset+k-1] < vprev[offset+k+1]) {
+			prevK = k + 1
+		} else {
+			prevK = k - 1
+		}
+		prevX := vprev[offset+prevK]
+		prevY := prevX - prevK
+		// Snake back: diagonal moves are matches.
+		for x > prevX && y > prevY && x > 0 && y > 0 {
+			x--
+			y--
+			matchesRev = append(matchesRev, [2]int{x, y})
+		}
+		// The single edit step.
+		if prevK == k+1 {
+			y = prevY
+			x = prevX
+		} else {
+			x = prevX
+			y = prevY
+		}
+	}
+	for x > 0 && y > 0 {
+		x--
+		y--
+		matchesRev = append(matchesRev, [2]int{x, y})
+	}
+	// Reverse.
+	out := make([][2]int, len(matchesRev))
+	for i, m := range matchesRev {
+		out[len(matchesRev)-1-i] = m
+	}
+	return out
+}
+
+func emitHunk(lw *LineWriter, h hunk, a, b [][]byte) error {
+	aCount, bCount := h.aHi-h.aLo, h.bHi-h.bLo
+	switch {
+	case aCount > 0 && bCount > 0:
+		if err := lw.WriteString(fmt.Sprintf("%sc%s\n", lineRange(h.aLo, h.aHi), lineRange(h.bLo, h.bHi))); err != nil {
+			return err
+		}
+		for i := h.aLo; i < h.aHi; i++ {
+			if err := lw.WriteString("< " + string(a[i]) + "\n"); err != nil {
+				return err
+			}
+		}
+		if err := lw.WriteString("---\n"); err != nil {
+			return err
+		}
+		for i := h.bLo; i < h.bHi; i++ {
+			if err := lw.WriteString("> " + string(b[i]) + "\n"); err != nil {
+				return err
+			}
+		}
+	case aCount > 0:
+		if err := lw.WriteString(fmt.Sprintf("%sd%d\n", lineRange(h.aLo, h.aHi), h.bLo)); err != nil {
+			return err
+		}
+		for i := h.aLo; i < h.aHi; i++ {
+			if err := lw.WriteString("< " + string(a[i]) + "\n"); err != nil {
+				return err
+			}
+		}
+	default:
+		if err := lw.WriteString(fmt.Sprintf("%da%s\n", h.aLo, lineRange(h.bLo, h.bHi))); err != nil {
+			return err
+		}
+		for i := h.bLo; i < h.bHi; i++ {
+			if err := lw.WriteString("> " + string(b[i]) + "\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func lineRange(lo, hi int) string {
+	if hi-lo == 1 {
+		return fmt.Sprintf("%d", lo+1)
+	}
+	return fmt.Sprintf("%d,%d", lo+1, hi)
+}

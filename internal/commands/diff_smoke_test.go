@@ -1,0 +1,58 @@
+package commands
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+func TestDiffSmoke(t *testing.T) {
+	dir := t.TempDir()
+	writeFileT(t, dir, "a", "one\ntwo\nthree\nfour\n")
+	writeFileT(t, dir, "b", "one\nTWO\nthree\nfour\nfive\n")
+	got := runDiff(t, dir, "a", "b")
+	want := "2c2\n< two\n---\n> TWO\n4a5\n> five\n"
+	if got != want {
+		t.Errorf("diff = %q, want %q", got, want)
+	}
+	// Identical files: no output, exit 0.
+	writeFileT(t, dir, "c", "same\n")
+	writeFileT(t, dir, "d", "same\n")
+	if got := runDiff(t, dir, "c", "d"); got != "" {
+		t.Errorf("identical diff = %q", got)
+	}
+	// Pure insertion at front.
+	writeFileT(t, dir, "e", "x\ny\n")
+	writeFileT(t, dir, "f", "new\nx\ny\n")
+	if got := runDiff(t, dir, "e", "f"); got != "0a1\n> new\n" {
+		t.Errorf("insertion diff = %q", got)
+	}
+	// Pure deletion.
+	if got := runDiff(t, dir, "f", "e"); got != "1d0\n< new\n" {
+		t.Errorf("deletion diff = %q", got)
+	}
+}
+
+func writeFileT(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := osWriteFile(dir+"/"+name, content); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func osWriteFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func runDiff(t *testing.T, dir string, f1, f2 string) string {
+	t.Helper()
+	var out bytes.Buffer
+	ctx := &Context{Args: []string{f1, f2}, Stdout: &out, FS: OSFS{Dir: dir}}
+	err := Std().Run("diff", ctx)
+	if err != nil {
+		if _, ok := err.(*ExitError); !ok {
+			t.Fatalf("diff: %v", err)
+		}
+	}
+	return out.String()
+}

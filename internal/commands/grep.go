@@ -1,0 +1,295 @@
+package commands
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func init() { register("grep", grep) }
+
+// grep searches inputs for lines matching a pattern. Supported flags:
+// -i (ignore case), -v (invert), -c (count), -n (line numbers),
+// -q (quiet), -l (names of matching files), -w (word match),
+// -x (whole-line match), -F (fixed string), -E (extended regexp, the
+// native Go syntax), -o (print matches only), -m NUM (stop after NUM),
+// -e PAT (pattern), -H/-h (with/without filename prefixes).
+//
+// Patterns use Go's RE2 syntax, which covers the ERE subset the
+// benchmarks rely on.
+func grep(ctx *Context) error {
+	var (
+		ignoreCase, invert, count, lineNums, quiet bool
+		filesWithMatches, wordMatch, lineMatch     bool
+		fixed, onlyMatching                        bool
+		forceName, suppressName                    bool
+		maxCount                                   = -1
+		patterns                                   []string
+		operands                                   []string
+	)
+	args := ctx.Args
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if len(a) > 1 && a[0] == '-' && a != "--" {
+			body := a[1:]
+			if strings.HasPrefix(a, "--") {
+				return ctx.Errorf("unsupported flag %q", a)
+			}
+			for len(body) > 0 {
+				c := body[0]
+				body = body[1:]
+				switch c {
+				case 'i':
+					ignoreCase = true
+				case 'v':
+					invert = true
+				case 'c':
+					count = true
+				case 'n':
+					lineNums = true
+				case 'q':
+					quiet = true
+				case 'l':
+					filesWithMatches = true
+				case 'w':
+					wordMatch = true
+				case 'x':
+					lineMatch = true
+				case 'F':
+					fixed = true
+				case 'E', 'G':
+					// Both map onto Go regexp syntax.
+				case 'o':
+					onlyMatching = true
+				case 'H':
+					forceName = true
+				case 'h':
+					suppressName = true
+				case 'm':
+					val := body
+					body = ""
+					if val == "" {
+						i++
+						if i >= len(args) {
+							return ctx.Errorf("-m requires an argument")
+						}
+						val = args[i]
+					}
+					n, err := strconv.Atoi(val)
+					if err != nil {
+						return ctx.Errorf("invalid -m argument %q", val)
+					}
+					maxCount = n
+				case 'e':
+					val := body
+					body = ""
+					if val == "" {
+						i++
+						if i >= len(args) {
+							return ctx.Errorf("-e requires an argument")
+						}
+						val = args[i]
+					}
+					patterns = append(patterns, val)
+				default:
+					return ctx.Errorf("unsupported flag -%c", c)
+				}
+			}
+			continue
+		}
+		if a == "--" {
+			operands = append(operands, args[i+1:]...)
+			break
+		}
+		operands = append(operands, a)
+	}
+	if len(patterns) == 0 {
+		if len(operands) == 0 {
+			return ctx.Errorf("missing pattern")
+		}
+		patterns = operands[0:1]
+		operands = operands[1:]
+	}
+
+	var matcher func(line []byte) bool
+	if fixed {
+		pats := patterns
+		if ignoreCase {
+			lowered := make([]string, len(pats))
+			for i, p := range pats {
+				lowered[i] = strings.ToLower(p)
+			}
+			pats = lowered
+		}
+		matcher = func(line []byte) bool {
+			s := string(line)
+			if ignoreCase {
+				s = strings.ToLower(s)
+			}
+			for _, p := range pats {
+				if lineMatch && s == p {
+					return true
+				}
+				if !lineMatch && strings.Contains(s, p) {
+					return true
+				}
+			}
+			return false
+		}
+	} else {
+		var res []*regexp.Regexp
+		for _, p := range patterns {
+			if wordMatch {
+				p = `(^|\W)(` + p + `)($|\W)`
+			}
+			if lineMatch {
+				p = `^(` + p + `)$`
+			}
+			if ignoreCase {
+				p = `(?i)` + p
+			}
+			re, err := regexp.Compile(p)
+			if err != nil {
+				return ctx.Errorf("invalid pattern %q: %v", p, err)
+			}
+			res = append(res, re)
+		}
+		matcher = func(line []byte) bool {
+			for _, re := range res {
+				if re.Match(line) {
+					return true
+				}
+			}
+			return false
+		}
+		if onlyMatching {
+			re := res[0]
+			lw := NewLineWriter(ctx.Stdout)
+			defer lw.Flush()
+			readers, cleanup, err := ctx.OpenInputs(operands)
+			if err != nil {
+				return err
+			}
+			defer cleanup()
+			matched := false
+			err = EachLineReaders(readers, func(line []byte) error {
+				for _, m := range re.FindAll(line, -1) {
+					matched = true
+					if err := lw.WriteLine(m); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if err := lw.Flush(); err != nil {
+				return err
+			}
+			if !matched {
+				return &ExitError{Code: 1}
+			}
+			return nil
+		}
+	}
+
+	lw := NewLineWriter(ctx.Stdout)
+	defer lw.Flush()
+	showName := (len(operands) > 1 || forceName) && !suppressName
+	anyMatch := false
+
+	files := operands
+	if len(files) == 0 {
+		files = []string{"-"}
+	}
+	for _, name := range files {
+		readers, cleanup, err := ctx.OpenInputs(sliceOf(name))
+		if err != nil {
+			return err
+		}
+		matches := 0
+		lineno := 0
+		stop := fmt.Errorf("grep: max count reached")
+		err = EachLineReaders(readers, func(line []byte) error {
+			lineno++
+			m := matcher(line)
+			if invert {
+				m = !m
+			}
+			if !m {
+				return nil
+			}
+			matches++
+			anyMatch = true
+			if quiet {
+				return stop
+			}
+			if !count && !filesWithMatches {
+				if showName {
+					if err := lw.WriteString(displayName(name) + ":"); err != nil {
+						return err
+					}
+				}
+				if lineNums {
+					if err := lw.WriteString(strconv.Itoa(lineno) + ":"); err != nil {
+						return err
+					}
+				}
+				if err := lw.WriteLine(line); err != nil {
+					return err
+				}
+			}
+			if maxCount >= 0 && matches >= maxCount {
+				return stop
+			}
+			if filesWithMatches {
+				return stop
+			}
+			return nil
+		})
+		cleanup()
+		if err != nil && err != stop {
+			return err
+		}
+		if count {
+			prefix := ""
+			if showName {
+				prefix = displayName(name) + ":"
+			}
+			if err := lw.WriteString(prefix + strconv.Itoa(matches) + "\n"); err != nil {
+				return err
+			}
+		}
+		if filesWithMatches && matches > 0 {
+			if err := lw.WriteLine([]byte(displayName(name))); err != nil {
+				return err
+			}
+		}
+		if quiet && anyMatch {
+			break
+		}
+	}
+	if err := lw.Flush(); err != nil {
+		return err
+	}
+	if !anyMatch {
+		return &ExitError{Code: 1}
+	}
+	return nil
+}
+
+func sliceOf(name string) []string {
+	if name == "-" {
+		return nil
+	}
+	return []string{name}
+}
+
+func displayName(name string) string {
+	if name == "-" {
+		return "(standard input)"
+	}
+	return name
+}

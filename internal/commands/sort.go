@@ -1,0 +1,532 @@
+package commands
+
+import (
+	"bytes"
+	"container/heap"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+func init() { register("sort", sortCmd) }
+
+// sortConfig captures the comparison behaviour of a sort invocation.
+type sortConfig struct {
+	numeric    bool
+	reverse    bool
+	foldCase   bool
+	unique     bool
+	merge      bool
+	dictionary bool
+	key        *sortKey // single -k POS1[,POS2] spec (common case)
+	delim      byte     // -t; 0 means blank runs
+	parallel   int      // --parallel=N; 0 = default
+	check      bool     // -c
+}
+
+type sortKey struct {
+	startField int // 1-based
+	endField   int // 0 = end of line
+	numeric    bool
+	reverse    bool
+}
+
+// sortCmd implements sort: flags -n, -r, -u, -f, -d, -m, -c, -k POS1[,POS2]
+// (with per-key n/r modifiers), -t SEP, -o FILE, --parallel=N.
+func sortCmd(ctx *Context) error {
+	cfg := sortConfig{}
+	var operands []string
+	outFile := ""
+	args := ctx.Args
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		grab := func(attached string) (string, error) {
+			if attached != "" {
+				return attached, nil
+			}
+			i++
+			if i >= len(args) {
+				return "", ctx.Errorf("option %q requires an argument", a)
+			}
+			return args[i], nil
+		}
+		switch {
+		case a == "-" || !strings.HasPrefix(a, "-"):
+			operands = append(operands, a)
+		case strings.HasPrefix(a, "--parallel="):
+			n, err := strconv.Atoi(a[len("--parallel="):])
+			if err != nil || n < 1 {
+				return ctx.Errorf("invalid --parallel value %q", a)
+			}
+			cfg.parallel = n
+		case strings.HasPrefix(a, "-k"):
+			v, err := grab(a[2:])
+			if err != nil {
+				return err
+			}
+			k, err := parseSortKey(v)
+			if err != nil {
+				return ctx.Errorf("invalid key %q: %v", v, err)
+			}
+			cfg.key = k
+		case strings.HasPrefix(a, "-t"):
+			v, err := grab(a[2:])
+			if err != nil {
+				return err
+			}
+			if len(v) != 1 {
+				return ctx.Errorf("separator must be one character")
+			}
+			cfg.delim = v[0]
+		case strings.HasPrefix(a, "-o"):
+			v, err := grab(a[2:])
+			if err != nil {
+				return err
+			}
+			outFile = v
+		default:
+			for _, c := range a[1:] {
+				switch c {
+				case 'n':
+					cfg.numeric = true
+				case 'r':
+					cfg.reverse = true
+				case 'u':
+					cfg.unique = true
+				case 'f':
+					cfg.foldCase = true
+				case 'd':
+					cfg.dictionary = true
+				case 'm':
+					cfg.merge = true
+				case 'c':
+					cfg.check = true
+				case 'b', 's':
+					// -b ignore leading blanks is implied by our key
+					// handling; -s stability is the default here.
+				default:
+					return ctx.Errorf("unsupported flag -%c", c)
+				}
+			}
+		}
+	}
+
+	out := ctx.Stdout
+	if outFile != "" {
+		f, err := ctx.FS.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	lw := NewLineWriter(out)
+	defer lw.Flush()
+	less := cfg.less()
+
+	if cfg.check {
+		readers, cleanup, err := ctx.OpenInputs(operands)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		var prev []byte
+		first := true
+		sorted := true
+		err = EachLineReaders(readers, func(line []byte) error {
+			if !first && less(line, prev) {
+				sorted = false
+				return io.EOF
+			}
+			prev = append(prev[:0], line...)
+			first = false
+			return nil
+		})
+		if err != nil && err != io.EOF {
+			return err
+		}
+		if !sorted {
+			return &ExitError{Code: 1}
+		}
+		return nil
+	}
+
+	if cfg.merge {
+		// -m: merge already-sorted inputs (the heart of PaSh's sort
+		// aggregator).
+		readers, cleanup, err := ctx.OpenInputs(operands)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		if err := MergeSorted(readers, lw, less, cfg.unique); err != nil {
+			return err
+		}
+		return lw.Flush()
+	}
+
+	readers, cleanup, err := ctx.OpenInputs(operands)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	var lines [][]byte
+	for _, r := range readers {
+		ls, err := ReadAllLines(r)
+		if err != nil {
+			return err
+		}
+		lines = append(lines, ls...)
+	}
+
+	workers := cfg.parallel
+	if workers <= 1 {
+		sort.SliceStable(lines, func(i, j int) bool { return less(lines[i], lines[j]) })
+	} else {
+		parallelSort(lines, less, workers)
+	}
+
+	var prev []byte
+	firstOut := true
+	for _, line := range lines {
+		if cfg.unique && !firstOut && !less(prev, line) && !less(line, prev) {
+			continue
+		}
+		if err := lw.WriteLine(line); err != nil {
+			return err
+		}
+		prev = line
+		firstOut = false
+	}
+	return lw.Flush()
+}
+
+// parallelSort sorts in place using the GNU sort --parallel strategy:
+// partition, sort the partitions concurrently, then k-way merge.
+func parallelSort(lines [][]byte, less func(a, b []byte) bool, workers int) {
+	if workers > runtime.NumCPU()*2 {
+		workers = runtime.NumCPU() * 2
+	}
+	if workers < 2 || len(lines) < 2*workers {
+		sort.SliceStable(lines, func(i, j int) bool { return less(lines[i], lines[j]) })
+		return
+	}
+	chunk := (len(lines) + workers - 1) / workers
+	var wg sync.WaitGroup
+	var parts [][][]byte
+	for lo := 0; lo < len(lines); lo += chunk {
+		hi := lo + chunk
+		if hi > len(lines) {
+			hi = len(lines)
+		}
+		part := lines[lo:hi]
+		parts = append(parts, part)
+		wg.Add(1)
+		go func(p [][]byte) {
+			defer wg.Done()
+			sort.SliceStable(p, func(i, j int) bool { return less(p[i], p[j]) })
+		}(part)
+	}
+	wg.Wait()
+	merged := mergeParts(parts, less)
+	copy(lines, merged)
+}
+
+func mergeParts(parts [][][]byte, less func(a, b []byte) bool) [][]byte {
+	out := make([][]byte, 0)
+	h := &lineHeap{less: less}
+	for i, p := range parts {
+		if len(p) > 0 {
+			h.items = append(h.items, heapItem{line: p[0], src: i})
+		}
+	}
+	idx := make([]int, len(parts))
+	heap.Init(h)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(heapItem)
+		out = append(out, it.line)
+		idx[it.src]++
+		if idx[it.src] < len(parts[it.src]) {
+			heap.Push(h, heapItem{line: parts[it.src][idx[it.src]], src: it.src})
+		}
+	}
+	return out
+}
+
+type heapItem struct {
+	line []byte
+	src  int
+}
+
+type lineHeap struct {
+	items []heapItem
+	less  func(a, b []byte) bool
+}
+
+func (h *lineHeap) Len() int { return len(h.items) }
+func (h *lineHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if h.less(a.line, b.line) {
+		return true
+	}
+	if h.less(b.line, a.line) {
+		return false
+	}
+	return a.src < b.src // stability across sources
+}
+func (h *lineHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *lineHeap) Push(x interface{}) {
+	h.items = append(h.items, x.(heapItem))
+}
+func (h *lineHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// MergeSorted streams a k-way merge of already-sorted line readers into
+// lw. Exported so the aggregator library can reuse it.
+func MergeSorted(readers []io.Reader, lw *LineWriter, less func(a, b []byte) bool, unique bool) error {
+	iters := make([]*LineIter, len(readers))
+	for i, r := range readers {
+		iters[i] = NewLineIter(r)
+	}
+	pull := func(i int) ([]byte, bool, error) {
+		line, ok := iters[i].Next()
+		if !ok {
+			return nil, false, iters[i].Err()
+		}
+		cp := make([]byte, len(line))
+		copy(cp, line)
+		return cp, true, nil
+	}
+	h := &lineHeap{less: less}
+	for i := range iters {
+		line, ok, err := pull(i)
+		if err != nil {
+			return err
+		}
+		if ok {
+			h.items = append(h.items, heapItem{line: line, src: i})
+		}
+	}
+	heap.Init(h)
+	var prev []byte
+	first := true
+	for h.Len() > 0 {
+		it := heap.Pop(h).(heapItem)
+		if !unique || first || less(prev, it.line) || less(it.line, prev) {
+			if err := lw.WriteLine(it.line); err != nil {
+				return err
+			}
+			prev = it.line
+			first = false
+		}
+		line, ok, err := pull(it.src)
+		if err != nil {
+			return err
+		}
+		if ok {
+			heap.Push(h, heapItem{line: line, src: it.src})
+		}
+	}
+	return nil
+}
+
+// less builds the line comparator for the configuration.
+func (cfg *sortConfig) less() func(a, b []byte) bool {
+	keyed := cfg.key != nil
+	cmp := func(a, b []byte) int {
+		ka, kb := a, b
+		if keyed {
+			ka = extractKey(a, cfg.key, cfg.delim)
+			kb = extractKey(b, cfg.key, cfg.delim)
+		}
+		numeric := cfg.numeric || (keyed && cfg.key.numeric)
+		var c int
+		if numeric {
+			c = compareNumeric(ka, kb)
+		} else {
+			c = compareText(ka, kb, cfg.foldCase, cfg.dictionary)
+		}
+		if c == 0 && keyed {
+			// GNU sort's last-resort comparison: whole line.
+			c = bytes.Compare(a, b)
+		}
+		rev := cfg.reverse || (keyed && cfg.key.reverse)
+		if rev {
+			c = -c
+		}
+		return c
+	}
+	return func(a, b []byte) bool { return cmp(a, b) < 0 }
+}
+
+func parseSortKey(spec string) (*sortKey, error) {
+	k := &sortKey{}
+	parsePos := func(s string) (field int, mods string, err error) {
+		// POS is F[.C][OPTS]; we support the field part and opts.
+		num := s
+		for i := 0; i < len(s); i++ {
+			if s[i] < '0' || s[i] > '9' {
+				num, mods = s[:i], s[i:]
+				break
+			}
+		}
+		if dot := strings.IndexByte(mods, '.'); dot == 0 {
+			// Skip character offset; consume digits after the dot.
+			rest := mods[1:]
+			j := 0
+			for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
+				j++
+			}
+			mods = rest[j:]
+		}
+		field, err = strconv.Atoi(num)
+		return field, mods, err
+	}
+	parts := strings.SplitN(spec, ",", 2)
+	f, mods, err := parsePos(parts[0])
+	if err != nil {
+		return nil, err
+	}
+	k.startField = f
+	applyMods := func(mods string) {
+		for _, c := range mods {
+			switch c {
+			case 'n':
+				k.numeric = true
+			case 'r':
+				k.reverse = true
+			}
+		}
+	}
+	applyMods(mods)
+	if len(parts) == 2 {
+		f, mods, err := parsePos(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		k.endField = f
+		applyMods(mods)
+	}
+	return k, nil
+}
+
+// extractKey pulls the -k field range out of a line.
+func extractKey(line []byte, k *sortKey, delim byte) []byte {
+	fields := splitSortFields(line, delim)
+	lo := k.startField
+	hi := k.endField
+	if hi == 0 || hi > len(fields) {
+		hi = len(fields)
+	}
+	if lo > len(fields) {
+		return nil
+	}
+	if lo == hi {
+		return fields[lo-1]
+	}
+	// Join the covered fields (approximation of byte-offset semantics).
+	var out []byte
+	for i := lo - 1; i < hi; i++ {
+		if i > lo-1 {
+			out = append(out, ' ')
+		}
+		out = append(out, fields[i]...)
+	}
+	return out
+}
+
+func splitSortFields(line []byte, delim byte) [][]byte {
+	if delim != 0 {
+		return bytes.Split(line, []byte{delim})
+	}
+	// Default: fields are separated by runs of blanks; each field begins
+	// at the blank run (GNU semantics approximated by trimming).
+	var fields [][]byte
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		start := i
+		for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+			i++
+		}
+		if start < i {
+			fields = append(fields, line[start:i])
+		}
+	}
+	return fields
+}
+
+func compareText(a, b []byte, fold, dict bool) int {
+	if dict {
+		a, b = dictBytes(a), dictBytes(b)
+	}
+	if fold {
+		return bytes.Compare(bytes.ToUpper(a), bytes.ToUpper(b))
+	}
+	return bytes.Compare(a, b)
+}
+
+func dictBytes(s []byte) []byte {
+	out := make([]byte, 0, len(s))
+	for _, c := range s {
+		if c == ' ' || c == '\t' ||
+			c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// compareNumeric implements sort -n semantics: leading blanks, optional
+// sign, digits, optional fraction; non-numeric prefixes compare as 0.
+func compareNumeric(a, b []byte) int {
+	fa, fb := parseLeadingFloat(a), parseLeadingFloat(b)
+	switch {
+	case fa < fb:
+		return -1
+	case fa > fb:
+		return 1
+	}
+	return bytes.Compare(a, b) // tie-break for stability with -u semantics
+}
+
+func parseLeadingFloat(s []byte) float64 {
+	i := 0
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+		i++
+	}
+	start := i
+	if i < len(s) && (s[i] == '-' || s[i] == '+') {
+		i++
+	}
+	digits := false
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+		digits = true
+	}
+	if i < len(s) && s[i] == '.' {
+		i++
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			i++
+			digits = true
+		}
+	}
+	if !digits {
+		return 0
+	}
+	f, err := strconv.ParseFloat(string(s[start:i]), 64)
+	if err != nil {
+		return 0
+	}
+	return f
+}

@@ -1,0 +1,70 @@
+package commands
+
+import "strings"
+
+func init() {
+	register("tac", tac)
+	register("rev", rev)
+}
+
+// tac prints input lines in reverse order. It must block on its whole
+// input — the canonical "pure but not streaming" command.
+func tac(ctx *Context) error {
+	var operands []string
+	for _, a := range ctx.Args {
+		if a != "-" && strings.HasPrefix(a, "-") {
+			return ctx.Errorf("unsupported flag %q", a)
+		}
+		operands = append(operands, a)
+	}
+	readers, cleanup, err := ctx.OpenInputs(operands)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	lw := NewLineWriter(ctx.Stdout)
+	defer lw.Flush()
+	// GNU tac reverses each file independently, in argument order.
+	for _, r := range readers {
+		lines, err := ReadAllLines(r)
+		if err != nil {
+			return err
+		}
+		for i := len(lines) - 1; i >= 0; i-- {
+			if err := lw.WriteLine(lines[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return lw.Flush()
+}
+
+// rev reverses the characters of each line.
+func rev(ctx *Context) error {
+	var operands []string
+	for _, a := range ctx.Args {
+		if a != "-" && strings.HasPrefix(a, "-") {
+			return ctx.Errorf("unsupported flag %q", a)
+		}
+		operands = append(operands, a)
+	}
+	readers, cleanup, err := ctx.OpenInputs(operands)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	lw := NewLineWriter(ctx.Stdout)
+	defer lw.Flush()
+	var out []byte
+	err = EachLineReaders(readers, func(line []byte) error {
+		out = out[:0]
+		for i := len(line) - 1; i >= 0; i-- {
+			out = append(out, line[i])
+		}
+		return lw.WriteLine(out)
+	})
+	if err != nil {
+		return err
+	}
+	return lw.Flush()
+}

@@ -1,0 +1,247 @@
+package commands
+
+import "strings"
+
+func init() { register("tr", tr) }
+
+// tr transliterates, squeezes, or deletes characters. Flags: -d (delete
+// SET1), -s (squeeze repeats from the last operand set), -c/-C
+// (complement SET1). Sets support ranges (a-z), escapes (\n, \t, \\),
+// and the classes [:alpha:], [:digit:], [:alnum:], [:space:], [:upper:],
+// [:lower:], [:punct:].
+func tr(ctx *Context) error {
+	var del, squeeze, complement bool
+	var sets []string
+	for _, a := range ctx.Args {
+		switch {
+		case a == "-d":
+			del = true
+		case a == "-s":
+			squeeze = true
+		case a == "-c" || a == "-C":
+			complement = true
+		case a == "-cs" || a == "-sc" || a == "-Cs" || a == "-sC":
+			complement, squeeze = true, true
+		case a == "-ds" || a == "-sd":
+			del, squeeze = true, true
+		case a == "-cd" || a == "-dc":
+			complement, del = true, true
+		case len(a) > 1 && a[0] == '-':
+			return ctx.Errorf("unsupported flag %q", a)
+		default:
+			sets = append(sets, a)
+		}
+	}
+	if len(sets) == 0 || len(sets) > 2 {
+		return ctx.Errorf("expected 1 or 2 sets, got %d", len(sets))
+	}
+
+	set1, err := expandTrSet(sets[0])
+	if err != nil {
+		return ctx.Errorf("bad set %q: %v", sets[0], err)
+	}
+	var set2 []byte
+	if len(sets) == 2 {
+		set2, err = expandTrSet(sets[1])
+		if err != nil {
+			return ctx.Errorf("bad set %q: %v", sets[1], err)
+		}
+	}
+
+	var inSet1 [256]bool
+	for _, c := range set1 {
+		inSet1[c] = true
+	}
+	if complement {
+		for i := range inSet1 {
+			inSet1[i] = !inSet1[i]
+		}
+	}
+
+	// Translation table.
+	var xlat [256]byte
+	for i := range xlat {
+		xlat[i] = byte(i)
+	}
+	if len(set2) > 0 && !del {
+		if complement {
+			// Complemented translation maps every char in the complement
+			// to the last char of set2 (GNU behaviour).
+			last := set2[len(set2)-1]
+			for i := 0; i < 256; i++ {
+				if inSet1[i] {
+					xlat[i] = last
+				}
+			}
+		} else {
+			for i, c := range set1 {
+				j := i
+				if j >= len(set2) {
+					j = len(set2) - 1 // pad with last char, GNU style
+				}
+				xlat[c] = set2[j]
+			}
+		}
+	}
+
+	// Squeeze set: with -d -s it is set2; with -s alone it is the result
+	// set (set2 if given, else set1 possibly complemented).
+	var inSqueeze [256]bool
+	if squeeze {
+		sq := set2
+		if len(sets) == 1 {
+			sq = nil
+			for i := 0; i < 256; i++ {
+				if inSet1[i] {
+					sq = append(sq, byte(i))
+				}
+			}
+		}
+		for _, c := range sq {
+			inSqueeze[c] = true
+		}
+	}
+
+	lw := NewLineWriter(ctx.Stdout)
+	defer lw.Flush()
+	var out []byte
+	var lastOut int = -1
+	err = EachLine(ctx.stdin(), func(line []byte) error {
+		out = out[:0]
+		for _, c := range line {
+			if del && inSet1[c] {
+				continue
+			}
+			nc := c
+			if !del && inSet1[c] {
+				nc = xlat[c]
+			}
+			if squeeze && inSqueeze[nc] && lastOut == int(nc) {
+				continue
+			}
+			out = append(out, nc)
+			lastOut = int(nc)
+		}
+		// We process per line, so the line's own terminating newline is
+		// implicit. When '\n' is in the squeeze set, squeeze it against
+		// both the line's trailing output and the previous line.
+		if squeeze && inSqueeze['\n'] {
+			for len(out) > 0 && out[len(out)-1] == '\n' {
+				out = out[:len(out)-1]
+			}
+			if lastOut == '\n' && len(out) == 0 {
+				return nil
+			}
+			lastOut = '\n'
+		} else {
+			lastOut = -1
+		}
+		return lw.WriteLine(out)
+	})
+	if err != nil {
+		return err
+	}
+	return lw.Flush()
+}
+
+// expandTrSet expands a tr SET operand into its byte sequence.
+func expandTrSet(s string) ([]byte, error) {
+	var out []byte
+	i := 0
+	for i < len(s) {
+		// Character class.
+		if strings.HasPrefix(s[i:], "[:") {
+			end := strings.Index(s[i:], ":]")
+			if end >= 0 {
+				name := s[i+2 : i+end]
+				cls, ok := trClass(name)
+				if !ok {
+					return nil, errBadClass(name)
+				}
+				out = append(out, cls...)
+				i += end + 2
+				continue
+			}
+		}
+		c, n := trChar(s[i:])
+		i += n
+		// Range?
+		if i < len(s) && s[i] == '-' && i+1 < len(s) {
+			hi, hn := trChar(s[i+1:])
+			if hi >= c {
+				for b := c; b <= hi; b++ {
+					out = append(out, b)
+					if b == 255 {
+						break
+					}
+				}
+				i += 1 + hn
+				continue
+			}
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+type badClassError string
+
+func (e badClassError) Error() string { return "unknown class [:" + string(e) + ":]" }
+
+func errBadClass(name string) error { return badClassError(name) }
+
+func trChar(s string) (byte, int) {
+	if s[0] == '\\' && len(s) > 1 {
+		switch s[1] {
+		case 'n':
+			return '\n', 2
+		case 't':
+			return '\t', 2
+		case 'r':
+			return '\r', 2
+		case '\\':
+			return '\\', 2
+		case '0':
+			return 0, 2
+		default:
+			return s[1], 2
+		}
+	}
+	return s[0], 1
+}
+
+func trClass(name string) ([]byte, bool) {
+	var out []byte
+	add := func(pred func(byte) bool) {
+		for i := 0; i < 256; i++ {
+			if pred(byte(i)) {
+				out = append(out, byte(i))
+			}
+		}
+	}
+	switch name {
+	case "alpha":
+		add(func(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' })
+	case "digit":
+		add(func(c byte) bool { return c >= '0' && c <= '9' })
+	case "alnum":
+		add(func(c byte) bool {
+			return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+		})
+	case "space":
+		add(func(c byte) bool {
+			return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+		})
+	case "upper":
+		add(func(c byte) bool { return c >= 'A' && c <= 'Z' })
+	case "lower":
+		add(func(c byte) bool { return c >= 'a' && c <= 'z' })
+	case "punct":
+		add(func(c byte) bool {
+			return c >= '!' && c <= '/' || c >= ':' && c <= '@' || c >= '[' && c <= '`' || c >= '{' && c <= '~'
+		})
+	default:
+		return nil, false
+	}
+	return out, true
+}

@@ -1,0 +1,151 @@
+package commands
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+func init() { register("uniq", uniq) }
+
+// uniq filters adjacent duplicate lines. Flags: -c (prefix counts),
+// -d (only duplicated), -u (only unique), -i (ignore case), -f N (skip N
+// fields), -s N (skip N chars), -w N (compare at most N chars).
+func uniq(ctx *Context) error {
+	var countFlag, dupOnly, uniqOnly, ignoreCase bool
+	skipFields, skipChars, checkChars := 0, 0, -1
+	var operands []string
+	args := ctx.Args
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		grabInt := func(attached string) (int, error) {
+			v := attached
+			if v == "" {
+				i++
+				if i >= len(args) {
+					return 0, ctx.Errorf("option %q requires an argument", a)
+				}
+				v = args[i]
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return 0, ctx.Errorf("invalid number %q", v)
+			}
+			return n, nil
+		}
+		switch {
+		case a == "-c":
+			countFlag = true
+		case a == "-d":
+			dupOnly = true
+		case a == "-u":
+			uniqOnly = true
+		case a == "-i":
+			ignoreCase = true
+		case strings.HasPrefix(a, "-f"):
+			n, err := grabInt(a[2:])
+			if err != nil {
+				return err
+			}
+			skipFields = n
+		case strings.HasPrefix(a, "-s"):
+			n, err := grabInt(a[2:])
+			if err != nil {
+				return err
+			}
+			skipChars = n
+		case strings.HasPrefix(a, "-w"):
+			n, err := grabInt(a[2:])
+			if err != nil {
+				return err
+			}
+			checkChars = n
+		case a == "-":
+			operands = append(operands, a)
+		case strings.HasPrefix(a, "-"):
+			return ctx.Errorf("unsupported flag %q", a)
+		default:
+			operands = append(operands, a)
+		}
+	}
+	if len(operands) > 1 {
+		return ctx.Errorf("writing to an output file operand is not supported")
+	}
+
+	keyOf := func(line []byte) []byte {
+		k := line
+		for f := 0; f < skipFields && len(k) > 0; f++ {
+			j := 0
+			for j < len(k) && (k[j] == ' ' || k[j] == '\t') {
+				j++
+			}
+			for j < len(k) && k[j] != ' ' && k[j] != '\t' {
+				j++
+			}
+			k = k[j:]
+		}
+		if skipChars < len(k) {
+			k = k[skipChars:]
+		} else {
+			k = nil
+		}
+		if checkChars >= 0 && checkChars < len(k) {
+			k = k[:checkChars]
+		}
+		if ignoreCase {
+			k = bytes.ToLower(k)
+		}
+		return k
+	}
+
+	readers, cleanup, err := ctx.OpenInputs(operands)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	lw := NewLineWriter(ctx.Stdout)
+	defer lw.Flush()
+
+	var cur []byte
+	var curKey []byte
+	count := 0
+	emit := func() error {
+		if count == 0 {
+			return nil
+		}
+		if dupOnly && count < 2 {
+			return nil
+		}
+		if uniqOnly && count > 1 {
+			return nil
+		}
+		if countFlag {
+			if err := lw.WriteString(fmt.Sprintf("%7d ", count)); err != nil {
+				return err
+			}
+		}
+		return lw.WriteLine(cur)
+	}
+	err = EachLineReaders(readers, func(line []byte) error {
+		key := keyOf(line)
+		if count > 0 && bytes.Equal(key, curKey) {
+			count++
+			return nil
+		}
+		if err := emit(); err != nil {
+			return err
+		}
+		cur = append(cur[:0], line...)
+		curKey = append(curKey[:0], key...)
+		count = 1
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := emit(); err != nil {
+		return err
+	}
+	return lw.Flush()
+}

@@ -1,0 +1,70 @@
+// Package core is PaSh's compiler: it finds parallelizable regions in a
+// POSIX shell script (§5.1), lifts them to the dataflow-graph model,
+// applies the parallelization transformations (§4.2), and either executes
+// the result on the in-process runtime or emits an explicit parallel
+// POSIX script (§5.2, Fig. 3).
+package core
+
+import (
+	"repro/internal/agg"
+	"repro/internal/annot"
+	"repro/internal/commands"
+	"repro/internal/dfg"
+)
+
+// Options selects the degree of parallelism and which runtime primitives
+// are in play — the knobs behind the configurations of Fig. 7.
+type Options struct {
+	// Width is the parallelism factor (1 disables parallelization).
+	Width int
+	// Split enables split insertion (t2).
+	Split bool
+	// InputAwareSplit uses the seek-based split for file inputs.
+	InputAwareSplit bool
+	// Eager selects edge eagerness (§5.2 Overcoming Laziness).
+	Eager dfg.EagerMode
+	// BlockingEagerBytes bounds eager buffers (Blocking Eager config);
+	// 0 = unbounded eager buffers.
+	BlockingEagerBytes int
+	// MeasureMode runs regions through the profiling executor (nodes
+	// sequential, unbounded buffers) to collect clean per-node works
+	// for the multicore scheduling simulator. Output is identical.
+	MeasureMode bool
+}
+
+// DefaultOptions is the configuration the paper calls "Par + Split".
+func DefaultOptions(width int) Options {
+	return Options{
+		Width: width,
+		Split: true,
+		Eager: dfg.EagerFull,
+	}
+}
+
+// Compiler holds the registries the compilation pipeline consults.
+type Compiler struct {
+	Annot *annot.Registry
+	Cmds  *commands.Registry
+	Opts  Options
+}
+
+// NewCompiler builds a compiler over the standard annotation and command
+// registries with the given options.
+func NewCompiler(opts Options) *Compiler {
+	reg := commands.NewStd()
+	agg.Install(reg)
+	return &Compiler{
+		Annot: annot.StdRegistry(),
+		Cmds:  reg,
+		Opts:  opts,
+	}
+}
+
+func (c *Compiler) dfgOptions() dfg.Options {
+	return dfg.Options{
+		Width:           c.Opts.Width,
+		Split:           c.Opts.Split,
+		InputAwareSplit: c.Opts.InputAwareSplit,
+		Eager:           c.Opts.Eager,
+	}
+}

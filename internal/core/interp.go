@@ -1,0 +1,437 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dfg"
+	"repro/internal/runtime"
+	"repro/internal/shell"
+)
+
+// Interp walks a shell AST, executing barriers sequentially and handing
+// each parallelizable region (pipeline) to the compiler + runtime. It is
+// the in-process analog of PaSh handing the transformed script to the
+// user's shell (§2.3).
+type Interp struct {
+	c     *Compiler
+	env   *shell.Env
+	dir   string
+	stdio runtime.StdIO
+
+	jobMu sync.Mutex
+	jobs  []chan int
+
+	// Stats accumulates per-region compilation metrics for Tab. 2.
+	Stats InterpStats
+
+	profMu sync.Mutex
+	// Profiles records each executed region's graph and measured node
+	// times, feeding the multicore scheduling simulator.
+	Profiles []RegionProfile
+}
+
+// InterpStats aggregates region-level metrics.
+type InterpStats struct {
+	Regions    int
+	TotalNodes int
+	MaxNodes   int
+}
+
+// RegionProfile is one executed region's graph plus measured node times.
+type RegionProfile struct {
+	Graph *dfg.Graph
+	Times []runtime.NodeTime
+	Wall  time.Duration
+}
+
+// NewInterp builds an interpreter. vars seeds the variable environment
+// (e.g. PASH_CURL_ROOT); dir is the working directory for file access.
+func NewInterp(c *Compiler, dir string, vars map[string]string, stdio runtime.StdIO) *Interp {
+	env := shell.NewEnv()
+	for k, v := range vars {
+		env.Set(k, v)
+	}
+	if stdio.Stdout == nil {
+		stdio.Stdout = io.Discard
+	}
+	if stdio.Stderr == nil {
+		stdio.Stderr = io.Discard
+	}
+	return &Interp{c: c, env: env, dir: dir, stdio: stdio}
+}
+
+// RunScript parses and executes src, returning the final exit status.
+func (in *Interp) RunScript(ctx context.Context, src string) (int, error) {
+	list, err := shell.Parse(src)
+	if err != nil {
+		return 127, err
+	}
+	code, err := in.runList(ctx, list)
+	werr := in.waitJobs()
+	if err == nil {
+		err = werr
+	}
+	return code, err
+}
+
+func (in *Interp) waitJobs() error {
+	in.jobMu.Lock()
+	jobs := in.jobs
+	in.jobs = nil
+	in.jobMu.Unlock()
+	for _, j := range jobs {
+		<-j
+	}
+	return nil
+}
+
+func (in *Interp) runList(ctx context.Context, list *shell.List) (int, error) {
+	code := 0
+	for _, item := range list.Items {
+		if item.Background {
+			ch := make(chan int, 1)
+			in.jobMu.Lock()
+			in.jobs = append(in.jobs, ch)
+			in.jobMu.Unlock()
+			cmd := item.Cmd
+			go func() {
+				c, _ := in.runCommand(ctx, cmd)
+				ch <- c
+			}()
+			code = 0
+			continue
+		}
+		var err error
+		code, err = in.runCommand(ctx, item.Cmd)
+		if err != nil {
+			return code, err
+		}
+	}
+	return code, nil
+}
+
+func (in *Interp) runCommand(ctx context.Context, cmd shell.Command) (int, error) {
+	switch cmd := cmd.(type) {
+	case *shell.Simple:
+		return in.runPipeline(ctx, []*shell.Simple{cmd})
+	case *shell.Pipeline:
+		stages := make([]*shell.Simple, 0, len(cmd.Cmds))
+		for _, c := range cmd.Cmds {
+			s, ok := c.(*shell.Simple)
+			if !ok {
+				// Compound stages run sequentially through a buffer.
+				return in.runCompoundPipeline(ctx, cmd)
+			}
+			stages = append(stages, s)
+		}
+		code, err := in.runPipeline(ctx, stages)
+		if cmd.Negated {
+			code = negate(code)
+		}
+		return code, err
+	case *shell.AndOr:
+		code, err := in.runCommand(ctx, cmd.First)
+		if err != nil {
+			return code, err
+		}
+		for _, part := range cmd.Rest {
+			if part.Op == shell.AndOp && code != 0 {
+				continue
+			}
+			if part.Op == shell.OrOp && code == 0 {
+				continue
+			}
+			code, err = in.runCommand(ctx, part.Cmd)
+			if err != nil {
+				return code, err
+			}
+		}
+		return code, nil
+	case *shell.List:
+		return in.runList(ctx, cmd)
+	case *shell.For:
+		x := in.expander()
+		var items []string
+		for _, w := range cmd.Items {
+			fs, err := x.ExpandWord(w)
+			if err != nil {
+				return 1, err
+			}
+			items = append(items, fs...)
+		}
+		code := 0
+		for _, it := range items {
+			in.env.Set(cmd.Var, it)
+			var err error
+			code, err = in.runList(ctx, cmd.Body)
+			if err != nil {
+				return code, err
+			}
+		}
+		return code, nil
+	case *shell.If:
+		condCode, err := in.runList(ctx, cmd.Cond)
+		if err != nil {
+			return condCode, err
+		}
+		if condCode == 0 {
+			return in.runList(ctx, cmd.Then)
+		}
+		if cmd.Else != nil {
+			return in.runList(ctx, cmd.Else)
+		}
+		return 0, nil
+	case *shell.While:
+		code := 0
+		for iter := 0; ; iter++ {
+			if iter > 1_000_000 {
+				return 1, fmt.Errorf("core: while loop exceeded iteration limit")
+			}
+			condCode, err := in.runList(ctx, cmd.Cond)
+			if err != nil {
+				return condCode, err
+			}
+			stop := condCode != 0
+			if cmd.Until {
+				stop = condCode == 0
+			}
+			if stop {
+				return code, nil
+			}
+			code, err = in.runList(ctx, cmd.Body)
+			if err != nil {
+				return code, err
+			}
+		}
+	case *shell.Subshell:
+		sub := &Interp{c: in.c, env: in.env.Child(), dir: in.dir, stdio: in.stdio}
+		code, err := sub.runList(ctx, cmd.Body)
+		if werr := sub.waitJobs(); err == nil {
+			err = werr
+		}
+		return code, err
+	case *shell.Brace:
+		return in.runList(ctx, cmd.Body)
+	}
+	return 1, fmt.Errorf("core: unsupported command node %T", cmd)
+}
+
+func negate(code int) int {
+	if code == 0 {
+		return 1
+	}
+	return 0
+}
+
+// runCompoundPipeline executes a pipeline containing compound stages by
+// buffering between stages (sequential semantics, never parallelized).
+func (in *Interp) runCompoundPipeline(ctx context.Context, p *shell.Pipeline) (int, error) {
+	var input io.Reader = in.stdio.Stdin
+	code := 0
+	for i, c := range p.Cmds {
+		var out bytes.Buffer
+		stdio := runtime.StdIO{Stdin: input, Stdout: &out, Stderr: in.stdio.Stderr}
+		if i == len(p.Cmds)-1 {
+			stdio.Stdout = in.stdio.Stdout
+		}
+		sub := &Interp{c: in.c, env: in.env, dir: in.dir, stdio: stdio}
+		var err error
+		code, err = sub.runCommand(ctx, c)
+		if err != nil {
+			return code, err
+		}
+		input = &out
+	}
+	if p.Negated {
+		code = negate(code)
+	}
+	return code, nil
+}
+
+// expander builds the word expander with command substitution wired to a
+// nested sequential interpreter.
+func (in *Interp) expander() *shell.Expander {
+	return &shell.Expander{
+		Env:  in.env,
+		Glob: true,
+		Dir:  in.dir,
+		CmdSub: func(src string) (string, error) {
+			var out bytes.Buffer
+			sub := &Interp{
+				c:     in.c,
+				env:   in.env,
+				dir:   in.dir,
+				stdio: runtime.StdIO{Stdin: strings.NewReader(""), Stdout: &out, Stderr: in.stdio.Stderr},
+			}
+			list, err := shell.Parse(src)
+			if err != nil {
+				return "", err
+			}
+			if _, err := sub.runList(context.Background(), list); err != nil {
+				return "", err
+			}
+			if werr := sub.waitJobs(); werr != nil {
+				return "", werr
+			}
+			return out.String(), nil
+		},
+	}
+}
+
+// runPipeline expands the stages, compiles the region to a DFG, applies
+// the transformations, and executes it.
+func (in *Interp) runPipeline(ctx context.Context, simples []*shell.Simple) (int, error) {
+	x := in.expander()
+
+	// A lone assignment command mutates the environment.
+	if len(simples) == 1 && len(simples[0].Args) == 0 {
+		s := simples[0]
+		if len(s.Assigns) == 0 && len(s.Redirs) > 0 {
+			return 0, nil // bare redirection: creates/truncates files; skip
+		}
+		for _, a := range s.Assigns {
+			v, err := x.ExpandString(a.Value)
+			if err != nil {
+				return 1, err
+			}
+			in.env.Set(a.Name, v)
+		}
+		return 0, nil
+	}
+
+	stages := make([]Stage, 0, len(simples))
+	for _, s := range simples {
+		if len(s.Assigns) > 0 {
+			// Per-command assignment prefixes would need process-local
+			// environments; run them as global sets (close enough for
+			// the benchmark corpus, where they don't appear mid-pipe).
+			for _, a := range s.Assigns {
+				v, err := x.ExpandString(a.Value)
+				if err != nil {
+					return 1, err
+				}
+				in.env.Set(a.Name, v)
+			}
+			if len(s.Args) == 0 {
+				continue
+			}
+		}
+		var argv []string
+		for _, w := range s.Args {
+			fs, err := x.ExpandWord(w)
+			if err != nil {
+				return 1, err
+			}
+			argv = append(argv, fs...)
+		}
+		if len(argv) == 0 {
+			return 1, fmt.Errorf("core: empty command after expansion")
+		}
+		st := Stage{Name: argv[0], Args: argv[1:]}
+		for _, r := range s.Redirs {
+			tgt, err := x.ExpandString(r.Target)
+			if err != nil {
+				return 1, err
+			}
+			st.Redirs = append(st.Redirs, Redir{N: r.N, Op: r.Op, Target: tgt})
+		}
+		stages = append(stages, st)
+	}
+	if len(stages) == 0 {
+		return 0, nil
+	}
+
+	// Builtins that affect interpreter state can't go through the DFG.
+	if len(stages) == 1 {
+		if code, handled, err := in.builtin(ctx, stages[0]); handled {
+			return code, err
+		}
+	}
+
+	g, err := in.c.CompilePipeline(stages, RegionIO{})
+	if err != nil {
+		return 1, err
+	}
+	in.c.Optimize(g)
+
+	in.Stats.Regions++
+	in.Stats.TotalNodes += len(g.Nodes)
+	if len(g.Nodes) > in.Stats.MaxNodes {
+		in.Stats.MaxNodes = len(g.Nodes)
+	}
+
+	rcfg := runtime.Config{
+		BlockingEager:   in.c.Opts.BlockingEagerBytes,
+		InputAwareSplit: in.c.Opts.InputAwareSplit,
+		Dir:             in.dir,
+		Env:             in.envSnapshot(),
+	}
+	start := time.Now()
+	var res *runtime.Result
+	if in.c.Opts.MeasureMode {
+		res, err = runtime.Profile(ctx, g, in.c.Cmds, in.stdio, rcfg)
+	} else {
+		res, err = runtime.Execute(ctx, g, in.c.Cmds, in.stdio, rcfg)
+	}
+	if err != nil {
+		return 1, err
+	}
+	in.profMu.Lock()
+	in.Profiles = append(in.Profiles, RegionProfile{
+		Graph: g, Times: res.NodeTimes, Wall: time.Since(start),
+	})
+	in.profMu.Unlock()
+	return res.ExitCode, nil
+}
+
+func (in *Interp) envSnapshot() map[string]string {
+	out := map[string]string{}
+	for _, k := range in.env.Names() {
+		out[k] = in.env.Get(k)
+	}
+	return out
+}
+
+// builtin handles the few commands that must mutate interpreter state.
+func (in *Interp) builtin(ctx context.Context, st Stage) (int, bool, error) {
+	switch st.Name {
+	case "cd":
+		if len(st.Args) != 1 {
+			return 1, true, fmt.Errorf("cd: expected one argument")
+		}
+		dir := st.Args[0]
+		if !strings.HasPrefix(dir, "/") {
+			dir = in.dir + "/" + dir
+		}
+		in.dir = dir
+		return 0, true, nil
+	case "export":
+		for _, a := range st.Args {
+			if eq := strings.IndexByte(a, '='); eq > 0 {
+				in.env.Set(a[:eq], a[eq+1:])
+			}
+		}
+		return 0, true, nil
+	case "wait":
+		return 0, true, in.waitJobs()
+	case "exec", "set", "umask", "ulimit":
+		// Accepted and ignored: benchmark scripts use them only for
+		// shell housekeeping.
+		return 0, true, nil
+	}
+	_ = ctx
+	return 0, false, nil
+}
+
+// Run is the package-level convenience: parse and execute a script with
+// a fresh interpreter.
+func Run(ctx context.Context, c *Compiler, src, dir string, vars map[string]string, stdio runtime.StdIO) (int, error) {
+	in := NewInterp(c, dir, vars, stdio)
+	return in.RunScript(ctx, src)
+}

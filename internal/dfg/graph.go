@@ -1,0 +1,324 @@
+// Package dfg implements PaSh's dataflow graph model (§4.1) and the
+// semantics-preserving parallelization transformations (§4.2).
+//
+// Nodes are commands; edges are streams (named files, pipes, or the
+// graph's own inputs and outputs). Unlike generic dataflow models, a
+// node's input edges are *ordered*: the model encodes the order in which
+// a command consumes its inputs (cat f1 f2 reads f1 before f2), which is
+// what makes the cat-commuting transformations sound.
+package dfg
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/annot"
+)
+
+// NodeKind distinguishes ordinary commands from the runtime primitives
+// that transformations introduce.
+type NodeKind int
+
+// Node kinds.
+const (
+	KindCommand NodeKind = iota
+	KindCat              // concatenation (the paper's cat nodes)
+	KindSplit            // input dispersal (t2)
+	KindRelay            // identity relay (t3); eagerness is a runtime property
+	KindMap              // replicated map instance of a P command
+	KindAgg              // aggregate stage of a P command
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case KindCommand:
+		return "cmd"
+	case KindCat:
+		return "cat"
+	case KindSplit:
+		return "split"
+	case KindRelay:
+		return "relay"
+	case KindMap:
+		return "map"
+	case KindAgg:
+		return "agg"
+	}
+	return "?"
+}
+
+// Arg is one argv template element: either a literal or a placeholder
+// that the back-end instantiates with the concrete name of the node's
+// i-th input stream (a FIFO path in generated scripts, a virtual stream
+// in-process).
+type Arg struct {
+	Text     string
+	InputIdx int // >= 0: placeholder for input edge i; -1: literal
+}
+
+// Lit builds a literal Arg.
+func Lit(s string) Arg { return Arg{Text: s, InputIdx: -1} }
+
+// InArg builds an input placeholder Arg.
+func InArg(i int) Arg { return Arg{InputIdx: i} }
+
+// Node is a DFG node: one command invocation.
+type Node struct {
+	ID    int
+	Kind  NodeKind
+	Name  string // command name
+	Args  []Arg  // argv template (excluding the command name)
+	Class annot.Class
+
+	// In are the node's input edges in consumption order. StdinInput
+	// names which of them (if any) is consumed from standard input; the
+	// rest must appear as placeholders in Args.
+	In         []*Edge
+	Out        []*Edge
+	StdinInput int // index into In, or -1
+
+	// Agg carries the aggregator specification for P commands that the
+	// transformation can parallelize; nil means no known aggregator.
+	Agg *AggSpec
+
+	// noSplit marks nodes created by the transformations themselves
+	// (replicas, maps): t2 must not split them again, or the fixpoint
+	// would diverge by splitting each replica recursively.
+	noSplit bool
+}
+
+// AggSpec is a (map, aggregate) implementation pair for a P command
+// (§3.2 Custom Aggregators): running MapName on each input chunk and
+// AggName over the map outputs must reproduce the original command.
+type AggSpec struct {
+	MapName string
+	MapArgs []string
+	AggName string
+	AggArgs []string
+}
+
+// ArgStrings renders the template with the provided per-input names.
+func (n *Node) ArgStrings(inputName func(i int) string) []string {
+	out := make([]string, 0, len(n.Args))
+	for _, a := range n.Args {
+		if a.InputIdx >= 0 {
+			out = append(out, inputName(a.InputIdx))
+			continue
+		}
+		out = append(out, a.Text)
+	}
+	return out
+}
+
+func (n *Node) String() string {
+	var parts []string
+	for _, a := range n.Args {
+		if a.InputIdx >= 0 {
+			parts = append(parts, fmt.Sprintf("<in%d>", a.InputIdx))
+		} else {
+			parts = append(parts, a.Text)
+		}
+	}
+	return fmt.Sprintf("#%d %s %s %s(%s)", n.ID, n.Kind, n.Class, n.Name, strings.Join(parts, " "))
+}
+
+// BindingKind says what a boundary edge connects to outside the graph.
+type BindingKind int
+
+// Edge boundary bindings.
+const (
+	BindNone   BindingKind = iota
+	BindFile               // a named file
+	BindStdin              // the script's standard input
+	BindStdout             // the script's standard output
+)
+
+// Binding is a graph-boundary attachment of an edge.
+type Binding struct {
+	Kind BindingKind
+	Path string // for BindFile
+	// Append marks >> file sinks.
+	Append bool
+}
+
+// Edge is a stream: it connects the output of one node to the input of
+// another, or binds the graph to the outside world at either end.
+type Edge struct {
+	ID   int
+	From *Node // nil = graph input
+	To   *Node // nil = graph output
+
+	Source Binding // meaningful when From == nil
+	Sink   Binding // meaningful when To == nil
+
+	// Eager is set during back-end planning: the edge gets an eager
+	// relay buffer at execution (§5.2 Overcoming Laziness).
+	Eager bool
+}
+
+func (e *Edge) String() string {
+	from := "input"
+	if e.From != nil {
+		from = fmt.Sprintf("#%d", e.From.ID)
+	} else if e.Source.Kind == BindFile {
+		from = "file:" + e.Source.Path
+	} else if e.Source.Kind == BindStdin {
+		from = "stdin"
+	}
+	to := "output"
+	if e.To != nil {
+		to = fmt.Sprintf("#%d", e.To.ID)
+	} else if e.Sink.Kind == BindFile {
+		to = "file:" + e.Sink.Path
+	} else if e.Sink.Kind == BindStdout {
+		to = "stdout"
+	}
+	return fmt.Sprintf("e%d: %s -> %s", e.ID, from, to)
+}
+
+// Graph is a PaSh dataflow graph.
+type Graph struct {
+	Nodes  []*Node
+	Edges  []*Edge
+	nextID int
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddNode inserts a node and assigns its ID. Callers are responsible for
+// setting StdinInput (use NewNode to get the -1 default).
+func (g *Graph) AddNode(n *Node) *Node {
+	n.ID = g.nextID
+	g.nextID++
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+// NewNode builds a command node with no stdin binding.
+func NewNode(kind NodeKind, name string, args []Arg, class annot.Class) *Node {
+	return &Node{Kind: kind, Name: name, Args: args, Class: class, StdinInput: -1}
+}
+
+// AddEdge inserts an edge and assigns its ID.
+func (g *Graph) AddEdge(e *Edge) *Edge {
+	e.ID = g.nextID
+	g.nextID++
+	g.Edges = append(g.Edges, e)
+	return e
+}
+
+// Connect adds an edge from one node's output to another's input,
+// appending to the respective port lists.
+func (g *Graph) Connect(from, to *Node) *Edge {
+	e := g.AddEdge(&Edge{From: from, To: to})
+	if from != nil {
+		from.Out = append(from.Out, e)
+	}
+	if to != nil {
+		to.In = append(to.In, e)
+	}
+	return e
+}
+
+// InputEdges returns the edges with no producing node.
+func (g *Graph) InputEdges() []*Edge {
+	var out []*Edge
+	for _, e := range g.Edges {
+		if e.From == nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// OutputEdges returns the edges with no consuming node.
+func (g *Graph) OutputEdges() []*Edge {
+	var out []*Edge
+	for _, e := range g.Edges {
+		if e.To == nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// removeNode deletes a node (the caller must have already detached its
+// edges).
+func (g *Graph) removeNode(n *Node) {
+	for i, m := range g.Nodes {
+		if m == n {
+			g.Nodes = append(g.Nodes[:i], g.Nodes[i+1:]...)
+			return
+		}
+	}
+}
+
+// RemoveDetachedEdge removes an edge that the caller has already
+// disconnected from its endpoints (used by the compiler when re-wiring
+// pipes).
+func (g *Graph) RemoveDetachedEdge(e *Edge) { g.removeEdge(e) }
+
+// removeEdge deletes an edge from the graph and from its endpoints'
+// port lists.
+func (g *Graph) removeEdge(e *Edge) {
+	for i, x := range g.Edges {
+		if x == e {
+			g.Edges = append(g.Edges[:i], g.Edges[i+1:]...)
+			break
+		}
+	}
+	if e.From != nil {
+		e.From.Out = removeEdgeFrom(e.From.Out, e)
+	}
+	if e.To != nil {
+		e.To.In = removeEdgeFrom(e.To.In, e)
+	}
+}
+
+func removeEdgeFrom(list []*Edge, e *Edge) []*Edge {
+	for i, x := range list {
+		if x == e {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+// Stats summarizes a graph for reporting (Tab. 2's #nodes column counts
+// all processes: commands, aggregators, splits, relays).
+type Stats struct {
+	Nodes      int
+	Edges      int
+	ByKind     map[NodeKind]int
+	EagerEdges int
+}
+
+// Stats computes summary statistics.
+func (g *Graph) Stats() Stats {
+	s := Stats{Nodes: len(g.Nodes), Edges: len(g.Edges), ByKind: map[NodeKind]int{}}
+	for _, n := range g.Nodes {
+		s.ByKind[n.Kind]++
+	}
+	for _, e := range g.Edges {
+		if e.Eager {
+			s.EagerEdges++
+		}
+	}
+	return s
+}
+
+// Dump renders the graph for debugging.
+func (g *Graph) Dump() string {
+	var sb strings.Builder
+	for _, n := range g.Nodes {
+		fmt.Fprintln(&sb, n)
+		for i, e := range n.In {
+			fmt.Fprintf(&sb, "  in[%d]  %s\n", i, e)
+		}
+		for i, e := range n.Out {
+			fmt.Fprintf(&sb, "  out[%d] %s\n", i, e)
+		}
+	}
+	return sb.String()
+}

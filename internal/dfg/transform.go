@@ -1,0 +1,372 @@
+package dfg
+
+import (
+	"repro/internal/annot"
+)
+
+// Options configures the parallelization transformations and the runtime
+// behaviours planned on the resulting graph. The configurations in Fig. 7
+// map onto these knobs:
+//
+//	No Eager:       Eager = EagerNone,     Split = false
+//	Blocking Eager: Eager = EagerBlocking, Split = false
+//	Parallel:       Eager = EagerFull,     Split = false
+//	Par + Split:    Eager = EagerFull,     Split = true
+//	Par + B.Split:  Eager = EagerFull,     Split = true, InputAwareSplit = true
+type Options struct {
+	// Width is the parallelism factor n (the paper sweeps 2..64).
+	Width int
+	// Split enables the t2 transformation: inserting split+cat around
+	// single-input parallelizable nodes.
+	Split bool
+	// InputAwareSplit selects the optimized split implementation that
+	// avoids reading its whole input first (§5.2 Splitting Challenges).
+	// It only applies to splits whose input is a graph-input file of
+	// known size.
+	InputAwareSplit bool
+	// Eager selects the laziness-overcoming behaviour of edges (§5.2).
+	Eager EagerMode
+	// AggResolver supplies (map, aggregate) pairs for P commands. Nil
+	// means only S commands parallelize.
+	AggResolver func(name string, argv []string) (*AggSpec, bool)
+}
+
+// EagerMode selects edge buffering behaviour.
+type EagerMode int
+
+// Eager modes.
+const (
+	// EagerNone leaves every edge a plain bounded FIFO (maximum
+	// laziness, Fig. 6a).
+	EagerNone EagerMode = iota
+	// EagerBlocking inserts eager relays only where deadlock-adjacent
+	// laziness occurs (cat/agg inputs after the first), with a bounded
+	// buffer that blocks when full (Fig. 6c-flavoured).
+	EagerBlocking
+	// EagerFull inserts unbounded eager relays at all multi-input
+	// consumers and split outputs (Fig. 6d).
+	EagerFull
+)
+
+func (m EagerMode) String() string {
+	switch m {
+	case EagerNone:
+		return "no-eager"
+	case EagerBlocking:
+		return "blocking-eager"
+	case EagerFull:
+		return "eager"
+	}
+	return "?"
+}
+
+// Apply runs the parallelization transformations to fixpoint: t1 (input
+// concatenation), t2 (split insertion, when enabled), and the node
+// parallelization transformation T for stateless and pure nodes. It then
+// plans eager placement. The graph is modified in place.
+func Apply(g *Graph, opts Options) {
+	if opts.Width < 2 {
+		planEager(g, opts)
+		return
+	}
+	// t1: concatenate multi-input parallelizable nodes so T can fire.
+	for _, n := range snapshot(g.Nodes) {
+		tryInsertCat(g, n)
+	}
+	// Alternate: (a) run T to fixpoint so parallelism commutes down the
+	// graph, then (b) insert a single split at the first spot that still
+	// lacks a source of parallelism, and repeat. One split then serves a
+	// whole downstream chain, instead of one split per stage.
+	for {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range snapshot(g.Nodes) {
+				if tryParallelize(g, n, opts) {
+					changed = true
+				}
+			}
+		}
+		if !opts.Split {
+			break
+		}
+		inserted := false
+		for _, n := range snapshot(g.Nodes) {
+			if trySplit(g, n, opts) {
+				inserted = true
+				break
+			}
+		}
+		if !inserted {
+			break
+		}
+	}
+	planEager(g, opts)
+}
+
+func snapshot(ns []*Node) []*Node {
+	out := make([]*Node, len(ns))
+	copy(out, ns)
+	return out
+}
+
+// parallelizable reports whether T can apply to the node at all.
+func parallelizable(n *Node, opts Options) bool {
+	switch n.Kind {
+	case KindCommand:
+	default:
+		return false
+	}
+	if len(n.Out) != 1 {
+		return false
+	}
+	switch n.Class {
+	case annot.Stateless:
+		return true
+	case annot.Pure:
+		return n.Agg != nil
+	}
+	return false
+}
+
+// tryInsertCat applies t1: a parallelizable node consuming k > 1 inputs
+// in order is rewired to consume a single cat of those inputs. All the
+// node's argv input placeholders collapse to stdin consumption.
+func tryInsertCat(g *Graph, n *Node) bool {
+	if n.Kind != KindCommand || len(n.In) < 2 {
+		return false
+	}
+	if n.Class != annot.Stateless && n.Class != annot.Pure {
+		return false
+	}
+	if !consumesInOrder(n) {
+		return false
+	}
+	cat := g.AddNode(NewNode(KindCat, "cat", nil, annot.Stateless))
+	ins := snapshotEdges(n.In)
+	for i, e := range ins {
+		e.To = cat
+		cat.In = append(cat.In, e)
+		cat.Args = append(cat.Args, InArg(i))
+	}
+	n.In = nil
+	e := g.Connect(cat, n)
+	_ = e
+	// The node now reads the concatenation from stdin.
+	n.Args = dropInputPlaceholders(n.Args)
+	n.StdinInput = 0
+	return true
+}
+
+func snapshotEdges(es []*Edge) []*Edge {
+	out := make([]*Edge, len(es))
+	copy(out, es)
+	return out
+}
+
+// consumesInOrder reports whether the node treats its multiple inputs as
+// a simple ordered concatenation, i.e. cmd f1 f2 == cat f1 f2 | cmd.
+// This is false for commands that emit per-file output (wc's rows), and
+// false for grep unless -h suppresses its multi-file name prefixes.
+func consumesInOrder(n *Node) bool {
+	switch n.Name {
+	case "cat", "sed", "tr", "cut", "sort", "head", "tail", "fold",
+		"rev", "strings", "iconv", "nl", "uniq":
+		return true
+	case "grep":
+		if len(n.In) <= 1 {
+			return true
+		}
+		for _, a := range n.Args {
+			if a.InputIdx < 0 && a.Text == "-h" {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// dropInputPlaceholders rewrites input placeholder args after the node's
+// stream inputs have been rerouted to stdin: the first placeholder
+// becomes the conventional "-" operand (preserving argument position,
+// which matters for commands like comm -23 - f2), and the rest vanish
+// (they were concatenated into the same stream).
+func dropInputPlaceholders(args []Arg) []Arg {
+	out := make([]Arg, 0, len(args))
+	first := true
+	for _, a := range args {
+		if a.InputIdx < 0 {
+			out = append(out, a)
+			continue
+		}
+		if first {
+			out = append(out, Lit("-"))
+			first = false
+		}
+	}
+	return out
+}
+
+// tryParallelize applies the main transformation T (§4.2): a
+// parallelizable node whose single input is produced by a cat with n > 1
+// inputs is replaced by n replicas (S) or n maps plus an aggregate (P),
+// commuting the cat to after the replicas (S) or eliminating it (P).
+func tryParallelize(g *Graph, n *Node, opts Options) bool {
+	if !parallelizable(n, opts) {
+		return false
+	}
+	if len(n.In) != 1 || n.In[0].From == nil {
+		return false
+	}
+	cat := n.In[0].From
+	if cat.Kind != KindCat {
+		return false
+	}
+	if len(cat.In) < 2 {
+		return false
+	}
+
+	switch n.Class {
+	case annot.Stateless:
+		parallelizeStateless(g, n, cat)
+	case annot.Pure:
+		parallelizePure(g, n, cat)
+	}
+	return true
+}
+
+// detachPredecessor removes the cat node feeding n and returns the edges
+// that fed the cat, detached and ready to be rewired to replicas.
+func detachPredecessor(g *Graph, n *Node) []*Edge {
+	pred := n.In[0].From
+	link := n.In[0]
+	feeds := snapshotEdges(pred.In)
+	for _, e := range feeds {
+		e.To = nil
+	}
+	pred.In = nil
+	g.removeEdge(link)
+	g.removeNode(pred)
+	return feeds
+}
+
+// parallelizeStateless replaces v with n replicas and commutes cat after
+// them (Fig. 4): v(x1···xn) => v(x1)···v(xn).
+func parallelizeStateless(g *Graph, n *Node, pred *Node) {
+	out := n.Out[0]
+	feeds := detachPredecessor(g, n)
+
+	newCat := g.AddNode(NewNode(KindCat, "cat", nil, annot.Stateless))
+	for i, feed := range feeds {
+		replica := g.AddNode(NewNode(KindCommand, n.Name, cloneLits(n.Args), n.Class))
+		replica.Agg = n.Agg
+		replica.noSplit = true
+		feed.To = replica
+		replica.In = []*Edge{feed}
+		replica.StdinInput = 0
+		g.Connect(replica, newCat)
+		newCat.Args = append(newCat.Args, InArg(i))
+	}
+	// Route the new cat to the old consumer edge.
+	out.From = newCat
+	newCat.Out = append(newCat.Out, out)
+	n.Out = nil
+	n.In = nil
+	g.removeNode(n)
+}
+
+// parallelizePure replaces v with n map instances feeding one aggregate
+// node: v(x1···xn) => agg(m(x1)···m(xn)).
+func parallelizePure(g *Graph, n *Node, pred *Node) {
+	out := n.Out[0]
+	feeds := detachPredecessor(g, n)
+
+	agg := g.AddNode(NewNode(KindAgg, n.Agg.AggName, litArgs(n.Agg.AggArgs), annot.Pure))
+	for i, feed := range feeds {
+		m := g.AddNode(NewNode(KindMap, n.Agg.MapName, litArgs(n.Agg.MapArgs), annot.Pure))
+		m.noSplit = true
+		feed.To = m
+		m.In = []*Edge{feed}
+		m.StdinInput = 0
+		g.Connect(m, agg)
+		agg.Args = append(agg.Args, InArg(i))
+	}
+	out.From = agg
+	agg.Out = append(agg.Out, out)
+	n.Out = nil
+	n.In = nil
+	g.removeNode(n)
+}
+
+func cloneLits(args []Arg) []Arg {
+	out := make([]Arg, len(args))
+	copy(out, args)
+	return out
+}
+
+func litArgs(ss []string) []Arg {
+	out := make([]Arg, len(ss))
+	for i, s := range ss {
+		out[i] = Lit(s)
+	}
+	return out
+}
+
+// trySplit applies t2: a parallelizable node with a single input that is
+// not already produced by a cat or split gets a split node inserted
+// before it, so T can fire on the next pass.
+func trySplit(g *Graph, n *Node, opts Options) bool {
+	if !parallelizable(n, opts) || n.noSplit {
+		return false
+	}
+	if len(n.In) != 1 {
+		return false
+	}
+	in := n.In[0]
+	if in.From != nil && (in.From.Kind == KindCat || in.From.Kind == KindSplit) {
+		return false
+	}
+	// Don't split tiny static sources like `echo`; only graph inputs and
+	// command outputs are worth dispersing. (The cost model in the paper
+	// is similarly blunt: split everything the user asked to.)
+	split := g.AddNode(NewNode(KindSplit, "pash-split", nil, annot.Pure))
+	in.To = split
+	split.In = []*Edge{in}
+	split.StdinInput = 0
+	n.In = nil
+	// split produces width outputs; feed them through a cat so that the
+	// next tryParallelize pass commutes it (t2 inserts "cat preceded by
+	// its inverse split", §4.2).
+	cat := g.AddNode(NewNode(KindCat, "cat", nil, annot.Stateless))
+	for i := 0; i < opts.Width; i++ {
+		g.Connect(split, cat)
+		cat.Args = append(cat.Args, InArg(i))
+	}
+	g.Connect(cat, n)
+	n.StdinInput = 0
+	n.Args = dropInputPlaceholders(n.Args)
+	return true
+}
+
+// planEager marks the edges that get eager relay buffers at execution:
+// every input after the first of a multi-input consumer (cat, agg, comm)
+// and every split output except the last (§5.2). EagerFull marks them
+// unbounded; EagerBlocking keeps them (bounded behaviour is chosen by the
+// runtime from Options); EagerNone marks nothing.
+func planEager(g *Graph, opts Options) {
+	if opts.Eager == EagerNone {
+		return
+	}
+	for _, n := range g.Nodes {
+		if len(n.In) > 1 {
+			for _, e := range n.In[1:] {
+				e.Eager = true
+			}
+		}
+		if n.Kind == KindSplit && len(n.Out) > 1 {
+			for _, e := range n.Out[:len(n.Out)-1] {
+				e.Eager = true
+			}
+		}
+	}
+}

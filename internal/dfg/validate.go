@@ -1,0 +1,126 @@
+package dfg
+
+import "fmt"
+
+// Validate checks structural invariants of the graph:
+//
+//   - every edge's From/To matches the endpoints' port lists
+//   - every node's input placeholders reference existing inputs, and each
+//     input is consumed exactly once (stdin or placeholder)
+//   - the graph is acyclic
+//   - boundary edges carry bindings
+func (g *Graph) Validate() error {
+	nodeSet := map[*Node]bool{}
+	for _, n := range g.Nodes {
+		nodeSet[n] = true
+	}
+	edgeSet := map[*Edge]bool{}
+	for _, e := range g.Edges {
+		edgeSet[e] = true
+	}
+	for _, e := range g.Edges {
+		if e.From != nil {
+			if !nodeSet[e.From] {
+				return fmt.Errorf("dfg: edge %s references removed producer", e)
+			}
+			if !containsEdge(e.From.Out, e) {
+				return fmt.Errorf("dfg: edge %s missing from producer's out list", e)
+			}
+		}
+		if e.To != nil {
+			if !nodeSet[e.To] {
+				return fmt.Errorf("dfg: edge %s references removed consumer", e)
+			}
+			if !containsEdge(e.To.In, e) {
+				return fmt.Errorf("dfg: edge %s missing from consumer's in list", e)
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		for _, e := range n.In {
+			if !edgeSet[e] {
+				return fmt.Errorf("dfg: node %s lists removed edge", n)
+			}
+			if e.To != n {
+				return fmt.Errorf("dfg: node %s input edge points elsewhere", n)
+			}
+		}
+		for _, e := range n.Out {
+			if !edgeSet[e] {
+				return fmt.Errorf("dfg: node %s lists removed out edge", n)
+			}
+			if e.From != n {
+				return fmt.Errorf("dfg: node %s output edge points elsewhere", n)
+			}
+		}
+		if n.StdinInput >= len(n.In) {
+			return fmt.Errorf("dfg: node %s stdin index %d out of range (%d inputs)", n, n.StdinInput, len(n.In))
+		}
+		// Each input must be consumed exactly once: via stdin or an arg
+		// placeholder. Split/cat/agg nodes manage their own ports.
+		used := make([]int, len(n.In))
+		if n.StdinInput >= 0 {
+			used[n.StdinInput]++
+		}
+		for _, a := range n.Args {
+			if a.InputIdx >= 0 {
+				if a.InputIdx >= len(n.In) {
+					return fmt.Errorf("dfg: node %s placeholder <in%d> out of range", n, a.InputIdx)
+				}
+				used[a.InputIdx]++
+			}
+		}
+		for i, c := range used {
+			if c != 1 {
+				return fmt.Errorf("dfg: node %s input %d consumed %d times", n, i, c)
+			}
+		}
+	}
+	return g.checkAcyclic()
+}
+
+func containsEdge(list []*Edge, e *Edge) bool {
+	for _, x := range list {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Graph) checkAcyclic() error {
+	// Kahn's algorithm over nodes.
+	indeg := map[*Node]int{}
+	for _, n := range g.Nodes {
+		for _, e := range n.In {
+			if e.From != nil {
+				indeg[n]++
+			}
+		}
+	}
+	var queue []*Node
+	for _, n := range g.Nodes {
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, e := range n.Out {
+			if e.To == nil {
+				continue
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if seen != len(g.Nodes) {
+		return fmt.Errorf("dfg: graph has a cycle (%d of %d nodes reachable)", seen, len(g.Nodes))
+	}
+	return nil
+}

@@ -1,0 +1,397 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/commands"
+	"repro/internal/dfg"
+)
+
+// Config controls graph execution.
+type Config struct {
+	// BlockingEager bounds eager buffers at this many bytes (the
+	// Blocking Eager configuration in Fig. 7); 0 means eager edges are
+	// unbounded.
+	BlockingEager int
+	// InputAwareSplit selects the seek-based split for graph-input
+	// files (Par + B.Split in Fig. 7).
+	InputAwareSplit bool
+	// Dir is the working directory for file bindings.
+	Dir string
+	// Env is the command environment.
+	Env map[string]string
+}
+
+// StdIO binds the graph's boundary streams.
+type StdIO struct {
+	Stdin  io.Reader
+	Stdout io.Writer
+	Stderr io.Writer
+}
+
+// Result reports a graph execution.
+type Result struct {
+	// ExitCode is the exit status of the graph's final node (the node
+	// feeding the primary output), following shell pipeline semantics.
+	ExitCode int
+	// NodeCount is the number of node goroutines launched (the paper's
+	// "#nodes", Tab. 2).
+	NodeCount int
+	// NodeTimes reports per-node wall and active (wall minus
+	// pipe-blocked) durations, feeding the multicore scheduling
+	// simulator on single-core hosts.
+	NodeTimes []NodeTime
+}
+
+// NodeTime is one node's measured execution profile.
+type NodeTime struct {
+	ID     int
+	Name   string
+	Wall   time.Duration
+	Active time.Duration
+}
+
+// Execute runs the graph to completion: one goroutine per node, edges as
+// in-memory streams, boundary edges bound to files or StdIO. It returns
+// when every node has terminated.
+func Execute(ctx context.Context, g *dfg.Graph, reg *commands.Registry, stdio StdIO, cfg Config) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if stdio.Stdout == nil {
+		stdio.Stdout = io.Discard
+	}
+	if stdio.Stderr == nil {
+		stdio.Stderr = io.Discard
+	}
+	ex := &executor{
+		g: g, reg: reg, stdio: stdio, cfg: cfg,
+		readers: map[*dfg.Edge]io.ReadCloser{},
+		writers: map[*dfg.Edge]io.WriteCloser{},
+		names:   map[*dfg.Edge]string{},
+		meters:  map[*dfg.Node]*int64{},
+	}
+	for _, n := range g.Nodes {
+		ex.meters[n] = new(int64)
+	}
+	return ex.run(ctx)
+}
+
+type executor struct {
+	g     *dfg.Graph
+	reg   *commands.Registry
+	stdio StdIO
+	cfg   Config
+
+	readers map[*dfg.Edge]io.ReadCloser
+	writers map[*dfg.Edge]io.WriteCloser
+	names   map[*dfg.Edge]string
+	meters  map[*dfg.Node]*int64 // blocked ns per node
+
+	closers []io.Closer
+	closeMu sync.Mutex
+}
+
+// virtualPrefix namespaces edge streams in the overlay filesystem.
+const virtualPrefix = "/pash/edge/"
+
+func (ex *executor) run(ctx context.Context) (*Result, error) {
+	// Materialize edges.
+	osfs := commands.OSFS{Dir: ex.cfg.Dir}
+	for _, e := range ex.g.Edges {
+		if err := ex.materialize(e, osfs); err != nil {
+			ex.closeEverything()
+			return nil, err
+		}
+	}
+
+	overlay := &overlayFS{base: osfs, streams: ex.readers, names: ex.names}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	var finalStatus int
+	nodeTimes := make([]NodeTime, len(ex.g.Nodes))
+	finalNode := ex.finalNode()
+
+	for i, n := range ex.g.Nodes {
+		i, n := i, n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			err := ex.runNode(ctx, n, overlay)
+			wall := time.Since(start)
+			blocked := time.Duration(atomic.LoadInt64(ex.meters[n]))
+			active := wall - blocked
+			if active < 0 {
+				active = 0
+			}
+			nodeTimes[i] = NodeTime{ID: n.ID, Name: n.Name, Wall: wall, Active: active}
+			code := commands.ExitCode(err)
+			if err != nil && !isCleanTermination(err) {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("node %s: %w", n, err)
+				}
+				mu.Unlock()
+			}
+			if n == finalNode {
+				mu.Lock()
+				finalStatus = code
+				mu.Unlock()
+			}
+			// The node is done: close its ends of every edge. Closing
+			// unread inputs delivers the SIGPIPE analog upstream —
+			// PaSh's cleanup logic that prevents dangling-FIFO
+			// deadlocks (§5.2).
+			ex.closeNodeEdges(n)
+		}()
+	}
+	wg.Wait()
+	ex.closeEverything()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &Result{ExitCode: finalStatus, NodeCount: len(ex.g.Nodes), NodeTimes: nodeTimes}, nil
+}
+
+// isCleanTermination treats downstream-closed write failures and
+// non-zero exit statuses as normal pipeline behaviour.
+func isCleanTermination(err error) bool {
+	if errors.Is(err, ErrDownstreamClosed) {
+		return true
+	}
+	var ee *commands.ExitError
+	return errors.As(err, &ee)
+}
+
+// finalNode picks the node feeding the primary output (stdout binding if
+// present, else any graph output).
+func (ex *executor) finalNode() *dfg.Node {
+	var fallback *dfg.Node
+	for _, e := range ex.g.OutputEdges() {
+		if e.From == nil {
+			continue
+		}
+		if e.Sink.Kind == dfg.BindStdout {
+			return e.From
+		}
+		fallback = e.From
+	}
+	return fallback
+}
+
+func (ex *executor) materialize(e *dfg.Edge, osfs commands.OSFS) error {
+	// Producer end.
+	switch {
+	case e.From != nil:
+		// Internal producer: a stream. Created below together with the
+		// consumer end.
+	case e.Source.Kind == dfg.BindFile:
+		f, err := osfs.Open(e.Source.Path)
+		if err != nil {
+			return fmt.Errorf("runtime: input %s: %w", e.Source.Path, err)
+		}
+		ex.readers[e] = f
+		ex.track(f)
+	case e.Source.Kind == dfg.BindStdin:
+		r := ex.stdio.Stdin
+		if r == nil {
+			r = strings.NewReader("")
+		}
+		ex.readers[e] = io.NopCloser(r)
+	default:
+		// Unbound input: empty stream.
+		ex.readers[e] = io.NopCloser(strings.NewReader(""))
+	}
+
+	// Consumer end.
+	switch {
+	case e.To != nil && e.From == nil:
+		// Reader already set above; nothing else to do.
+	case e.To == nil && e.From != nil:
+		switch e.Sink.Kind {
+		case dfg.BindFile:
+			var w io.WriteCloser
+			var err error
+			if e.Sink.Append {
+				w, err = osfs.Append(e.Sink.Path)
+			} else {
+				w, err = osfs.Create(e.Sink.Path)
+			}
+			if err != nil {
+				return fmt.Errorf("runtime: output %s: %w", e.Sink.Path, err)
+			}
+			ex.writers[e] = w
+			ex.track(w)
+		case dfg.BindStdout:
+			ex.writers[e] = nopWriteCloser{ex.stdio.Stdout}
+		case dfg.BindNone:
+			// Explicitly discarded stream (a pipe whose consumer reads a
+			// file instead, POSIX `a | b <f` semantics).
+			ex.writers[e] = nopWriteCloser{io.Discard}
+		}
+	case e.To != nil && e.From != nil:
+		blocking := 0
+		if e.Eager && ex.cfg.BlockingEager > 0 {
+			blocking = ex.cfg.BlockingEager
+		}
+		s := newEdgeStream(e.Eager, blocking)
+		s.p.readMeter = ex.meters[e.To]
+		s.p.writeMeter = ex.meters[e.From]
+		ex.readers[e] = s.reader()
+		ex.writers[e] = s.writer()
+	case e.To == nil && e.From == nil:
+		return fmt.Errorf("runtime: edge %s is fully unbound", e)
+	}
+	if e.From == nil && e.Source.Kind == dfg.BindFile {
+		// File inputs keep their real name: commands that embed input
+		// names in their output (grep's file prefixes) behave exactly as
+		// in a real shell, and the overlay passes the path through.
+		ex.names[e] = e.Source.Path
+	} else {
+		ex.names[e] = fmt.Sprintf("%s%d", virtualPrefix, e.ID)
+	}
+	return nil
+}
+
+func (ex *executor) track(c io.Closer) {
+	ex.closeMu.Lock()
+	ex.closers = append(ex.closers, c)
+	ex.closeMu.Unlock()
+}
+
+func (ex *executor) closeEverything() {
+	ex.closeMu.Lock()
+	defer ex.closeMu.Unlock()
+	for _, c := range ex.closers {
+		c.Close()
+	}
+	ex.closers = nil
+}
+
+// closeNodeEdges closes the node's side of each of its edges.
+func (ex *executor) closeNodeEdges(n *dfg.Node) {
+	for _, e := range n.Out {
+		if w := ex.writers[e]; w != nil {
+			w.Close()
+		}
+	}
+	for _, e := range n.In {
+		if r := ex.readers[e]; r != nil {
+			r.Close()
+		}
+	}
+}
+
+// runNode executes one node.
+func (ex *executor) runNode(ctx context.Context, n *dfg.Node, overlay *overlayFS) error {
+	if n.Kind == dfg.KindSplit {
+		return ex.runSplit(n)
+	}
+	// Stdout: the (single) output edge; nodes with no outputs write to
+	// the void.
+	var stdout io.Writer = io.Discard
+	if len(n.Out) > 0 {
+		stdout = ex.writers[n.Out[0]]
+	}
+	var stdin io.Reader = strings.NewReader("")
+	if n.StdinInput >= 0 {
+		stdin = ex.readers[n.In[n.StdinInput]]
+	}
+	args := n.ArgStrings(func(i int) string { return ex.names[n.In[i]] })
+	cctx := &commands.Context{
+		Args:   args,
+		Stdin:  stdin,
+		Stdout: stdout,
+		Stderr: ex.stdio.Stderr,
+		FS:     overlay,
+		Env:    ex.cfg.Env,
+	}
+	return ex.reg.Run(n.Name, cctx)
+}
+
+// runSplit dispatches to the right split strategy.
+func (ex *executor) runSplit(n *dfg.Node) error {
+	ws := make([]io.WriteCloser, len(n.Out))
+	for i, e := range n.Out {
+		ws[i] = ex.writers[e]
+	}
+	in := n.In[0]
+	if ex.cfg.InputAwareSplit && in.From == nil && in.Source.Kind == dfg.BindFile {
+		path := in.Source.Path
+		if !filepath.IsAbs(path) && ex.cfg.Dir != "" {
+			path = filepath.Join(ex.cfg.Dir, path)
+		}
+		// The input edge reader is unused in this mode; close it so any
+		// producer bookkeeping settles.
+		ex.readers[in].Close()
+		return splitError(n.ID, fileSplit(path, ws))
+	}
+	return splitError(n.ID, generalSplit(ex.readers[in], ws))
+}
+
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+// overlayFS resolves virtual edge names to live streams and passes
+// everything else through to the real filesystem. Commands are none the
+// wiser that some of their "files" are pipes — mirroring how PaSh's
+// generated scripts substitute FIFOs for files.
+type overlayFS struct {
+	base    commands.OSFS
+	streams map[*dfg.Edge]io.ReadCloser
+	names   map[*dfg.Edge]string
+
+	mu     sync.Mutex
+	byName map[string]io.ReadCloser
+}
+
+func (o *overlayFS) index() map[string]io.ReadCloser {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.byName == nil {
+		o.byName = make(map[string]io.ReadCloser, len(o.streams))
+		for e, r := range o.streams {
+			o.byName[o.names[e]] = r
+		}
+	}
+	return o.byName
+}
+
+// Open resolves virtual names to edge readers.
+func (o *overlayFS) Open(path string) (io.ReadCloser, error) {
+	if strings.HasPrefix(path, virtualPrefix) {
+		if r, ok := o.index()[path]; ok {
+			return r, nil
+		}
+		return nil, fmt.Errorf("runtime: unknown stream %s", path)
+	}
+	return o.base.Open(path)
+}
+
+// Create passes through to the real filesystem.
+func (o *overlayFS) Create(path string) (io.WriteCloser, error) {
+	if strings.HasPrefix(path, virtualPrefix) {
+		return nil, fmt.Errorf("runtime: cannot create stream %s", path)
+	}
+	return o.base.Create(path)
+}
+
+// Append passes through to the real filesystem.
+func (o *overlayFS) Append(path string) (io.WriteCloser, error) {
+	if strings.HasPrefix(path, virtualPrefix) {
+		return nil, fmt.Errorf("runtime: cannot append to stream %s", path)
+	}
+	return o.base.Append(path)
+}

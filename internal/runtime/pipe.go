@@ -1,0 +1,185 @@
+// Package runtime executes PaSh dataflow graphs in-process: one
+// goroutine per node (the analog of one process per command), bounded
+// in-memory FIFOs for edges (the analog of OS pipes), unbounded eager
+// buffers implementing the paper's eager relay nodes (§5.2), and the two
+// split implementations (§5.2 Splitting Challenges).
+package runtime
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrDownstreamClosed is returned by Edge writes after the reader has
+// gone away — the in-process analog of SIGPIPE/EPIPE. Node failures with
+// this cause are treated as clean termination, exactly like a command
+// killed by a PIPE signal in a shell pipeline.
+var ErrDownstreamClosed = errors.New("runtime: downstream closed the stream")
+
+// pipeBufSize is the default FIFO capacity, matching the Linux pipe
+// default of 64 KiB.
+const pipeBufSize = 64 * 1024
+
+// pipe is a byte stream with a bounded (or unbounded) buffer. A bounded
+// pipe blocks writers when full — lazy, like a UNIX FIFO. max = 0 means
+// unbounded: writes never block, which is what the paper's eager relay
+// achieves by buffering in the relay process.
+//
+// Each end can carry a meter: nanoseconds spent blocked in cond.Wait are
+// accumulated there, so the executor can compute every node's *active*
+// work (wall time minus blocked time) — the input to the multicore
+// scheduling simulator.
+type pipe struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []byte
+	off     int // read offset into buf
+	max     int // 0 = unbounded
+	closedW bool
+	closedR bool
+
+	readMeter  *int64 // atomic ns blocked in Read
+	writeMeter *int64 // atomic ns blocked in Write
+}
+
+func newPipe(max int) *pipe {
+	p := &pipe{max: max}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *pipe) pending() int { return len(p.buf) - p.off }
+
+// Write appends to the buffer, blocking while a bounded buffer is full.
+func (p *pipe) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	written := 0
+	for len(b) > 0 {
+		if p.closedR {
+			return written, ErrDownstreamClosed
+		}
+		if p.closedW {
+			return written, errors.New("runtime: write after close")
+		}
+		space := len(b)
+		if p.max > 0 {
+			free := p.max - p.pending()
+			if free <= 0 {
+				p.metered(p.writeMeter)
+				continue
+			}
+			if space > free {
+				space = free
+			}
+		}
+		p.compact()
+		p.buf = append(p.buf, b[:space]...)
+		b = b[space:]
+		written += space
+		p.cond.Broadcast()
+	}
+	return written, nil
+}
+
+// compact reclaims consumed prefix space when it dominates the buffer.
+func (p *pipe) compact() {
+	if p.off > 4096 && p.off > len(p.buf)/2 {
+		copy(p.buf, p.buf[p.off:])
+		p.buf = p.buf[:p.pending()]
+		p.off = 0
+	}
+}
+
+// Read consumes buffered bytes, blocking while the pipe is open and
+// empty.
+func (p *pipe) Read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.closedR {
+			return 0, io.ErrClosedPipe
+		}
+		if n := p.pending(); n > 0 {
+			c := copy(b, p.buf[p.off:])
+			p.off += c
+			if p.pending() == 0 && p.closedW {
+				// Allow the buffer to be reclaimed early.
+				p.buf = nil
+				p.off = 0
+			}
+			p.cond.Broadcast()
+			return c, nil
+		}
+		if p.closedW {
+			return 0, io.EOF
+		}
+		p.metered(p.readMeter)
+	}
+}
+
+// metered waits on the pipe's condition, charging the blocked time to
+// the given meter when one is attached.
+func (p *pipe) metered(meter *int64) {
+	if meter == nil {
+		p.cond.Wait()
+		return
+	}
+	start := time.Now()
+	p.cond.Wait()
+	atomic.AddInt64(meter, int64(time.Since(start)))
+}
+
+// CloseWrite signals EOF to the reader.
+func (p *pipe) CloseWrite() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closedW = true
+	p.cond.Broadcast()
+}
+
+// CloseRead abandons the stream: subsequent writes fail with
+// ErrDownstreamClosed (the SIGPIPE analog) and buffered data is dropped.
+func (p *pipe) CloseRead() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closedR = true
+	p.buf = nil
+	p.off = 0
+	p.cond.Broadcast()
+}
+
+// edgeStream packages the two ends of an edge.
+type edgeStream struct {
+	p *pipe
+}
+
+func newEdgeStream(eager bool, blockingEagerMax int) *edgeStream {
+	switch {
+	case blockingEagerMax > 0:
+		return &edgeStream{p: newPipe(blockingEagerMax)}
+	case eager:
+		return &edgeStream{p: newPipe(0)}
+	default:
+		return &edgeStream{p: newPipe(pipeBufSize)}
+	}
+}
+
+// writer returns the write end (Close = CloseWrite).
+func (s *edgeStream) writer() io.WriteCloser { return writeEnd{s.p} }
+
+// reader returns the read end (Close = CloseRead).
+func (s *edgeStream) reader() io.ReadCloser { return readEnd{s.p} }
+
+type writeEnd struct{ p *pipe }
+
+func (w writeEnd) Write(b []byte) (int, error) { return w.p.Write(b) }
+func (w writeEnd) Close() error                { w.p.CloseWrite(); return nil }
+
+type readEnd struct{ p *pipe }
+
+func (r readEnd) Read(b []byte) (int, error) { return r.p.Read(b) }
+func (r readEnd) Close() error               { r.p.CloseRead(); return nil }

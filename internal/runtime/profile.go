@@ -1,0 +1,128 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"time"
+
+	"repro/internal/commands"
+	"repro/internal/dfg"
+)
+
+// Profile executes the graph in measurement mode: nodes run one at a
+// time in topological order with unbounded edge buffers, so each node's
+// wall time is its true compute work — free of the scheduler-queuing
+// noise that concurrent execution on a small host mixes in. The output
+// is byte-identical to a normal execution; NodeTimes carry the clean
+// works that the multicore scheduling simulator consumes.
+//
+// Not suitable for graphs with unbounded producers (yes | head): in
+// measurement mode producers run to completion before their consumers.
+func Profile(ctx context.Context, g *dfg.Graph, reg *commands.Registry, stdio StdIO, cfg Config) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if stdio.Stdout == nil {
+		stdio.Stdout = io.Discard
+	}
+	if stdio.Stderr == nil {
+		stdio.Stderr = io.Discard
+	}
+	ex := &executor{
+		g: g, reg: reg, stdio: stdio, cfg: cfg,
+		readers: map[*dfg.Edge]io.ReadCloser{},
+		writers: map[*dfg.Edge]io.WriteCloser{},
+		names:   map[*dfg.Edge]string{},
+		meters:  map[*dfg.Node]*int64{},
+	}
+	for _, n := range g.Nodes {
+		ex.meters[n] = new(int64)
+	}
+	osfs := commands.OSFS{Dir: cfg.Dir}
+	for _, e := range ex.g.Edges {
+		if err := ex.materializeUnbounded(e, osfs); err != nil {
+			ex.closeEverything()
+			return nil, err
+		}
+	}
+	overlay := &overlayFS{base: osfs, streams: ex.readers, names: ex.names}
+
+	order, err := topoOrder(g)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{NodeCount: len(g.Nodes)}
+	finalNode := ex.finalNode()
+	for _, n := range order {
+		start := time.Now()
+		err := ex.runNode(ctx, n, overlay)
+		wall := time.Since(start)
+		res.NodeTimes = append(res.NodeTimes, NodeTime{
+			ID: n.ID, Name: n.Name, Wall: wall, Active: wall,
+		})
+		code := commands.ExitCode(err)
+		if err != nil && !isCleanTermination(err) {
+			ex.closeEverything()
+			return nil, fmt.Errorf("runtime: profile node %s: %w", n, err)
+		}
+		if n == finalNode {
+			res.ExitCode = code
+		}
+		ex.closeNodeEdges(n)
+	}
+	ex.closeEverything()
+	return res, nil
+}
+
+// materializeUnbounded is materialize with every internal edge given an
+// unbounded buffer (so a producer can complete before its consumer
+// starts).
+func (ex *executor) materializeUnbounded(e *dfg.Edge, osfs commands.OSFS) error {
+	if e.To != nil && e.From != nil {
+		s := newEdgeStream(true, 0)
+		ex.readers[e] = s.reader()
+		ex.writers[e] = s.writer()
+		ex.names[e] = fmt.Sprintf("%s%d", virtualPrefix, e.ID)
+		return nil
+	}
+	return ex.materialize(e, osfs)
+}
+
+// topoOrder returns the graph's nodes in topological order.
+func topoOrder(g *dfg.Graph) ([]*dfg.Node, error) {
+	indeg := map[*dfg.Node]int{}
+	for _, n := range g.Nodes {
+		for _, e := range n.In {
+			if e.From != nil {
+				indeg[n]++
+			}
+		}
+	}
+	var queue []*dfg.Node
+	for _, n := range g.Nodes {
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	var order []*dfg.Node
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, e := range n.Out {
+			if e.To == nil {
+				continue
+			}
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, fmt.Errorf("runtime: profile: graph has a cycle")
+	}
+	return order, nil
+}

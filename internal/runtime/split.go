@@ -1,0 +1,171 @@
+package runtime
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/commands"
+)
+
+// This file implements the two split strategies of §5.2:
+//
+//   - generalSplit consumes its complete input, counts lines, and then
+//     distributes them evenly — correct for any upstream producer, but a
+//     task-parallelism barrier.
+//   - fileSplit (the "input-aware" variant) knows its input is a regular
+//     file of known size: it seeks to newline-aligned byte offsets and
+//     streams each chunk concurrently, never reading the input twice.
+
+// generalSplit reads everything from r, then writes line-balanced chunks
+// to the writers in order.
+func generalSplit(r io.Reader, ws []io.WriteCloser) error {
+	lines, err := commands.ReadAllLines(r)
+	if err != nil {
+		closeAll(ws)
+		return err
+	}
+	n := len(ws)
+	per := (len(lines) + n - 1) / n
+	idx := 0
+	for i, w := range ws {
+		bw := bufio.NewWriterSize(w, 64*1024)
+		for j := 0; j < per && idx < len(lines); j++ {
+			if _, err := bw.Write(lines[idx]); err != nil {
+				if err == ErrDownstreamClosed {
+					break
+				}
+				closeAll(ws[i:])
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				break
+			}
+			idx++
+		}
+		if err := bw.Flush(); err != nil && err != ErrDownstreamClosed {
+			closeAll(ws[i:])
+			return err
+		}
+		w.Close()
+	}
+	return nil
+}
+
+// fileSplit divides the file [path] into len(ws) byte ranges aligned to
+// line boundaries and streams each range to its writer concurrently.
+// Alignment rule: each chunk starts right after the first newline at or
+// before its nominal offset (chunk 0 starts at 0), so every line lands in
+// exactly one chunk.
+func fileSplit(path string, ws []io.WriteCloser) error {
+	f, err := os.Open(path)
+	if err != nil {
+		closeAll(ws)
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		closeAll(ws)
+		return err
+	}
+	size := st.Size()
+	f.Close()
+	n := int64(len(ws))
+	nominal := make([]int64, n+1)
+	for i := int64(0); i <= n; i++ {
+		nominal[i] = size * i / n
+	}
+	// Align offsets to line starts.
+	starts := make([]int64, n+1)
+	starts[0] = 0
+	starts[n] = size
+	for i := int64(1); i < n; i++ {
+		off, err := alignToLineStart(path, nominal[i])
+		if err != nil {
+			closeAll(ws)
+			return err
+		}
+		starts[i] = off
+	}
+	errc := make(chan error, n)
+	for i := int64(0); i < n; i++ {
+		go func(lo, hi int64, w io.WriteCloser) {
+			errc <- streamRange(path, lo, hi, w)
+		}(starts[i], starts[i+1], ws[i])
+	}
+	var first error
+	for i := int64(0); i < n; i++ {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// alignToLineStart finds the first byte position >= off that begins a
+// line (position 0 or one past a newline), scanning forward.
+func alignToLineStart(path string, off int64) (int64, error) {
+	if off == 0 {
+		return 0, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(off-1, io.SeekStart); err != nil {
+		return 0, err
+	}
+	br := bufio.NewReader(f)
+	// Scan until the next newline; the line start is one past it.
+	skipped := int64(0)
+	for {
+		b, err := br.ReadByte()
+		if err == io.EOF {
+			return off + skipped, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		skipped++
+		if b == '\n' {
+			return off - 1 + skipped, nil
+		}
+	}
+}
+
+func streamRange(path string, lo, hi int64, w io.WriteCloser) error {
+	defer w.Close()
+	if hi <= lo {
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Seek(lo, io.SeekStart); err != nil {
+		return err
+	}
+	_, err = io.CopyN(w, f, hi-lo)
+	if err == ErrDownstreamClosed || err == io.EOF {
+		return nil
+	}
+	return err
+}
+
+func closeAll(ws []io.WriteCloser) {
+	for _, w := range ws {
+		w.Close()
+	}
+}
+
+// splitError annotates split failures with the node for diagnostics.
+func splitError(nodeID int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("runtime: split node #%d: %w", nodeID, err)
+}

@@ -1,0 +1,289 @@
+// Package shell implements a lexer, parser, AST, pretty-printer, and word
+// expander for the subset of the POSIX shell language that PaSh operates
+// on: simple commands, pipelines, and-or lists, sequential and background
+// composition, redirections, for/if/while compound commands, subshells and
+// brace groups, single/double quoting, parameter expansion, and brace-range
+// expansion.
+//
+// The parser is deliberately conservative: constructs it does not
+// understand (e.g. command substitution) are preserved verbatim as opaque
+// words so that downstream passes can refuse to parallelize them, exactly
+// as the paper's front-end does for "incomplete information" (§5.1).
+package shell
+
+import "strings"
+
+// Node is implemented by every AST node.
+type Node interface {
+	node()
+}
+
+// Command is implemented by every node that can appear in command position.
+type Command interface {
+	Node
+	command()
+}
+
+// Word is a single shell word: a concatenation of parts that expand and
+// then juxtapose into one field (before field splitting).
+type Word struct {
+	Parts []WordPart
+}
+
+func (*Word) node() {}
+
+// WordPart is one syntactic piece of a word.
+type WordPart interface {
+	Node
+	wordPart()
+}
+
+// Lit is an unquoted literal run of characters.
+type Lit struct {
+	Text string
+}
+
+// SglQuoted is a single-quoted string: no expansion happens inside.
+type SglQuoted struct {
+	Text string
+}
+
+// DblQuoted is a double-quoted string: parameter expansion happens inside,
+// but no field splitting of the result.
+type DblQuoted struct {
+	Parts []WordPart
+}
+
+// Param is a parameter expansion: $name or ${name}.
+type Param struct {
+	Name   string
+	Braced bool
+}
+
+// CmdSub is a command substitution $(...) or `...`. PaSh treats these as
+// opaque: the raw source is preserved and the enclosing region is marked
+// non-parallelizable.
+type CmdSub struct {
+	Src string // raw source between the delimiters
+}
+
+// BraceRange is a brace range expansion {lo..hi}, as used by the paper's
+// running example ({2015..2020}). It is a bash-ism that the paper's
+// examples rely on, so we support it.
+type BraceRange struct {
+	Lo, Hi int
+}
+
+// BraceList is a brace list expansion {a,b,c}.
+type BraceList struct {
+	Items []*Word
+}
+
+func (*Lit) node()        {}
+func (*SglQuoted) node()  {}
+func (*DblQuoted) node()  {}
+func (*Param) node()      {}
+func (*CmdSub) node()     {}
+func (*BraceRange) node() {}
+func (*BraceList) node()  {}
+
+func (*Lit) wordPart()        {}
+func (*SglQuoted) wordPart()  {}
+func (*DblQuoted) wordPart()  {}
+func (*Param) wordPart()      {}
+func (*CmdSub) wordPart()     {}
+func (*BraceRange) wordPart() {}
+func (*BraceList) wordPart()  {}
+
+// Assign is a variable assignment prefix of a simple command (or a bare
+// assignment statement when the command has no arguments).
+type Assign struct {
+	Name  string
+	Value *Word // nil means empty value
+}
+
+func (*Assign) node() {}
+
+// RedirOp enumerates the redirection operators we support.
+type RedirOp int
+
+// Redirection operators.
+const (
+	RedirIn      RedirOp = iota // <
+	RedirOut                    // >
+	RedirAppend                 // >>
+	RedirDupIn                  // <&
+	RedirDupOut                 // >&
+	RedirHeredoc                // << (content carried verbatim)
+)
+
+func (op RedirOp) String() string {
+	switch op {
+	case RedirIn:
+		return "<"
+	case RedirOut:
+		return ">"
+	case RedirAppend:
+		return ">>"
+	case RedirDupIn:
+		return "<&"
+	case RedirDupOut:
+		return ">&"
+	case RedirHeredoc:
+		return "<<"
+	}
+	return "?"
+}
+
+// Redir is a single redirection.
+type Redir struct {
+	N       int // file descriptor; -1 means the operator default
+	Op      RedirOp
+	Target  *Word  // filename, fd number for dups, or heredoc delimiter
+	Heredoc string // body for RedirHeredoc
+}
+
+func (*Redir) node() {}
+
+// Simple is a simple command: optional assignments, a command word plus
+// arguments, and redirections.
+type Simple struct {
+	Assigns []*Assign
+	Args    []*Word // Args[0] is the command name; may be empty for bare assignments
+	Redirs  []*Redir
+}
+
+// Pipeline is cmd | cmd | ... (length >= 1). Negated covers the leading "!".
+type Pipeline struct {
+	Negated bool
+	Cmds    []Command
+}
+
+// AndOrOp is && or ||.
+type AndOrOp int
+
+// And-or list operators.
+const (
+	AndOp AndOrOp = iota // &&
+	OrOp                 // ||
+)
+
+func (op AndOrOp) String() string {
+	if op == AndOp {
+		return "&&"
+	}
+	return "||"
+}
+
+// AndOr is a left-associative chain: First, then each (Op, Cmd) pair.
+type AndOr struct {
+	First Command
+	Rest  []AndOrPart
+}
+
+// AndOrPart is one (operator, command) continuation of an AndOr chain.
+type AndOrPart struct {
+	Op  AndOrOp
+	Cmd Command
+}
+
+// SeqItem is one element of a List: a command plus its trailing separator.
+type SeqItem struct {
+	Cmd        Command
+	Background bool // true when followed by &
+}
+
+// List is a sequence of commands separated by ; or & or newlines.
+type List struct {
+	Items []SeqItem
+}
+
+// For is for name in words; do body; done. An empty Items with In==false
+// iterates "$@", which we do not support and the parser rejects.
+type For struct {
+	Var   string
+	Items []*Word
+	Body  *List
+}
+
+// If is if cond; then body; [else alt;] fi. Elif chains are desugared into
+// nested Ifs in the Else branch.
+type If struct {
+	Cond *List
+	Then *List
+	Else *List // nil if absent
+}
+
+// While is while cond; do body; done. Until is encoded via the flag.
+type While struct {
+	Until bool
+	Cond  *List
+	Body  *List
+}
+
+// Subshell is ( list ).
+type Subshell struct {
+	Body *List
+}
+
+// Brace is { list; }.
+type Brace struct {
+	Body *List
+}
+
+func (*Simple) node()   {}
+func (*Pipeline) node() {}
+func (*AndOr) node()    {}
+func (*List) node()     {}
+func (*For) node()      {}
+func (*If) node()       {}
+func (*While) node()    {}
+func (*Subshell) node() {}
+func (*Brace) node()    {}
+
+func (*Simple) command()   {}
+func (*Pipeline) command() {}
+func (*AndOr) command()    {}
+func (*List) command()     {}
+func (*For) command()      {}
+func (*If) command()       {}
+func (*While) command()    {}
+func (*Subshell) command() {}
+func (*Brace) command()    {}
+
+// LitWord builds a Word holding a single literal. It is a convenience for
+// tests and for synthesizing commands in the back-end.
+func LitWord(s string) *Word {
+	return &Word{Parts: []WordPart{&Lit{Text: s}}}
+}
+
+// Literal returns the word's text if the word consists purely of literal
+// and quoted parts (i.e. it is fully static), and ok=false otherwise.
+func (w *Word) Literal() (string, bool) {
+	var sb strings.Builder
+	for _, p := range w.Parts {
+		switch p := p.(type) {
+		case *Lit:
+			sb.WriteString(p.Text)
+		case *SglQuoted:
+			sb.WriteString(p.Text)
+		case *DblQuoted:
+			inner := &Word{Parts: p.Parts}
+			s, ok := inner.Literal()
+			if !ok {
+				return "", false
+			}
+			sb.WriteString(s)
+		default:
+			return "", false
+		}
+	}
+	return sb.String(), true
+}
+
+// Static reports whether the word contains no dynamic parts (parameter
+// expansions, command substitutions, or brace expansions).
+func (w *Word) Static() bool {
+	_, ok := w.Literal()
+	return ok
+}

@@ -1,0 +1,236 @@
+package shell
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders an AST node back to shell source. The output is valid
+// input for Parse and preserves quoting structure.
+func Print(n Node) string {
+	var sb strings.Builder
+	printNode(&sb, n)
+	return sb.String()
+}
+
+func printNode(sb *strings.Builder, n Node) {
+	switch n := n.(type) {
+	case *Word:
+		printWord(sb, n)
+	case *Simple:
+		printSimple(sb, n)
+	case *Pipeline:
+		if n.Negated {
+			sb.WriteString("! ")
+		}
+		for i, c := range n.Cmds {
+			if i > 0 {
+				sb.WriteString(" | ")
+			}
+			printNode(sb, c)
+		}
+	case *AndOr:
+		printNode(sb, n.First)
+		for _, part := range n.Rest {
+			fmt.Fprintf(sb, " %s ", part.Op)
+			printNode(sb, part.Cmd)
+		}
+	case *List:
+		for i, it := range n.Items {
+			if i > 0 {
+				sb.WriteString(" ")
+			}
+			printNode(sb, it.Cmd)
+			if it.Background {
+				sb.WriteString(" &")
+			} else if i < len(n.Items)-1 {
+				sb.WriteString(";")
+			}
+		}
+	case *For:
+		fmt.Fprintf(sb, "for %s in", n.Var)
+		for _, w := range n.Items {
+			sb.WriteString(" ")
+			printWord(sb, w)
+		}
+		sb.WriteString("; do ")
+		printNode(sb, n.Body)
+		sb.WriteString("; done")
+	case *If:
+		sb.WriteString("if ")
+		printNode(sb, n.Cond)
+		sb.WriteString("; then ")
+		printNode(sb, n.Then)
+		if n.Else != nil {
+			sb.WriteString("; else ")
+			printNode(sb, n.Else)
+		}
+		sb.WriteString("; fi")
+	case *While:
+		if n.Until {
+			sb.WriteString("until ")
+		} else {
+			sb.WriteString("while ")
+		}
+		printNode(sb, n.Cond)
+		sb.WriteString("; do ")
+		printNode(sb, n.Body)
+		sb.WriteString("; done")
+	case *Subshell:
+		sb.WriteString("( ")
+		printNode(sb, n.Body)
+		sb.WriteString(" )")
+	case *Brace:
+		sb.WriteString("{ ")
+		printNode(sb, n.Body)
+		sb.WriteString("; }")
+	default:
+		panic(fmt.Sprintf("shell: Print: unknown node %T", n))
+	}
+}
+
+func printSimple(sb *strings.Builder, n *Simple) {
+	first := true
+	sep := func() {
+		if !first {
+			sb.WriteString(" ")
+		}
+		first = false
+	}
+	for _, a := range n.Assigns {
+		sep()
+		sb.WriteString(a.Name)
+		sb.WriteString("=")
+		if a.Value != nil {
+			printWord(sb, a.Value)
+		}
+	}
+	for _, w := range n.Args {
+		sep()
+		printWord(sb, w)
+	}
+	for _, r := range n.Redirs {
+		sep()
+		if r.N >= 0 {
+			fmt.Fprintf(sb, "%d", r.N)
+		}
+		sb.WriteString(r.Op.String())
+		printWord(sb, r.Target)
+		if r.Op == RedirHeredoc {
+			// Heredocs cannot be printed inline; re-emit as a quoted echo
+			// pipeline would change semantics, so emit the POSIX form on
+			// the following lines.
+			delim, _ := r.Target.Literal()
+			sb.WriteString("\n")
+			sb.WriteString(r.Heredoc)
+			sb.WriteString(delim)
+			sb.WriteString("\n")
+		}
+	}
+}
+
+func printWord(sb *strings.Builder, w *Word) {
+	for i, p := range w.Parts {
+		// An unbraced $name followed by a part starting with a name
+		// character would swallow it on reparse; force braces there.
+		if pp, ok := p.(*Param); ok && !pp.Braced && i+1 < len(w.Parts) {
+			if startsWithNameByte(w.Parts[i+1]) {
+				fmt.Fprintf(sb, "${%s}", pp.Name)
+				continue
+			}
+		}
+		switch p := p.(type) {
+		case *Lit:
+			sb.WriteString(quoteLit(p.Text))
+		case *SglQuoted:
+			sb.WriteString("'")
+			sb.WriteString(p.Text)
+			sb.WriteString("'")
+		case *DblQuoted:
+			sb.WriteString(`"`)
+			for _, ip := range p.Parts {
+				switch ip := ip.(type) {
+				case *Lit:
+					sb.WriteString(escapeDQ(ip.Text))
+				case *Param:
+					printParam(sb, ip)
+				case *CmdSub:
+					sb.WriteString("$(")
+					sb.WriteString(ip.Src)
+					sb.WriteString(")")
+				default:
+					panic(fmt.Sprintf("shell: Print: bad dquoted part %T", ip))
+				}
+			}
+			sb.WriteString(`"`)
+		case *Param:
+			printParam(sb, p)
+		case *CmdSub:
+			sb.WriteString("$(")
+			sb.WriteString(p.Src)
+			sb.WriteString(")")
+		case *BraceRange:
+			fmt.Fprintf(sb, "{%d..%d}", p.Lo, p.Hi)
+		case *BraceList:
+			sb.WriteString("{")
+			for i, it := range p.Items {
+				if i > 0 {
+					sb.WriteString(",")
+				}
+				printWord(sb, it)
+			}
+			sb.WriteString("}")
+		default:
+			panic(fmt.Sprintf("shell: Print: unknown word part %T", p))
+		}
+	}
+}
+
+// startsWithNameByte reports whether the part's leading character could
+// extend a preceding unbraced parameter name. Literals are printed with
+// metacharacters escaped, and a backslash cannot extend a name, so only
+// plain name bytes matter.
+func startsWithNameByte(p WordPart) bool {
+	lit, ok := p.(*Lit)
+	if !ok || lit.Text == "" {
+		return false
+	}
+	return isNameByte(lit.Text[0], false)
+}
+
+func printParam(sb *strings.Builder, p *Param) {
+	if p.Braced {
+		fmt.Fprintf(sb, "${%s}", p.Name)
+	} else {
+		fmt.Fprintf(sb, "$%s", p.Name)
+	}
+}
+
+// quoteLit escapes shell metacharacters in an unquoted literal so that
+// re-parsing yields the same text.
+func quoteLit(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case ' ', '\t', '\n', ';', '&', '|', '(', ')', '<', '>', '#',
+			'\'', '"', '\\', '$', '`', '*', '?', '[', ']', '{', '}', '~':
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(c)
+	}
+	return sb.String()
+}
+
+func escapeDQ(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '"', '\\', '$', '`':
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(c)
+	}
+	return sb.String()
+}

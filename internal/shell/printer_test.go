@@ -1,0 +1,184 @@
+package shell
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randWord builds a random word from literals, quotes, and params.
+func randWord(rng *rand.Rand) *Word {
+	lits := []string{"foo", "x-1", "path/to/file", "a.b", "99", "s;^;p;", "*"}
+	names := []string{"x", "base", "y", "HOME"}
+	n := 1 + rng.Intn(3)
+	var parts []WordPart
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			parts = append(parts, &Lit{Text: lits[rng.Intn(len(lits))]})
+		case 1:
+			parts = append(parts, &SglQuoted{Text: "q u o$ted"})
+		case 2:
+			parts = append(parts, &DblQuoted{Parts: []WordPart{
+				&Lit{Text: "pre "},
+				&Param{Name: names[rng.Intn(len(names))]},
+			}})
+		default:
+			parts = append(parts, &Param{Name: names[rng.Intn(len(names))], Braced: rng.Intn(2) == 0})
+		}
+	}
+	return &Word{Parts: parts}
+}
+
+// randCommand builds a random small AST.
+func randCommand(rng *rand.Rand, depth int) Command {
+	simple := func() Command {
+		s := &Simple{}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			s.Args = append(s.Args, randWord(rng))
+		}
+		if rng.Intn(3) == 0 {
+			s.Redirs = append(s.Redirs, &Redir{N: -1, Op: RedirOut, Target: LitWord("out.txt")})
+		}
+		return s
+	}
+	if depth <= 0 {
+		return simple()
+	}
+	switch rng.Intn(6) {
+	case 0:
+		p := &Pipeline{}
+		for i := 0; i < 2+rng.Intn(3); i++ {
+			p.Cmds = append(p.Cmds, simple())
+		}
+		return p
+	case 1:
+		return &AndOr{
+			First: simple(),
+			Rest:  []AndOrPart{{Op: AndOrOp(rng.Intn(2)), Cmd: simple()}},
+		}
+	case 2:
+		return &For{
+			Var:   "i",
+			Items: []*Word{randWord(rng), LitWord("b")},
+			Body:  &List{Items: []SeqItem{{Cmd: randCommand(rng, depth-1)}}},
+		}
+	case 3:
+		return &If{
+			Cond: &List{Items: []SeqItem{{Cmd: simple()}}},
+			Then: &List{Items: []SeqItem{{Cmd: randCommand(rng, depth-1)}}},
+		}
+	case 4:
+		return &Subshell{Body: &List{Items: []SeqItem{{Cmd: simple()}}}}
+	default:
+		return simple()
+	}
+}
+
+// normalizeBraced clears the purely syntactic Param.Braced flag so the
+// round-trip comparison is semantic ($x and ${x} are the same word).
+func normalizeBraced(n Node) {
+	switch n := n.(type) {
+	case *List:
+		for _, it := range n.Items {
+			normalizeBraced(it.Cmd)
+		}
+	case *Simple:
+		for _, w := range n.Args {
+			normalizeBraced(w)
+		}
+		for _, a := range n.Assigns {
+			if a.Value != nil {
+				normalizeBraced(a.Value)
+			}
+		}
+		for _, r := range n.Redirs {
+			normalizeBraced(r.Target)
+		}
+	case *Pipeline:
+		for _, c := range n.Cmds {
+			normalizeBraced(c)
+		}
+	case *AndOr:
+		normalizeBraced(n.First)
+		for _, p := range n.Rest {
+			normalizeBraced(p.Cmd)
+		}
+	case *For:
+		for _, w := range n.Items {
+			normalizeBraced(w)
+		}
+		normalizeBraced(n.Body)
+	case *If:
+		normalizeBraced(n.Cond)
+		normalizeBraced(n.Then)
+		if n.Else != nil {
+			normalizeBraced(n.Else)
+		}
+	case *While:
+		normalizeBraced(n.Cond)
+		normalizeBraced(n.Body)
+	case *Subshell:
+		normalizeBraced(n.Body)
+	case *Brace:
+		normalizeBraced(n.Body)
+	case *Word:
+		for _, p := range n.Parts {
+			switch p := p.(type) {
+			case *Param:
+				p.Braced = false
+			case *DblQuoted:
+				for _, ip := range p.Parts {
+					if pp, ok := ip.(*Param); ok {
+						pp.Braced = false
+					}
+				}
+				p.Parts = coalesceLits(p.Parts)
+			}
+		}
+		n.Parts = coalesceLits(n.Parts)
+	}
+}
+
+// coalesceLits merges adjacent literal parts: "99"+"*" and "99*" are the
+// same word, but a hand-built AST can contain either form.
+func coalesceLits(parts []WordPart) []WordPart {
+	var out []WordPart
+	for _, p := range parts {
+		if lit, ok := p.(*Lit); ok && len(out) > 0 {
+			if prev, ok := out[len(out)-1].(*Lit); ok {
+				out[len(out)-1] = &Lit{Text: prev.Text + lit.Text}
+				continue
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestQuickPrintParseRoundTrip: parse(print(ast)) is semantically equal
+// to ast for random ASTs.
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := &List{Items: []SeqItem{{Cmd: randCommand(rng, 2)}}}
+		printed := Print(orig)
+		reparsed, err := Parse(printed)
+		if err != nil {
+			t.Logf("seed %d: reparse of %q failed: %v", seed, printed, err)
+			return false
+		}
+		normalizeBraced(orig)
+		normalizeBraced(reparsed)
+		if !reflect.DeepEqual(orig, reparsed) {
+			t.Logf("seed %d: round trip changed AST\nprinted: %q\norig: %#v\ngot:  %#v",
+				seed, printed, orig, reparsed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

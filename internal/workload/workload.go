@@ -1,0 +1,252 @@
+// Package workload generates the deterministic synthetic datasets that
+// stand in for the paper's inputs: book-like text corpora (the one-liner
+// benchmarks), NOAA-format weather archives (§2.1/§6.3), a synthetic
+// Wikipedia fragment (§6.4), dictionaries (Spell), and a directory of
+// scripts (Shortest-scripts). Everything is seeded, so runs are
+// reproducible byte-for-byte.
+package workload
+
+import (
+	"compress/gzip"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// wordList is a base vocabulary; Zipf sampling over it approximates
+// natural-text frequency skew.
+var wordList = []string{
+	"the", "of", "and", "a", "to", "in", "is", "you", "that", "it",
+	"he", "was", "for", "on", "are", "as", "with", "his", "they", "I",
+	"at", "be", "this", "have", "from", "or", "one", "had", "by", "word",
+	"but", "not", "what", "all", "were", "we", "when", "your", "can",
+	"said", "there", "use", "an", "each", "which", "she", "do", "how",
+	"their", "if", "will", "up", "other", "about", "out", "many", "then",
+	"them", "these", "so", "some", "her", "would", "make", "like", "him",
+	"into", "time", "has", "look", "two", "more", "write", "go", "see",
+	"number", "no", "way", "could", "people", "my", "than", "first",
+	"water", "been", "call", "who", "oil", "its", "now", "find", "long",
+	"down", "day", "did", "get", "come", "made", "may", "part", "zephyr",
+	"quixotic", "jumbled", "vortex", "glyph", "sphinx", "waltz", "nymph",
+}
+
+// Text writes n lines of Zipf-distributed words to a string.
+func Text(n int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1.0, uint64(len(wordList)-1))
+	var sb strings.Builder
+	sb.Grow(n * 40)
+	for i := 0; i < n; i++ {
+		words := 4 + rng.Intn(9)
+		for w := 0; w < words; w++ {
+			if w > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(wordList[zipf.Uint64()])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Words writes n Zipf-distributed words, one per line.
+func Words(n int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1.0, uint64(len(wordList)-1))
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteString(wordList[zipf.Uint64()])
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Numbers writes n pseudo-random integers, one per line.
+func Numbers(n int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%d\n", rng.Intn(1_000_000))
+	}
+	return sb.String()
+}
+
+// TextFile writes Text output to path.
+func TextFile(path string, n int, seed int64) error {
+	return os.WriteFile(path, []byte(Text(n, seed)), 0o644)
+}
+
+// Dictionary writes a sorted, deduplicated dictionary of most of the
+// vocabulary (leaving a few words out so Spell finds "misspellings").
+func Dictionary(path string) error {
+	dict := append([]string(nil), wordList...)
+	// Leave the rare tail words out of the dictionary.
+	dict = dict[:len(dict)-8]
+	sortStrings(dict)
+	var sb strings.Builder
+	prev := ""
+	for _, w := range dict {
+		lw := strings.ToLower(w)
+		if lw == prev {
+			continue
+		}
+		sb.WriteString(lw)
+		sb.WriteByte('\n')
+		prev = lw
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && strings.ToLower(s[j]) < strings.ToLower(s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// NOAAConfig sizes the synthetic weather archive.
+type NOAAConfig struct {
+	FirstYear, LastYear int
+	Stations            int
+	RecordsPerStation   int
+	Seed                int64
+}
+
+// NOAA builds a curl-root tree mimicking the NOAA archive layout used by
+// Fig. 1: per-year index listings plus gzipped fixed-width records with
+// the temperature in columns 89-92 (and occasional 999 bogus readings).
+// URLs of the form ftp://host/noaa/YYYY.index and ftp://host/noaa/YYYY/F
+// resolve under root/host/noaa/.
+func NOAA(root string, cfg NOAAConfig) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for year := cfg.FirstYear; year <= cfg.LastYear; year++ {
+		ydir := filepath.Join(root, "host", "noaa", fmt.Sprintf("%d", year))
+		if err := os.MkdirAll(ydir, 0o755); err != nil {
+			return err
+		}
+		var index strings.Builder
+		for st := 0; st < cfg.Stations; st++ {
+			name := fmt.Sprintf("%06d-%d.gz", 700000+st, year)
+			var raw strings.Builder
+			for rec := 0; rec < cfg.RecordsPerStation; rec++ {
+				// 88 filler chars, then a 4-digit temperature field.
+				temp := rng.Intn(600)
+				if rng.Intn(50) == 0 {
+					temp = 999 // bogus reading the script filters out
+				}
+				fmt.Fprintf(&raw, "%088d%04d%020d\n", rec, temp, rng.Int63n(1e18))
+			}
+			f, err := os.Create(filepath.Join(ydir, name))
+			if err != nil {
+				return err
+			}
+			zw := gzip.NewWriter(f)
+			if _, err := zw.Write([]byte(raw.String())); err != nil {
+				f.Close()
+				return err
+			}
+			if err := zw.Close(); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(&index, "-rw-r--r-- 1 ftp ftp %8d Jan  1 00:00 %s\n",
+				raw.Len(), name)
+		}
+		idx := filepath.Join(root, "host", "noaa", fmt.Sprintf("%d.index", year))
+		if err := os.WriteFile(idx, []byte(index.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WebConfig sizes the synthetic web corpus.
+type WebConfig struct {
+	Pages        int
+	ParasPerPage int
+	Seed         int64
+}
+
+// Web builds a curl-root web corpus: root/host/wiki/pN.html pages with
+// links and text, plus an index file listing their URLs (one per line).
+// Returns the path of the URL list.
+func Web(root string, cfg WebConfig) (string, error) {
+	dir := filepath.Join(root, "host", "wiki")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, 1.2, 1.0, uint64(len(wordList)-1))
+	var urls strings.Builder
+	for p := 0; p < cfg.Pages; p++ {
+		var page strings.Builder
+		page.WriteString("<html><head><title>Page ")
+		fmt.Fprintf(&page, "%d", p)
+		page.WriteString("</title></head><body>\n")
+		for para := 0; para < cfg.ParasPerPage; para++ {
+			page.WriteString("<p>")
+			words := 20 + rng.Intn(60)
+			for w := 0; w < words; w++ {
+				if w > 0 {
+					page.WriteByte(' ')
+				}
+				page.WriteString(wordList[zipf.Uint64()])
+			}
+			fmt.Fprintf(&page, ` <a href="http://host/wiki/p%d.html">link</a>`, rng.Intn(cfg.Pages))
+			page.WriteString("</p>\n")
+		}
+		page.WriteString("</body></html>\n")
+		name := fmt.Sprintf("p%d.html", p)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(page.String()), 0o644); err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&urls, "http://host/wiki/%s\n", name)
+	}
+	urlFile := filepath.Join(root, "urls.txt")
+	if err := os.WriteFile(urlFile, []byte(urls.String()), 0o644); err != nil {
+		return "", err
+	}
+	return urlFile, nil
+}
+
+// ScriptsDir populates dir with n small files — a mix of shell/python
+// scripts and binary-ish files — and returns a file listing their names
+// (one per line), mimicking the Shortest-scripts pipeline's find output.
+func ScriptsDir(dir string, n int, seed int64) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var names strings.Builder
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("tool%03d", i)
+		var content string
+		switch rng.Intn(4) {
+		case 0:
+			content = "#!/bin/sh\n" + strings.Repeat("echo line\n", 1+rng.Intn(40))
+		case 1:
+			content = "#!/usr/bin/python\n" + strings.Repeat("print('x')\n", 1+rng.Intn(40))
+		case 2:
+			content = "#!/usr/bin/perl\n" + strings.Repeat("print 1;\n", 1+rng.Intn(40))
+		default:
+			content = "\x7fELF" + strings.Repeat("\x00\x01binary", 30)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o755); err != nil {
+			return "", err
+		}
+		names.WriteString(name)
+		names.WriteByte('\n')
+	}
+	listing := filepath.Join(dir, "PATHLIST")
+	if err := os.WriteFile(listing, []byte(names.String()), 0o644); err != nil {
+		return "", err
+	}
+	return listing, nil
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTextDeterministic(t *testing.T) {
+	a := Text(100, 7)
+	b := Text(100, 7)
+	if a != b {
+		t.Error("Text must be deterministic for a fixed seed")
+	}
+	if Text(100, 8) == a {
+		t.Error("different seeds should produce different text")
+	}
+	lines := strings.Count(a, "\n")
+	if lines != 100 {
+		t.Errorf("line count = %d, want 100", lines)
+	}
+}
+
+func TestWordsAndNumbers(t *testing.T) {
+	w := Words(50, 1)
+	if strings.Count(w, "\n") != 50 {
+		t.Error("Words line count wrong")
+	}
+	for _, line := range strings.Split(strings.TrimSpace(w), "\n") {
+		if strings.ContainsAny(line, " \t") {
+			t.Fatalf("Words produced multi-word line %q", line)
+		}
+	}
+	n := Numbers(50, 1)
+	if strings.Count(n, "\n") != 50 {
+		t.Error("Numbers line count wrong")
+	}
+}
+
+func TestDictionary(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dict")
+	if err := Dictionary(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] >= lines[i] {
+			t.Fatalf("dictionary not sorted/deduped at %q >= %q", lines[i-1], lines[i])
+		}
+	}
+	// The rare tail words must be absent (Spell needs misspellings).
+	if strings.Contains(string(data), "zephyr") {
+		t.Error("dictionary should omit rare tail words")
+	}
+}
+
+func TestNOAALayout(t *testing.T) {
+	root := t.TempDir()
+	cfg := NOAAConfig{FirstYear: 2015, LastYear: 2016, Stations: 2, RecordsPerStation: 10, Seed: 1}
+	if err := NOAA(root, cfg); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := os.ReadFile(filepath.Join(root, "host", "noaa", "2015.index"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(idx), ".gz") {
+		t.Error("index must list .gz files")
+	}
+	// Check one archive decompresses to fixed-width records with a
+	// 4-digit temperature at columns 89-92.
+	entries, err := os.ReadDir(filepath.Join(root, "host", "noaa", "2015"))
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("year dir: %v (%d entries)", err, len(entries))
+	}
+	f, err := os.Open(filepath.Join(root, "host", "noaa", "2015", entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 200)
+	n, _ := zr.Read(buf)
+	line := string(buf[:n])
+	if len(line) < 92 {
+		t.Fatalf("record too short: %d", len(line))
+	}
+	temp := line[88:92]
+	for _, c := range temp {
+		if c < '0' || c > '9' {
+			t.Fatalf("temperature field %q not numeric", temp)
+		}
+	}
+}
+
+func TestWebLayout(t *testing.T) {
+	root := t.TempDir()
+	urls, err := Web(root, WebConfig{Pages: 5, ParasPerPage: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("url count = %d", len(lines))
+	}
+	page, err := os.ReadFile(filepath.Join(root, "host", "wiki", "p0.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(page), "<html>") || !strings.Contains(string(page), "href=") {
+		t.Error("page missing HTML structure/links")
+	}
+}
+
+func TestScriptsDir(t *testing.T) {
+	dir := t.TempDir()
+	listing, err := ScriptsDir(filepath.Join(dir, "bin"), 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(listing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(names) != 20 {
+		t.Fatalf("listing has %d names", len(names))
+	}
+	sawScript := false
+	for _, n := range names {
+		b, err := os.ReadFile(filepath.Join(dir, "bin", n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.HasPrefix(string(b), "#!") {
+			sawScript = true
+		}
+	}
+	if !sawScript {
+		t.Error("no scripts generated")
+	}
+}

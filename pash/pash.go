@@ -1,0 +1,133 @@
+// Package pash is the public API of the PaSh reproduction: a shell that
+// parallelizes POSIX shell scripts through dataflow-graph transformations
+// and UNIX-aware runtime primitives (EuroSys 2021).
+//
+// Typical use:
+//
+//	s := pash.NewSession(pash.DefaultOptions(8))
+//	code, err := s.Run(ctx, "cat big.txt | grep needle | sort | uniq -c",
+//	        os.Stdin, os.Stdout, os.Stderr)
+//
+// Command developers extend the system with annotation records (§3.2):
+//
+//	s.RegisterAnnotation(`mycmd { | _ => (S, [stdin], [stdout]) }`)
+//	s.RegisterCommand("mycmd", myImpl)
+package pash
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/annot"
+	"repro/internal/commands"
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/runtime"
+)
+
+// Options selects parallelism width and runtime primitives; it mirrors
+// the paper's evaluation configurations (Fig. 7).
+type Options = core.Options
+
+// Plan is an ahead-of-time compiled script; Emit renders it as an
+// explicit parallel POSIX script (Fig. 3).
+type Plan = core.Plan
+
+// Eager-mode constants for Options.Eager.
+const (
+	EagerNone     = dfg.EagerNone
+	EagerBlocking = dfg.EagerBlocking
+	EagerFull     = dfg.EagerFull
+)
+
+// DefaultOptions returns the paper's best configuration ("Par + Split")
+// at the given width.
+func DefaultOptions(width int) Options { return core.DefaultOptions(width) }
+
+// SequentialOptions disables parallelization entirely.
+func SequentialOptions() Options { return Options{Width: 1} }
+
+// Session holds a compiler configuration plus the execution environment.
+// Sessions are safe to reuse across scripts; methods that register
+// extensions are not safe to call concurrently with Run.
+type Session struct {
+	compiler *core.Compiler
+	// Dir is the working directory for file access ("" = process cwd).
+	Dir string
+	// Vars seeds the shell variable environment (e.g. PASH_CURL_ROOT).
+	Vars map[string]string
+
+	isolatedAnnot bool
+	isolatedCmds  bool
+}
+
+// NewSession builds a session with the standard command and annotation
+// libraries.
+func NewSession(opts Options) *Session {
+	return &Session{compiler: core.NewCompiler(opts)}
+}
+
+// Options returns the session's compiler options.
+func (s *Session) Options() Options { return s.compiler.Opts }
+
+// SetOptions replaces the compiler options (e.g. to sweep widths).
+func (s *Session) SetOptions(opts Options) { s.compiler.Opts = opts }
+
+// RegisterAnnotation adds or replaces an annotation record in the
+// session's registry (isolated from other sessions on first use).
+func (s *Session) RegisterAnnotation(record string) error {
+	if !s.isolatedAnnot {
+		reg, err := annot.NewStdRegistry()
+		if err != nil {
+			return err
+		}
+		s.compiler.Annot = reg
+		s.isolatedAnnot = true
+	}
+	return s.compiler.Annot.Register(record)
+}
+
+// CommandFunc is a user-supplied command implementation: it reads stdin,
+// writes stdout, and returns an error (nil = exit 0).
+type CommandFunc func(args []string, stdin io.Reader, stdout io.Writer) error
+
+// RegisterCommand installs a custom command under the given name,
+// making it usable from scripts run by this session.
+func (s *Session) RegisterCommand(name string, fn CommandFunc) {
+	if !s.isolatedCmds {
+		// The compiler's registry is freshly built per compiler, so it
+		// is already session-local; just mark it.
+		s.isolatedCmds = true
+	}
+	s.compiler.Cmds.Register(name, func(ctx *commands.Context) error {
+		return fn(ctx.Args, ctx.Stdin, ctx.Stdout)
+	})
+}
+
+// Run parses and executes a script with PaSh's parallelizing
+// interpreter, returning the script's exit status.
+func (s *Session) Run(ctx context.Context, src string, stdin io.Reader, stdout, stderr io.Writer) (int, error) {
+	return core.Run(ctx, s.compiler, src, s.Dir, s.Vars,
+		runtime.StdIO{Stdin: stdin, Stdout: stdout, Stderr: stderr})
+}
+
+// RunStats executes like Run but also returns region compilation
+// statistics (regions found, node counts — Tab. 2's metrics).
+func (s *Session) RunStats(ctx context.Context, src string, stdin io.Reader, stdout, stderr io.Writer) (int, core.InterpStats, error) {
+	in := core.NewInterp(s.compiler, s.Dir, s.Vars,
+		runtime.StdIO{Stdin: stdin, Stdout: stdout, Stderr: stderr})
+	code, err := in.RunScript(ctx, src)
+	return code, in.Stats, err
+}
+
+// Compile builds an ahead-of-time plan; static regions are parallelized,
+// dynamic ones preserved verbatim.
+func (s *Session) Compile(src string) (*Plan, error) {
+	return s.compiler.Plan(src)
+}
+
+// Table1 re-exports the parallelizability study (§3.1).
+func Table1() []annot.Table1Row { return annot.Table1() }
+
+// WriteTable1 renders the study in the paper's Table 1 layout.
+func WriteTable1(w io.Writer) { annot.WriteTable1(w) }
