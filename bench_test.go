@@ -128,17 +128,24 @@ func BenchmarkFig7OneLiners(b *testing.B) {
 	}
 	for _, cfg := range []struct {
 		name  string
+		bench string
 		eager dfg.EagerMode
 		split bool
+		mode  dfg.SplitMode
 	}{
-		{"sort-no-eager", dfg.EagerNone, false},
-		{"sort-blocking-eager", dfg.EagerBlocking, false},
-		{"sort-parallel", dfg.EagerFull, false},
+		{"sort-no-eager", "sort", dfg.EagerNone, false, dfg.SplitAuto},
+		{"sort-blocking-eager", "sort", dfg.EagerBlocking, false, dfg.SplitAuto},
+		{"sort-parallel", "sort", dfg.EagerFull, false, dfg.SplitAuto},
+		// Split-strategy ablation (before/after the chunked streaming
+		// runtime): the barrier split is the pre-chunk design, the
+		// round-robin split the streaming default.
+		{"grep-general-split", "grep", dfg.EagerFull, true, dfg.SplitGeneral},
+		{"grep-rr-split", "grep", dfg.EagerFull, true, dfg.SplitRoundRobin},
 	} {
 		cfg := cfg
 		b.Run(cfg.name, func(b *testing.B) {
-			fig7Bench(b, "sort", func(w int) core.Options {
-				opts := core.Options{Width: w, Split: cfg.split, Eager: cfg.eager}
+			fig7Bench(b, cfg.bench, func(w int) core.Options {
+				opts := core.Options{Width: w, Split: cfg.split, Eager: cfg.eager, SplitMode: cfg.mode}
 				if cfg.eager == dfg.EagerBlocking {
 					opts.BlockingEagerBytes = 1 << 20
 				}

@@ -16,12 +16,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/benchscripts"
@@ -31,14 +33,62 @@ import (
 	"repro/pash"
 )
 
+// benchRecord is one machine-readable measurement. pash-bench -out
+// writes these so successive PRs can track the perf trajectory in
+// BENCH_*.json files.
+type benchRecord struct {
+	Bench   string  `json:"bench"`
+	Config  string  `json:"config,omitempty"`
+	Width   int     `json:"width,omitempty"`
+	Speedup float64 `json:"speedup,omitempty"`
+	SeqMs   float64 `json:"seq_ms,omitempty"`
+	Nodes   int     `json:"nodes,omitempty"`
+	Metric  string  `json:"metric,omitempty"`
+	Value   float64 `json:"value,omitempty"`
+}
+
+// benchReport is the JSON envelope.
+type benchReport struct {
+	Tool      string        `json:"tool"`
+	Timestamp string        `json:"timestamp"`
+	Scale     int           `json:"scale"`
+	Records   []benchRecord `json:"records"`
+}
+
+var jsonRecords []benchRecord
+
+func record(r benchRecord) { jsonRecords = append(jsonRecords, r) }
+
+func writeJSON(path string, scale int) {
+	if path == "" {
+		return
+	}
+	rep := benchReport{
+		Tool:      "pash-bench",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Scale:     scale,
+		Records:   jsonRecords,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		die(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		die(err)
+	}
+	fmt.Fprintf(os.Stderr, "pash-bench: wrote %d records to %s\n", len(jsonRecords), path)
+}
+
 func main() {
 	var (
-		table  = flag.Int("table", 0, "regenerate a table (1 or 2)")
-		fig    = flag.Int("fig", 0, "regenerate a figure (7 or 8)")
-		exp    = flag.String("exp", "", "use case: noaa|wikipedia|sort|gnuparallel")
-		scale  = flag.Int("scale", 4, "workload scale factor")
-		widths = flag.String("widths", "2,4,8,16,32,64", "width sweep for -fig 7")
-		bench  = flag.String("bench", "", "restrict -fig 7 to one benchmark")
+		table   = flag.Int("table", 0, "regenerate a table (1 or 2)")
+		fig     = flag.Int("fig", 0, "regenerate a figure (7 or 8)")
+		exp     = flag.String("exp", "", "use case: noaa|wikipedia|sort|gnuparallel")
+		scale   = flag.Int("scale", 4, "workload scale factor")
+		widths  = flag.String("widths", "2,4,8,16,32,64", "width sweep for -fig 7")
+		bench   = flag.String("bench", "", "restrict -fig 7 to one benchmark")
+		jsonOut = flag.String("out", "", "also write results as JSON to this file (e.g. BENCH_fig7.json)")
 	)
 	flag.Parse()
 	switch {
@@ -56,6 +106,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	writeJSON(*jsonOut, *scale)
 }
 
 func parseWidths(s string) []int {
@@ -111,6 +162,8 @@ func runTable2(scale int) {
 		fmt.Printf("%-18s %-10s %9s %12s %7d %7d %12s %12s\n",
 			b.Name, b.Structure, inputSize(dir), seq.Duration.Round(1e6),
 			n16, n64, c16.Round(1e4), c64.Round(1e4))
+		record(benchRecord{Bench: b.Name, Config: "table2",
+			SeqMs: float64(seq.Duration) / 1e6, Nodes: n16})
 	}
 }
 
@@ -181,6 +234,7 @@ func runFig7(scale int, widths []int, only string) {
 					die(err)
 				}
 				fmt.Printf(" %6.2f ", sp)
+				record(benchRecord{Bench: b.Name, Config: cfg.name, Width: w, Speedup: sp})
 				if cfg.name == "par+split" {
 					avg[w] = append(avg[w], sp)
 				}
@@ -218,6 +272,8 @@ func runFig8(scale int) {
 		}
 		fmt.Printf("%-12s %-14s %10s %8.2fx\n", b.Name, b.Structure,
 			seq.SimTime(benchscripts.SimCores).Round(1e6), sp)
+		record(benchRecord{Bench: b.Name, Config: "unix50", Width: 16, Speedup: sp,
+			SeqMs: float64(seq.SimTime(benchscripts.SimCores)) / 1e6})
 		speedups = append(speedups, sp)
 		os.RemoveAll(dir)
 	}
@@ -267,6 +323,7 @@ func runUseCase(b benchscripts.Bench, scale int, widths []int) {
 		}
 		fmt.Printf("  width %2d: projected %s, speedup %.2fx (output identical: yes)\n",
 			w, par.SimTime(benchscripts.SimCores).Round(1e6), sp)
+		record(benchRecord{Bench: b.Name, Config: "use-case", Width: w, Speedup: sp})
 	}
 }
 

@@ -2,4 +2,36 @@
 // Data-Parallel Shell Processing" (EuroSys 2021). The public API lives in
 // package repro/pash; see README.md for the tour and DESIGN.md for the
 // system inventory and experiment index.
+//
+// # Architecture
+//
+// The pipeline mirrors the paper's:
+//
+//   - internal/shell   parses POSIX shell scripts,
+//   - internal/annot   classifies commands (stateless / pure / …) via
+//     the annotation DSL of Appendix A,
+//   - internal/dfg     models regions as dataflow graphs and applies the
+//     parallelization transformations of §4.2,
+//   - internal/core    finds parallelizable regions (§5.1), compiles and
+//     optimizes them, and either executes in-process or emits an
+//     explicit parallel shell script (§5.2),
+//   - internal/runtime executes graphs with one goroutine per node and
+//     one in-memory pipe per edge,
+//   - internal/commands provides the UNIX command substrate,
+//   - internal/agg     the custom aggregators of §3.2,
+//   - internal/sim     projects measured per-node works onto a simulated
+//     multicore machine for the §6 speedup figures.
+//
+// # The chunked data plane
+//
+// Bytes move between nodes in pooled 64 KiB blocks
+// (commands.BlockSize). Pipes are FIFOs of blocks; when both ends speak
+// the chunk protocol (commands.ChunkWriter / commands.ChunkReader), a
+// block crosses an edge by ownership transfer — zero copies. Three
+// split strategies disperse streams across parallel replicas: the
+// barrier generalSplit, the seek-based input-aware fileSplit, and the
+// streaming round-robin split whose framed chunks an order-restoring
+// merge reassembles. internal/runtime/README.md documents the ownership
+// contract, the framing protocol, and how the blocked-time meters feed
+// the multicore simulator.
 package repro

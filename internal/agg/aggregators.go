@@ -212,9 +212,10 @@ func aggTac(ctx *commands.Context) error {
 	// Inputs after the first may still be producing; buffering the later
 	// ones while draining in reverse order needs the tail inputs
 	// materialized first. Eager edges make this cheap; we simply read in
-	// reverse index order.
+	// reverse index order, relaying whole blocks by ownership transfer
+	// when the edges allow it.
 	for i := len(readers) - 1; i >= 0; i-- {
-		if _, err := io.Copy(ctx.Stdout, readers[i]); err != nil {
+		if _, err := commands.CopyChunks(ctx.Stdout, readers[i]); err != nil {
 			return err
 		}
 	}

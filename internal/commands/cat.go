@@ -2,7 +2,6 @@ package commands
 
 import (
 	"fmt"
-	"io"
 )
 
 func init() { register("cat", cat) }
@@ -34,18 +33,19 @@ func cat(ctx *Context) error {
 		return err
 	}
 	defer cleanup()
-	lw := NewLineWriter(ctx.Stdout)
-	defer lw.Flush()
 
 	if !numberAll && !numberNonBlank && !squeeze {
-		// Fast path: raw byte copy preserves inputs exactly.
+		// Fast path: raw block relay preserves inputs exactly, moving
+		// whole chunks by ownership transfer when both ends allow it.
 		for _, r := range readers {
-			if _, err := io.Copy(lw, r); err != nil {
+			if _, err := CopyChunks(ctx.Stdout, r); err != nil {
 				return err
 			}
 		}
-		return lw.Flush()
+		return nil
 	}
+	lw := NewLineWriter(ctx.Stdout)
+	defer lw.Flush()
 
 	lineno := 0
 	prevBlank := false

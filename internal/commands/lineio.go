@@ -1,51 +1,407 @@
 package commands
 
 import (
-	"bufio"
+	"bytes"
 	"io"
+	"sync"
 )
 
-// Line IO helpers. The data quantum throughout PaSh is the
+// Line and block IO helpers. The data quantum throughout PaSh is the
 // newline-terminated line (§3.1); these helpers give every command the
 // same treatment of the final unterminated line (processed as a line, and
 // re-emitted newline-terminated, which is what GNU text utilities do).
+//
+// Underneath the line abstraction, bytes move in blocks: fixed-capacity
+// []byte chunks recycled through a pool and — when both ends support it —
+// handed between pipeline stages by ownership transfer instead of
+// copying. See ChunkReader/ChunkWriter for the ownership contract.
 
-const readerBufSize = 64 * 1024
+// BlockSize is the unit of bulk data movement: pooled blocks have this
+// capacity, and the runtime's pipes queue blocks of roughly this size.
+// It matches the Linux pipe default of 64 KiB.
+const BlockSize = 64 * 1024
 
-// EachLine calls fn for each input line with the newline stripped. Lines
-// of arbitrary length are supported. fn must not retain the slice.
-func EachLine(r io.Reader, fn func(line []byte) error) error {
-	br := bufio.NewReaderSize(r, readerBufSize)
-	var pending []byte
-	for {
-		chunk, err := br.ReadSlice('\n')
-		if len(chunk) > 0 {
-			if chunk[len(chunk)-1] == '\n' {
-				line := chunk[:len(chunk)-1]
-				if len(pending) > 0 {
-					pending = append(pending, line...)
-					line = pending
-				}
-				if ferr := fn(line); ferr != nil {
-					return ferr
-				}
-				pending = pending[:0]
-			} else {
-				pending = append(pending, chunk...)
+var blockPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, BlockSize)
+		return &b
+	},
+}
+
+// GetBlock returns an empty block with BlockSize capacity from the
+// shared pool.
+func GetBlock() []byte {
+	return (*blockPool.Get().(*[]byte))[:0]
+}
+
+// PutBlock recycles a block obtained from GetBlock (or grown elsewhere).
+// Only blocks whose capacity still equals BlockSize are pooled; oversized
+// or sub-sliced blocks are left for the garbage collector. Callers must
+// not touch b after PutBlock returns.
+func PutBlock(b []byte) {
+	if cap(b) != BlockSize {
+		return
+	}
+	b = b[:0]
+	blockPool.Put(&b)
+}
+
+// ChunkWriter is implemented by sinks that accept whole blocks by
+// ownership transfer: after WriteChunk returns, the caller must not
+// read, write, or recycle b — the consumer owns it (and typically
+// recycles it through PutBlock once drained). A zero-length chunk is a
+// legal write; chunk-preserving sinks (the runtime's pipes) deliver it
+// as a distinct empty chunk, which the framed round-robin protocol uses
+// as an ordering token.
+type ChunkWriter interface {
+	WriteChunk(b []byte) error
+}
+
+// ChunkReader is implemented by sources that yield whole blocks with
+// their ownership. The returned release function recycles the block; the
+// caller must either call it exactly once when done with b, or not at
+// all if it passes ownership onward (e.g. into a ChunkWriter). err is
+// io.EOF at end of stream, in which case b is nil and release is a
+// no-op.
+type ChunkReader interface {
+	ReadChunk() (b []byte, release func(), err error)
+}
+
+// CopyChunks streams src to dst moving whole blocks, transferring
+// ownership end to end when both sides support it (zero copies), and
+// degrading gracefully to pooled-buffer copies otherwise. It returns the
+// number of bytes moved.
+func CopyChunks(dst io.Writer, src io.Reader) (int64, error) {
+	cr, rok := src.(ChunkReader)
+	cw, wok := dst.(ChunkWriter)
+	var n int64
+	switch {
+	case rok && wok:
+		for {
+			b, _, err := cr.ReadChunk()
+			if err == io.EOF {
+				return n, nil
+			}
+			if err != nil {
+				return n, err
+			}
+			n += int64(len(b))
+			if err := cw.WriteChunk(b); err != nil {
+				return n, err
 			}
 		}
-		switch err {
-		case nil:
-		case bufio.ErrBufferFull:
-			// Long line: keep accumulating in pending.
-		case io.EOF:
-			if len(pending) > 0 {
-				if ferr := fn(pending); ferr != nil {
+	case rok:
+		for {
+			b, release, err := cr.ReadChunk()
+			if err == io.EOF {
+				return n, nil
+			}
+			if err != nil {
+				return n, err
+			}
+			_, werr := dst.Write(b)
+			release()
+			if werr != nil {
+				return n, werr
+			}
+			n += int64(len(b))
+		}
+	case wok:
+		for {
+			b := GetBlock()
+			r, err := src.Read(b[:BlockSize])
+			if r > 0 {
+				n += int64(r)
+				if werr := cw.WriteChunk(b[:r]); werr != nil {
+					return n, werr
+				}
+			} else {
+				PutBlock(b)
+			}
+			if err == io.EOF {
+				return n, nil
+			}
+			if err != nil {
+				return n, err
+			}
+		}
+	default:
+		return io.Copy(dst, src)
+	}
+}
+
+// EachLineBlock streams r as newline-aligned blocks: every block handed
+// to fn ends with '\n' except possibly the last (a final unterminated
+// line is delivered as-is). Ownership of each block transfers to fn,
+// which must recycle it with PutBlock or pass it onward (e.g. through a
+// ChunkWriter). This is the entry point for near-memcpy stages: combined
+// with chunk-capable pipes, a block can travel producer → consumer
+// without its bytes ever being copied.
+func EachLineBlock(r io.Reader, fn func(block []byte) error) error {
+	var carry []byte // partial trailing line awaiting its newline
+	emit := func(b []byte) error {
+		if len(carry) == 0 {
+			return fn(b)
+		}
+		merged := append(carry, b...)
+		PutBlock(b)
+		carry = nil
+		return fn(merged)
+	}
+	flushCarry := func() error {
+		if carry == nil {
+			return nil
+		}
+		b := carry
+		carry = nil
+		return fn(b)
+	}
+
+	if cr, ok := r.(ChunkReader); ok {
+		for {
+			b, release, err := cr.ReadChunk()
+			if err == io.EOF {
+				return flushCarry()
+			}
+			if err != nil {
+				if carry != nil {
+					PutBlock(carry)
+				}
+				return err
+			}
+			// The pipe hands us the block's ownership; fold release into
+			// PutBlock semantics by copying out of sub-sliced blocks.
+			cut := bytes.LastIndexByte(b, '\n')
+			switch {
+			case cut == len(b)-1:
+				if ferr := emitOwned(b, release, emit); ferr != nil {
 					return ferr
 				}
+			case cut < 0:
+				carry = append(carryOrNew(carry), b...)
+				release()
+			default:
+				head := b[:cut+1]
+				tail := b[cut+1:]
+				nc := append(GetBlock(), tail...)
+				if ferr := emitHead(head, b, release, emit); ferr != nil {
+					PutBlock(nc)
+					return ferr
+				}
+				carry = nc
 			}
-			return nil
-		default:
+		}
+	}
+
+	for {
+		// A single Read per block: waiting to fill the block (ReadFull)
+		// would stall line delivery on slow streaming sources.
+		b := GetBlock()
+		var n int
+		var err error
+		for n == 0 && err == nil {
+			n, err = r.Read(b[:BlockSize])
+		}
+		b = b[:n]
+		if n > 0 {
+			cut := bytes.LastIndexByte(b, '\n')
+			switch {
+			case cut == len(b)-1:
+				if ferr := emit(b); ferr != nil {
+					return ferr
+				}
+			case cut < 0:
+				carry = append(carryOrNew(carry), b...)
+				PutBlock(b)
+			default:
+				nc := append(GetBlock(), b[cut+1:]...)
+				if ferr := emit(b[:cut+1]); ferr != nil {
+					PutBlock(nc)
+					return ferr
+				}
+				carry = nc
+			}
+		} else {
+			PutBlock(b)
+		}
+		if err == io.EOF {
+			return flushCarry()
+		}
+		if err != nil {
+			if carry != nil {
+				PutBlock(carry)
+			}
+			return err
+		}
+	}
+}
+
+func carryOrNew(carry []byte) []byte {
+	if carry == nil {
+		return GetBlock()
+	}
+	return carry
+}
+
+// emitOwned forwards a whole chunk-reader block to fn. The pipe's
+// release is dropped in favor of fn's PutBlock obligation when the block
+// is a full (poolable) block; sub-sliced blocks are forwarded and the
+// original released by the eventual PutBlock being a no-op.
+func emitOwned(b []byte, release func(), emit func([]byte) error) error {
+	if cap(b) == BlockSize {
+		return emit(b) // fn recycles via PutBlock; release never called
+	}
+	// Sub-sliced or oversized: copy into a pooled block so downstream
+	// PutBlock keeps working, then release the original.
+	nb := append(GetBlock(), b...)
+	release()
+	return emit(nb)
+}
+
+// emitHead forwards the newline-terminated prefix of a block whose tail
+// was copied into the carry buffer.
+func emitHead(head, orig []byte, release func(), emit func([]byte) error) error {
+	if cap(orig) == BlockSize && &orig[0] == &head[0] {
+		// head shares orig's backing array from index 0: hand it over and
+		// let PutBlock(orig-capacity slice) recycle it. PutBlock checks
+		// capacity, and cap(head) == cap(orig) when they share a start.
+		return emit(head)
+	}
+	nb := append(GetBlock(), head...)
+	release()
+	return emit(nb)
+}
+
+// blockScanner pulls newline-delimited lines out of a stream using
+// pooled blocks, preferring zero-copy chunk reads when the source
+// supports them. It is the engine behind EachLine and LineIter.
+type blockScanner struct {
+	cr      ChunkReader
+	r       io.Reader
+	blk     []byte // current block (owned)
+	release func() // pipe release for blk, when from a ChunkReader
+	off     int
+	pending []byte // partial line spanning blocks
+	err     error
+	eof     bool
+}
+
+func newBlockScanner(r io.Reader) *blockScanner {
+	if cr, ok := r.(ChunkReader); ok {
+		return &blockScanner{cr: cr}
+	}
+	return &blockScanner{r: r}
+}
+
+// dropBlock recycles the current block.
+func (s *blockScanner) dropBlock() {
+	if s.blk == nil {
+		return
+	}
+	if s.release != nil {
+		s.release()
+		s.release = nil
+	} else {
+		PutBlock(s.blk)
+	}
+	s.blk = nil
+	s.off = 0
+}
+
+// fill loads the next block. It reports false at EOF or on error.
+func (s *blockScanner) fill() bool {
+	s.dropBlock()
+	if s.eof {
+		return false
+	}
+	if s.cr != nil {
+		for {
+			b, release, err := s.cr.ReadChunk()
+			if err == io.EOF {
+				s.eof = true
+				return false
+			}
+			if err != nil {
+				s.err = err
+				s.eof = true
+				return false
+			}
+			if len(b) == 0 {
+				release() // framing token: invisible to byte consumers
+				continue
+			}
+			s.blk, s.release, s.off = b, release, 0
+			return true
+		}
+	}
+	// A single Read per block (not ReadFull): waiting to fill the block
+	// would stall line delivery on slow streaming sources.
+	b := GetBlock()
+	var n int
+	var err error
+	for n == 0 && err == nil {
+		n, err = s.r.Read(b[:BlockSize])
+	}
+	if n == 0 {
+		PutBlock(b)
+		s.eof = true
+		if err != io.EOF {
+			s.err = err
+		}
+		return false
+	}
+	if err == io.EOF {
+		s.eof = true
+	} else if err != nil {
+		s.err = err
+		s.eof = true
+	}
+	s.blk, s.release, s.off = b[:n], nil, 0
+	return true
+}
+
+// next returns the next line (newline stripped) and true, or nil and
+// false at end of input. The line is valid until the following next
+// call.
+func (s *blockScanner) next() ([]byte, bool) {
+	s.pending = s.pending[:0]
+	for {
+		if s.blk == nil || s.off >= len(s.blk) {
+			if !s.fill() {
+				if s.err == nil && len(s.pending) > 0 {
+					// Final unterminated line.
+					return s.pending, true
+				}
+				return nil, false
+			}
+		}
+		rest := s.blk[s.off:]
+		if i := bytes.IndexByte(rest, '\n'); i >= 0 {
+			s.off += i + 1
+			if len(s.pending) == 0 {
+				return rest[:i], true
+			}
+			s.pending = append(s.pending, rest[:i]...)
+			return s.pending, true
+		}
+		s.pending = append(s.pending, rest...)
+		s.off = len(s.blk)
+	}
+}
+
+// EachLine calls fn for each input line with the newline stripped. Lines
+// of arbitrary length are supported. fn must not retain the slice: line
+// memory lives in pooled blocks that are recycled (and re-used by other
+// goroutines) as the scan advances.
+func EachLine(r io.Reader, fn func(line []byte) error) error {
+	s := newBlockScanner(r)
+	defer s.dropBlock()
+	for {
+		line, ok := s.next()
+		if !ok {
+			return s.err
+		}
+		if err := fn(line); err != nil {
 			return err
 		}
 	}
@@ -62,36 +418,126 @@ func EachLineReaders(rs []io.Reader, fn func(line []byte) error) error {
 	return nil
 }
 
-// LineWriter buffers line-oriented output. Always Flush before returning
-// from the command.
+// LineWriter buffers line-oriented output in pooled blocks. When the
+// underlying writer is a ChunkWriter, full blocks are handed over by
+// ownership transfer — the bytes are staged once and never copied again.
+// Always Flush before returning from the command.
 type LineWriter struct {
-	bw *bufio.Writer
+	w   io.Writer
+	cw  ChunkWriter // non-nil when w supports chunk handoff
+	buf []byte      // pooled staging block
 }
 
 // NewLineWriter wraps w.
 func NewLineWriter(w io.Writer) *LineWriter {
-	return &LineWriter{bw: bufio.NewWriterSize(w, readerBufSize)}
+	lw := &LineWriter{w: w, buf: GetBlock()}
+	if cw, ok := w.(ChunkWriter); ok {
+		lw.cw = cw
+	}
+	return lw
 }
+
+// flushFull ships the staging block downstream.
+func (lw *LineWriter) flushFull() error {
+	if len(lw.buf) == 0 {
+		return nil
+	}
+	if lw.cw != nil {
+		err := lw.cw.WriteChunk(lw.buf)
+		lw.buf = GetBlock()
+		return err
+	}
+	_, err := lw.w.Write(lw.buf)
+	lw.buf = lw.buf[:0]
+	return err
+}
+
+func (lw *LineWriter) room() int { return cap(lw.buf) - len(lw.buf) }
 
 // WriteLine writes line plus a newline.
 func (lw *LineWriter) WriteLine(line []byte) error {
-	if _, err := lw.bw.Write(line); err != nil {
+	if len(line)+1 > lw.room() {
+		if err := lw.flushFull(); err != nil {
+			return err
+		}
+	}
+	if len(line)+1 <= lw.room() {
+		lw.buf = append(lw.buf, line...)
+		lw.buf = append(lw.buf, '\n')
+		return nil
+	}
+	// Oversized line: stage in block-sized pieces.
+	if _, err := lw.Write(line); err != nil {
 		return err
 	}
-	return lw.bw.WriteByte('\n')
+	return lw.writeByte('\n')
+}
+
+func (lw *LineWriter) writeByte(c byte) error {
+	if lw.room() == 0 {
+		if err := lw.flushFull(); err != nil {
+			return err
+		}
+	}
+	lw.buf = append(lw.buf, c)
+	return nil
 }
 
 // WriteString writes raw text.
 func (lw *LineWriter) WriteString(s string) error {
-	_, err := lw.bw.WriteString(s)
-	return err
+	for len(s) > 0 {
+		if lw.room() == 0 {
+			if err := lw.flushFull(); err != nil {
+				return err
+			}
+		}
+		n := lw.room()
+		if n > len(s) {
+			n = len(s)
+		}
+		lw.buf = append(lw.buf, s[:n]...)
+		s = s[n:]
+	}
+	return nil
 }
 
 // Write implements io.Writer.
-func (lw *LineWriter) Write(p []byte) (int, error) { return lw.bw.Write(p) }
+func (lw *LineWriter) Write(p []byte) (int, error) {
+	total := len(p)
+	for len(p) > 0 {
+		if lw.room() == 0 {
+			if err := lw.flushFull(); err != nil {
+				return total - len(p), err
+			}
+		}
+		n := lw.room()
+		if n > len(p) {
+			n = len(p)
+		}
+		lw.buf = append(lw.buf, p[:n]...)
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// WriteChunk implements ChunkWriter: pending staged output is flushed,
+// then ownership of b passes straight through to the underlying writer
+// (or its bytes are written and the block recycled).
+func (lw *LineWriter) WriteChunk(b []byte) error {
+	if err := lw.flushFull(); err != nil {
+		PutBlock(b)
+		return err
+	}
+	if lw.cw != nil {
+		return lw.cw.WriteChunk(b)
+	}
+	_, err := lw.w.Write(b)
+	PutBlock(b)
+	return err
+}
 
 // Flush flushes buffered output.
-func (lw *LineWriter) Flush() error { return lw.bw.Flush() }
+func (lw *LineWriter) Flush() error { return lw.flushFull() }
 
 // ReadAllLines collects all lines (newline stripped) from r. For commands
 // that must block on their whole input (sort, tac).
@@ -114,15 +560,13 @@ func CopyLines(r io.Reader, lw *LineWriter) error {
 // LineIter is a pull-based line iterator. Unlike EachLine it lets callers
 // interleave reads from several inputs (k-way merge, comm, join, paste).
 type LineIter struct {
-	br      *bufio.Reader
-	pending []byte
-	err     error
-	done    bool
+	s    *blockScanner
+	done bool
 }
 
 // NewLineIter returns an iterator over r's lines.
 func NewLineIter(r io.Reader) *LineIter {
-	return &LineIter{br: bufio.NewReaderSize(r, readerBufSize)}
+	return &LineIter{s: newBlockScanner(r)}
 }
 
 // Next returns the next line (newline stripped) and true, or nil and
@@ -132,34 +576,14 @@ func (it *LineIter) Next() ([]byte, bool) {
 	if it.done {
 		return nil, false
 	}
-	it.pending = it.pending[:0]
-	for {
-		chunk, err := it.br.ReadSlice('\n')
-		if len(chunk) > 0 && chunk[len(chunk)-1] == '\n' {
-			chunk = chunk[:len(chunk)-1]
-			if len(it.pending) == 0 {
-				return chunk, true
-			}
-			it.pending = append(it.pending, chunk...)
-			return it.pending, true
-		}
-		it.pending = append(it.pending, chunk...)
-		switch err {
-		case nil, bufio.ErrBufferFull:
-			continue
-		case io.EOF:
-			it.done = true
-			if len(it.pending) > 0 {
-				return it.pending, true
-			}
-			return nil, false
-		default:
-			it.done = true
-			it.err = err
-			return nil, false
-		}
+	line, ok := it.s.next()
+	if !ok {
+		it.done = true
+		it.s.dropBlock()
+		return nil, false
 	}
+	return line, ok
 }
 
 // Err returns the first read error encountered, if any.
-func (it *LineIter) Err() error { return it.err }
+func (it *LineIter) Err() error { return it.s.err }

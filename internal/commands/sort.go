@@ -296,14 +296,18 @@ func MergeSorted(readers []io.Reader, lw *LineWriter, less func(a, b []byte) boo
 	for i, r := range readers {
 		iters[i] = NewLineIter(r)
 	}
+	// Each source has at most one line resident in the heap at a time,
+	// so a single reusable buffer per source replaces a per-line
+	// allocation. prev needs its own copy: it must outlive its source's
+	// next pull.
+	bufs := make([][]byte, len(readers))
 	pull := func(i int) ([]byte, bool, error) {
 		line, ok := iters[i].Next()
 		if !ok {
 			return nil, false, iters[i].Err()
 		}
-		cp := make([]byte, len(line))
-		copy(cp, line)
-		return cp, true, nil
+		bufs[i] = append(bufs[i][:0], line...)
+		return bufs[i], true, nil
 	}
 	h := &lineHeap{less: less}
 	for i := range iters {
@@ -324,7 +328,11 @@ func MergeSorted(readers []io.Reader, lw *LineWriter, less func(a, b []byte) boo
 			if err := lw.WriteLine(it.line); err != nil {
 				return err
 			}
-			prev = it.line
+			if unique {
+				// it.line aliases its source's pull buffer; prev must
+				// survive that source's next pull.
+				prev = append(prev[:0], it.line...)
+			}
 			first = false
 		}
 		line, ok, err := pull(it.src)

@@ -104,11 +104,29 @@ func tr(ctx *Context) error {
 
 	lw := NewLineWriter(ctx.Stdout)
 	defer lw.Flush()
-	var out []byte
-	var lastOut int = -1
-	err = EachLine(ctx.stdin(), func(line []byte) error {
-		out = out[:0]
-		for _, c := range line {
+
+	// The whole transformation is a per-byte state machine applied in
+	// place on newline-aligned blocks — near-memcpy, with transformed
+	// blocks handed downstream by ownership transfer. Unlike a per-line
+	// loop, this treats '\n' as an ordinary byte, so tr '\n' ' ' and
+	// tr -d '\n' behave like GNU tr instead of silently no-opping.
+	//
+	// When newlines survive the transformation untouched, line structure
+	// is preserved and a final unterminated line is re-emitted
+	// newline-terminated — the convention shared by this command
+	// substrate. When the transformation deletes or rewrites newlines,
+	// output is the raw byte transformation.
+	newlineIntact := !(inSet1['\n'] && (del || xlat['\n'] != '\n'))
+	lastOut := -1
+	lastIn := byte('\n')
+	sawInput := false
+	err = EachLineBlock(ctx.stdin(), func(block []byte) error {
+		if len(block) > 0 {
+			sawInput = true
+			lastIn = block[len(block)-1]
+		}
+		w := block[:0]
+		for _, c := range block {
 			if del && inSet1[c] {
 				continue
 			}
@@ -119,27 +137,24 @@ func tr(ctx *Context) error {
 			if squeeze && inSqueeze[nc] && lastOut == int(nc) {
 				continue
 			}
-			out = append(out, nc)
+			w = append(w, nc)
 			lastOut = int(nc)
 		}
-		// We process per line, so the line's own terminating newline is
-		// implicit. When '\n' is in the squeeze set, squeeze it against
-		// both the line's trailing output and the previous line.
-		if squeeze && inSqueeze['\n'] {
-			for len(out) > 0 && out[len(out)-1] == '\n' {
-				out = out[:len(out)-1]
-			}
-			if lastOut == '\n' && len(out) == 0 {
-				return nil
-			}
-			lastOut = '\n'
-		} else {
-			lastOut = -1
+		if len(w) == 0 {
+			PutBlock(block)
+			return nil
 		}
-		return lw.WriteLine(out)
+		return lw.WriteChunk(w)
 	})
 	if err != nil {
 		return err
+	}
+	if newlineIntact && sawInput && lastIn != '\n' {
+		if !(squeeze && inSqueeze['\n'] && lastOut == '\n') {
+			if err := lw.writeByte('\n'); err != nil {
+				return err
+			}
+		}
 	}
 	return lw.Flush()
 }

@@ -112,10 +112,8 @@ func wc(ctx *Context) error {
 func countStream(r io.Reader) (wcCounts, error) {
 	var c wcCounts
 	inWord := false
-	buf := make([]byte, 64*1024)
-	for {
-		n, err := r.Read(buf)
-		for _, b := range buf[:n] {
+	tally := func(buf []byte) {
+		for _, b := range buf {
 			c.bytes++
 			if b == '\n' {
 				c.lines++
@@ -132,6 +130,25 @@ func countStream(r io.Reader) (wcCounts, error) {
 				c.chars++
 			}
 		}
+	}
+	// Chunk sources hand us whole blocks without a copy.
+	if cr, ok := r.(ChunkReader); ok {
+		for {
+			b, release, err := cr.ReadChunk()
+			if err == io.EOF {
+				return c, nil
+			}
+			if err != nil {
+				return c, err
+			}
+			tally(b)
+			release()
+		}
+	}
+	buf := make([]byte, BlockSize)
+	for {
+		n, err := r.Read(buf)
+		tally(buf[:n])
 		if err == io.EOF {
 			return c, nil
 		}

@@ -259,3 +259,13 @@ func literalArgs(n *dfg.Node) []string {
 func (c *Compiler) Optimize(g *dfg.Graph) {
 	dfg.Apply(g, c.dfgOptions())
 }
+
+// OptimizeForEmission applies the transformations with the barrier split
+// forced: emitted scripts run real processes with no chunk framing, so
+// the streaming round-robin split (whose outputs interleave the input)
+// cannot be reassembled there.
+func (c *Compiler) OptimizeForEmission(g *dfg.Graph) {
+	opts := c.dfgOptions()
+	opts.SplitMode = dfg.SplitGeneral
+	dfg.Apply(g, opts)
+}

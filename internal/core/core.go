@@ -21,6 +21,10 @@ type Options struct {
 	Split bool
 	// InputAwareSplit uses the seek-based split for file inputs.
 	InputAwareSplit bool
+	// SplitMode selects among the three split strategies (barrier,
+	// input-aware, streaming round-robin); the zero value (SplitAuto)
+	// streams wherever that is sound. See dfg.SplitMode.
+	SplitMode dfg.SplitMode
 	// Eager selects edge eagerness (§5.2 Overcoming Laziness).
 	Eager dfg.EagerMode
 	// BlockingEagerBytes bounds eager buffers (Blocking Eager config);
@@ -65,6 +69,7 @@ func (c *Compiler) dfgOptions() dfg.Options {
 		Width:           c.Opts.Width,
 		Split:           c.Opts.Split,
 		InputAwareSplit: c.Opts.InputAwareSplit,
+		SplitMode:       c.Opts.SplitMode,
 		Eager:           c.Opts.Eager,
 	}
 }

@@ -372,6 +372,11 @@ func (in *Interp) runPipeline(ctx context.Context, simples []*shell.Simple) (int
 		Dir:             in.dir,
 		Env:             in.envSnapshot(),
 	}
+	if in.c.Opts.SplitMode == dfg.SplitGeneral {
+		// Forcing the barrier strategy applies at execution too, not
+		// just planning.
+		rcfg.Split = runtime.SplitGeneral
+	}
 	start := time.Now()
 	var res *runtime.Result
 	if in.c.Opts.MeasureMode {

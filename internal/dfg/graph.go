@@ -27,6 +27,7 @@ const (
 	KindRelay            // identity relay (t3); eagerness is a runtime property
 	KindMap              // replicated map instance of a P command
 	KindAgg              // aggregate stage of a P command
+	KindMerge            // order-restoring round-robin merge (inverse of a RR split)
 )
 
 func (k NodeKind) String() string {
@@ -43,6 +44,8 @@ func (k NodeKind) String() string {
 		return "map"
 	case KindAgg:
 		return "agg"
+	case KindMerge:
+		return "merge"
 	}
 	return "?"
 }
@@ -85,6 +88,20 @@ type Node struct {
 	// (replicas, maps): t2 must not split them again, or the fixpoint
 	// would diverge by splitting each replica recursively.
 	noSplit bool
+
+	// RoundRobin marks a KindSplit node as the streaming round-robin
+	// block splitter (no full-input barrier). Its outputs interleave the
+	// input at block granularity, so the planner only sets it when every
+	// consumer is framed and a KindMerge restores order downstream.
+	RoundRobin bool
+
+	// Framed marks a replica that runs under the chunk-framing protocol:
+	// the runtime invokes the command once per input chunk and emits
+	// exactly one output chunk per input chunk (empty chunks included),
+	// so a downstream KindMerge can reassemble the original order.
+	// Framing is only sound for stateless commands — the same per-chunk
+	// independence that justifies splitting them at all.
+	Framed bool
 }
 
 // AggSpec is a (map, aggregate) implementation pair for a P command

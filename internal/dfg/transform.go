@@ -24,11 +24,48 @@ type Options struct {
 	// It only applies to splits whose input is a graph-input file of
 	// known size.
 	InputAwareSplit bool
+	// SplitMode selects among the three split strategies for t2-inserted
+	// splits. SplitAuto (the default) plans the streaming round-robin
+	// split for stateless consumers whose input is not a seekable
+	// graph-input file, keeps the seek-based fileSplit for the
+	// input-aware case, and falls back to the barrier split everywhere
+	// else (pure commands need contiguous chunks for their aggregators).
+	SplitMode SplitMode
 	// Eager selects the laziness-overcoming behaviour of edges (§5.2).
 	Eager EagerMode
 	// AggResolver supplies (map, aggregate) pairs for P commands. Nil
 	// means only S commands parallelize.
 	AggResolver func(name string, argv []string) (*AggSpec, bool)
+}
+
+// SplitMode selects the split strategy the planner assigns to inserted
+// split nodes.
+type SplitMode int
+
+// Split modes.
+const (
+	// SplitAuto streams with the round-robin splitter wherever that is
+	// sound (stateless consumer, non-file input) and uses the barrier or
+	// input-aware split otherwise.
+	SplitAuto SplitMode = iota
+	// SplitGeneral always uses the barrier split — required when the
+	// graph is emitted as a shell script, where no chunk framing exists.
+	SplitGeneral
+	// SplitRoundRobin forces the streaming round-robin split for every
+	// stateless split consumer, even seekable file inputs.
+	SplitRoundRobin
+)
+
+func (m SplitMode) String() string {
+	switch m {
+	case SplitAuto:
+		return "auto"
+	case SplitGeneral:
+		return "general"
+	case SplitRoundRobin:
+		return "round-robin"
+	}
+	return "?"
 }
 
 // EagerMode selects edge buffering behaviour.
@@ -218,19 +255,28 @@ func tryParallelize(g *Graph, n *Node, opts Options) bool {
 	if len(n.In) != 1 || n.In[0].From == nil {
 		return false
 	}
-	cat := n.In[0].From
-	if cat.Kind != KindCat {
-		return false
-	}
-	if len(cat.In) < 2 {
+	pred := n.In[0].From
+	switch pred.Kind {
+	case KindCat:
+		if len(pred.In) < 2 {
+			return false
+		}
+	case KindMerge:
+		// A framed round-robin chain: a stateless consumer can absorb
+		// the merge and continue the frame discipline; anything else
+		// (pure commands need contiguous chunks) stops here.
+		if len(pred.In) < 2 || n.Class != annot.Stateless {
+			return false
+		}
+	default:
 		return false
 	}
 
 	switch n.Class {
 	case annot.Stateless:
-		parallelizeStateless(g, n, cat)
+		parallelizeStateless(g, n, pred)
 	case annot.Pure:
-		parallelizePure(g, n, cat)
+		parallelizePure(g, n, pred)
 	}
 	return true
 }
@@ -250,26 +296,51 @@ func detachPredecessor(g *Graph, n *Node) []*Edge {
 	return feeds
 }
 
-// parallelizeStateless replaces v with n replicas and commutes cat after
-// them (Fig. 4): v(x1···xn) => v(x1)···v(xn).
+// feedFramed reports whether an edge carries chunk-framed round-robin
+// data: it comes from a round-robin split or from a framed replica.
+func feedFramed(e *Edge) bool {
+	if e.From == nil {
+		return false
+	}
+	return (e.From.Kind == KindSplit && e.From.RoundRobin) || e.From.Framed
+}
+
+// parallelizeStateless replaces v with n replicas and commutes the
+// collector after them (Fig. 4): v(x1···xn) => v(x1)···v(xn). When every
+// feed carries chunk-framed round-robin data, the replicas run framed
+// and the collector is an order-restoring KindMerge instead of a plain
+// cat.
 func parallelizeStateless(g *Graph, n *Node, pred *Node) {
 	out := n.Out[0]
 	feeds := detachPredecessor(g, n)
 
-	newCat := g.AddNode(NewNode(KindCat, "cat", nil, annot.Stateless))
+	framed := len(feeds) > 0
+	for _, feed := range feeds {
+		if !feedFramed(feed) {
+			framed = false
+			break
+		}
+	}
+	var collector *Node
+	if framed {
+		collector = g.AddNode(NewNode(KindMerge, "pash-rr-merge", nil, annot.Stateless))
+	} else {
+		collector = g.AddNode(NewNode(KindCat, "cat", nil, annot.Stateless))
+	}
 	for i, feed := range feeds {
 		replica := g.AddNode(NewNode(KindCommand, n.Name, cloneLits(n.Args), n.Class))
 		replica.Agg = n.Agg
 		replica.noSplit = true
+		replica.Framed = framed
 		feed.To = replica
 		replica.In = []*Edge{feed}
 		replica.StdinInput = 0
-		g.Connect(replica, newCat)
-		newCat.Args = append(newCat.Args, InArg(i))
+		g.Connect(replica, collector)
+		collector.Args = append(collector.Args, InArg(i))
 	}
-	// Route the new cat to the old consumer edge.
-	out.From = newCat
-	newCat.Out = append(newCat.Out, out)
+	// Route the collector to the old consumer edge.
+	out.From = collector
+	collector.Out = append(collector.Out, out)
 	n.Out = nil
 	n.In = nil
 	g.removeNode(n)
@@ -330,6 +401,19 @@ func trySplit(g *Graph, n *Node, opts Options) bool {
 	// command outputs are worth dispersing. (The cost model in the paper
 	// is similarly blunt: split everything the user asked to.)
 	split := g.AddNode(NewNode(KindSplit, "pash-split", nil, annot.Pure))
+	// Strategy: stream with the round-robin splitter when the consumer
+	// is stateless (framing is sound) and the input-aware fileSplit does
+	// not apply; pure consumers keep the barrier split, whose contiguous
+	// chunks their aggregators depend on.
+	if n.Class == annot.Stateless {
+		switch opts.SplitMode {
+		case SplitRoundRobin:
+			split.RoundRobin = true
+		case SplitAuto:
+			fileInput := in.From == nil && in.Source.Kind == BindFile
+			split.RoundRobin = !(fileInput && opts.InputAwareSplit)
+		}
+	}
 	in.To = split
 	split.In = []*Edge{in}
 	split.StdinInput = 0

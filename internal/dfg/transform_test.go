@@ -146,9 +146,38 @@ func TestStatelessChainCommutes(t *testing.T) {
 	if got := countKind(g, KindSplit); got != 1 {
 		t.Errorf("splits = %d, want 1", got)
 	}
-	// Exactly one cat should remain (after the last stage).
+	// Exactly one collector should remain (after the last stage). Under
+	// the default streaming split it is the order-restoring merge; with
+	// the barrier split it is a plain cat.
+	if got := countKind(g, KindCat) + countKind(g, KindMerge); got != 1 {
+		t.Errorf("collectors = %d, want 1\n%s", got, g.Dump())
+	}
+	if got := countKind(g, KindMerge); got != 1 {
+		t.Errorf("rr merge = %d, want 1 under SplitAuto\n%s", got, g.Dump())
+	}
+}
+
+func TestStatelessChainGeneralSplitKeepsCat(t *testing.T) {
+	// Forcing the barrier split reproduces the paper's original shape:
+	// replicas collected by a plain cat, no merges, no framing.
+	g := chain(t, sNode("grep", "x"), sNode("tr", "a", "b"))
+	Apply(g, Options{Width: 4, Split: true, Eager: EagerFull, SplitMode: SplitGeneral})
+	if err := g.Validate(); err != nil {
+		t.Fatalf("after transform: %v\n%s", err, g.Dump())
+	}
 	if got := countKind(g, KindCat); got != 1 {
 		t.Errorf("cats = %d, want 1\n%s", got, g.Dump())
+	}
+	if got := countKind(g, KindMerge); got != 0 {
+		t.Errorf("merges = %d, want 0 under SplitGeneral\n%s", got, g.Dump())
+	}
+	for _, n := range g.Nodes {
+		if n.Framed {
+			t.Errorf("node %s framed under SplitGeneral", n)
+		}
+		if n.Kind == KindSplit && n.RoundRobin {
+			t.Errorf("split %s round-robin under SplitGeneral", n)
+		}
 	}
 }
 
@@ -241,8 +270,8 @@ func TestFixpointTerminates(t *testing.T) {
 	if got := countKind(g, KindSplit); got != 1 {
 		t.Errorf("splits = %d, want 1", got)
 	}
-	if got := countKind(g, KindCat); got != 1 {
-		t.Errorf("cats = %d, want 1", got)
+	if got := countKind(g, KindCat) + countKind(g, KindMerge); got != 1 {
+		t.Errorf("collectors = %d, want 1", got)
 	}
 }
 

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -15,6 +16,23 @@ import (
 	"repro/internal/dfg"
 )
 
+// SplitStrategy selects the executor's implementation for split nodes
+// the planner left unmarked. (Round-robin-marked splits always run
+// round-robin: their framed consumers depend on chunk framing.)
+type SplitStrategy int
+
+// Split strategies.
+const (
+	// SplitAuto uses the seek-based fileSplit for graph-input files when
+	// InputAwareSplit is set, and the barrier generalSplit otherwise.
+	SplitAuto SplitStrategy = iota
+	// SplitGeneral forces the barrier split everywhere.
+	SplitGeneral
+	// SplitFile prefers the seek-based split whenever the split's input
+	// is a graph-input file, regardless of InputAwareSplit.
+	SplitFile
+)
+
 // Config controls graph execution.
 type Config struct {
 	// BlockingEager bounds eager buffers at this many bytes (the
@@ -24,6 +42,9 @@ type Config struct {
 	// InputAwareSplit selects the seek-based split for graph-input
 	// files (Par + B.Split in Fig. 7).
 	InputAwareSplit bool
+	// Split picks among the split implementations for unmarked split
+	// nodes; the zero value preserves the InputAwareSplit behaviour.
+	Split SplitStrategy
 	// Dir is the working directory for file bindings.
 	Dir string
 	// Env is the command environment.
@@ -49,6 +70,11 @@ type Result struct {
 	// pipe-blocked) durations, feeding the multicore scheduling
 	// simulator on single-core hosts.
 	NodeTimes []NodeTime
+	// BytesMoved and ChunksMoved total the traffic through the graph's
+	// internal edges: payload bytes and discrete blocks enqueued. The
+	// ratio exposes how chunky (amortized) the data plane ran.
+	BytesMoved  int64
+	ChunksMoved int64
 }
 
 // NodeTime is one node's measured execution profile.
@@ -95,9 +121,20 @@ type executor struct {
 	writers map[*dfg.Edge]io.WriteCloser
 	names   map[*dfg.Edge]string
 	meters  map[*dfg.Node]*int64 // blocked ns per node
+	pipes   []*pipe              // internal edge pipes, for traffic totals
 
 	closers []io.Closer
 	closeMu sync.Mutex
+}
+
+// traffic sums lifetime byte/chunk movement across the internal pipes.
+func (ex *executor) traffic() (bytes, chunks int64) {
+	for _, p := range ex.pipes {
+		b, c := p.moved()
+		bytes += b
+		chunks += c
+	}
+	return bytes, chunks
 }
 
 // virtualPrefix namespaces edge streams in the overlay filesystem.
@@ -161,7 +198,9 @@ func (ex *executor) run(ctx context.Context) (*Result, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	return &Result{ExitCode: finalStatus, NodeCount: len(ex.g.Nodes), NodeTimes: nodeTimes}, nil
+	res := &Result{ExitCode: finalStatus, NodeCount: len(ex.g.Nodes), NodeTimes: nodeTimes}
+	res.BytesMoved, res.ChunksMoved = ex.traffic()
+	return res, nil
 }
 
 // isCleanTermination treats downstream-closed write failures and
@@ -250,6 +289,7 @@ func (ex *executor) materialize(e *dfg.Edge, osfs commands.OSFS) error {
 		s.p.writeMeter = ex.meters[e.From]
 		ex.readers[e] = s.reader()
 		ex.writers[e] = s.writer()
+		ex.pipes = append(ex.pipes, s.p)
 	case e.To == nil && e.From == nil:
 		return fmt.Errorf("runtime: edge %s is fully unbound", e)
 	}
@@ -298,6 +338,11 @@ func (ex *executor) runNode(ctx context.Context, n *dfg.Node, overlay *overlayFS
 	if n.Kind == dfg.KindSplit {
 		return ex.runSplit(n)
 	}
+	if n.Framed {
+		if err, ok := ex.runFramed(n, overlay); ok {
+			return err
+		}
+	}
 	// Stdout: the (single) output edge; nodes with no outputs write to
 	// the void.
 	var stdout io.Writer = io.Discard
@@ -320,14 +365,23 @@ func (ex *executor) runNode(ctx context.Context, n *dfg.Node, overlay *overlayFS
 	return ex.reg.Run(n.Name, cctx)
 }
 
-// runSplit dispatches to the right split strategy.
+// runSplit dispatches to the right split strategy: round-robin when the
+// planner marked the node (its consumers are framed), the seek-based
+// fileSplit for graph-input files under SplitFile/InputAwareSplit, and
+// the barrier generalSplit otherwise.
 func (ex *executor) runSplit(n *dfg.Node) error {
 	ws := make([]io.WriteCloser, len(n.Out))
 	for i, e := range n.Out {
 		ws[i] = ex.writers[e]
 	}
 	in := n.In[0]
-	if ex.cfg.InputAwareSplit && in.From == nil && in.Source.Kind == dfg.BindFile {
+	if n.RoundRobin {
+		return splitError(n.ID, roundRobinSplit(ex.readers[in], ws))
+	}
+	fileInput := in.From == nil && in.Source.Kind == dfg.BindFile
+	useFile := fileInput && ex.cfg.Split != SplitGeneral &&
+		(ex.cfg.Split == SplitFile || ex.cfg.InputAwareSplit)
+	if useFile {
 		path := in.Source.Path
 		if !filepath.IsAbs(path) && ex.cfg.Dir != "" {
 			path = filepath.Join(ex.cfg.Dir, path)
@@ -338,6 +392,77 @@ func (ex *executor) runSplit(n *dfg.Node) error {
 		return splitError(n.ID, fileSplit(path, ws))
 	}
 	return splitError(n.ID, generalSplit(ex.readers[in], ws))
+}
+
+// chunkCollector accumulates one framed invocation's output into a
+// single owned block, adopting whole chunks when it can.
+type chunkCollector struct{ buf []byte }
+
+func (c *chunkCollector) Write(p []byte) (int, error) {
+	c.buf = append(c.buf, p...)
+	return len(p), nil
+}
+
+func (c *chunkCollector) WriteChunk(b []byte) error {
+	if len(c.buf) == 0 {
+		commands.PutBlock(c.buf)
+		c.buf = b
+		return nil
+	}
+	c.buf = append(c.buf, b...)
+	commands.PutBlock(b)
+	return nil
+}
+
+// runFramed executes a framed replica under the round-robin protocol:
+// the command runs once per input chunk (sound for stateless commands —
+// the same per-chunk independence that justified splitting), and exactly
+// one output chunk is emitted per input chunk, empty ones included, so
+// the downstream merge can restore the original order by rotation. It
+// reports ok=false when the node's edges do not support chunk framing,
+// in which case the caller falls back to a plain streaming run.
+func (ex *executor) runFramed(n *dfg.Node, overlay *overlayFS) (error, bool) {
+	if len(n.In) != 1 || len(n.Out) != 1 || n.StdinInput != 0 {
+		return nil, false
+	}
+	cr, rok := ex.readers[n.In[0]].(commands.ChunkReader)
+	cw, wok := ex.writers[n.Out[0]].(commands.ChunkWriter)
+	if !rok || !wok {
+		return nil, false
+	}
+	args := n.ArgStrings(func(i int) string { return ex.names[n.In[i]] })
+	for {
+		b, release, err := cr.ReadChunk()
+		if err == io.EOF {
+			return nil, true
+		}
+		if err != nil {
+			return err, true
+		}
+		col := &chunkCollector{buf: commands.GetBlock()}
+		cctx := &commands.Context{
+			Args:   args,
+			Stdin:  bytes.NewReader(b),
+			Stdout: col,
+			Stderr: ex.stdio.Stderr,
+			FS:     overlay,
+			Env:    ex.cfg.Env,
+		}
+		runErr := ex.reg.Run(n.Name, cctx)
+		release()
+		if runErr != nil {
+			// Per-chunk non-zero statuses (grep finding nothing in this
+			// chunk) are normal; real failures abort the node.
+			var ee *commands.ExitError
+			if !errors.As(runErr, &ee) {
+				commands.PutBlock(col.buf)
+				return runErr, true
+			}
+		}
+		if werr := cw.WriteChunk(col.buf); werr != nil {
+			return werr, true
+		}
+	}
 }
 
 type nopWriteCloser struct{ io.Writer }

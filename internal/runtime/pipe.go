@@ -1,8 +1,16 @@
 // Package runtime executes PaSh dataflow graphs in-process: one
 // goroutine per node (the analog of one process per command), bounded
 // in-memory FIFOs for edges (the analog of OS pipes), unbounded eager
-// buffers implementing the paper's eager relay nodes (§5.2), and the two
+// buffers implementing the paper's eager relay nodes (§5.2), and the
 // split implementations (§5.2 Splitting Challenges).
+//
+// Edges move data as whole blocks. A pipe is a bounded (or unbounded)
+// queue of []byte chunks recycled through the shared block pool: the
+// fast path (WriteChunk/ReadChunk) transfers ownership of a block from
+// producer to consumer without copying a byte, while the io.Writer and
+// io.Reader faces stage bytes into pooled blocks for commands that speak
+// plain streams. See internal/runtime/README.md for the ownership
+// contract.
 package runtime
 
 import (
@@ -11,6 +19,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/commands"
 )
 
 // ErrDownstreamClosed is returned by Edge writes after the reader has
@@ -23,114 +33,221 @@ var ErrDownstreamClosed = errors.New("runtime: downstream closed the stream")
 // default of 64 KiB.
 const pipeBufSize = 64 * 1024
 
-// pipe is a byte stream with a bounded (or unbounded) buffer. A bounded
-// pipe blocks writers when full — lazy, like a UNIX FIFO. max = 0 means
-// unbounded: writes never block, which is what the paper's eager relay
-// achieves by buffering in the relay process.
+// pipe is a byte stream carried as a bounded (or unbounded) FIFO of
+// blocks. A bounded pipe blocks writers when the queued payload reaches
+// max — lazy, like a UNIX FIFO. max = 0 means unbounded: writes never
+// block, which is what the paper's eager relay achieves by buffering in
+// the relay process.
 //
-// Each end can carry a meter: nanoseconds spent blocked in cond.Wait are
+// Chunk boundaries are preserved: a block enqueued with WriteChunk is
+// dequeued whole by ReadChunk, including zero-length blocks (the framing
+// tokens of the round-robin split protocol). The byte-oriented Read
+// simply skips empty blocks, so byte consumers never observe frames.
+//
+// Each end can carry a meter: nanoseconds spent blocked waiting are
 // accumulated there, so the executor can compute every node's *active*
 // work (wall time minus blocked time) — the input to the multicore
 // scheduling simulator.
 type pipe struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	buf     []byte
-	off     int // read offset into buf
+	mu    sync.Mutex
+	rwait sync.Cond // readers wait here while the queue is empty
+	wwait sync.Cond // writers wait here while a bounded queue is full
+
+	blocks  [][]byte
+	off     int // read offset into blocks[0]
+	size    int // unread payload bytes across all blocks
 	max     int // 0 = unbounded
 	closedW bool
 	closedR bool
 
-	readMeter  *int64 // atomic ns blocked in Read
-	writeMeter *int64 // atomic ns blocked in Write
+	readMeter  *int64 // atomic ns blocked in reads
+	writeMeter *int64 // atomic ns blocked in writes
+
+	bytesMoved  int64 // total payload bytes ever enqueued (under mu)
+	chunksMoved int64 // total blocks ever enqueued (under mu)
 }
 
 func newPipe(max int) *pipe {
 	p := &pipe{max: max}
-	p.cond = sync.NewCond(&p.mu)
+	p.rwait.L = &p.mu
+	p.wwait.L = &p.mu
 	return p
 }
 
-func (p *pipe) pending() int { return len(p.buf) - p.off }
+// metered waits on the given condition, charging the blocked time to the
+// meter when one is attached.
+func (p *pipe) metered(c *sync.Cond, meter *int64) {
+	if meter == nil {
+		c.Wait()
+		return
+	}
+	start := time.Now()
+	c.Wait()
+	atomic.AddInt64(meter, int64(time.Since(start)))
+}
 
-// Write appends to the buffer, blocking while a bounded buffer is full.
+// enqueue appends an owned block and wakes one reader. Callers hold mu.
+func (p *pipe) enqueue(b []byte) {
+	p.blocks = append(p.blocks, b)
+	p.size += len(b)
+	p.bytesMoved += int64(len(b))
+	p.chunksMoved++
+	p.rwait.Signal()
+}
+
+// waitWritable blocks until a bounded pipe has room (or either end is
+// closed). Callers hold mu.
+func (p *pipe) waitWritable() error {
+	for {
+		if p.closedR {
+			return ErrDownstreamClosed
+		}
+		if p.closedW {
+			return errors.New("runtime: write after close")
+		}
+		if p.max == 0 || p.size < p.max {
+			return nil
+		}
+		p.metered(&p.wwait, p.writeMeter)
+	}
+}
+
+// WriteChunk transfers ownership of b into the pipe without copying.
+// After it returns the caller must not touch b. Zero-length chunks are
+// enqueued as distinct framing tokens. On error the block has been
+// recycled.
+func (p *pipe) WriteChunk(b []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.waitWritable(); err != nil {
+		commands.PutBlock(b)
+		return err
+	}
+	p.enqueue(b)
+	return nil
+}
+
+// Write copies b into pooled blocks, blocking while a bounded buffer is
+// full. Small writes coalesce into the queue's tail block.
 func (p *pipe) Write(b []byte) (int, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	written := 0
-	for len(b) > 0 {
-		if p.closedR {
-			return written, ErrDownstreamClosed
+	for {
+		// Coalesce into the tail block when it has room; the tail is
+		// owned by the queue until dequeued, so appending under mu is
+		// safe.
+		if len(b) > 0 && len(p.blocks) > 0 && !p.closedR && !p.closedW {
+			tail := p.blocks[len(p.blocks)-1]
+			if room := cap(tail) - len(tail); room > 0 && (p.max == 0 || p.size < p.max) {
+				n := len(b)
+				if n > room {
+					n = room
+				}
+				p.blocks[len(p.blocks)-1] = append(tail, b[:n]...)
+				p.size += n
+				p.bytesMoved += int64(n)
+				b = b[n:]
+				written += n
+				p.rwait.Signal()
+			}
 		}
-		if p.closedW {
-			return written, errors.New("runtime: write after close")
+		if len(b) == 0 {
+			return written, nil
 		}
-		space := len(b)
+		if err := p.waitWritable(); err != nil {
+			return written, err
+		}
+		n := len(b)
+		if n > commands.BlockSize {
+			n = commands.BlockSize
+		}
 		if p.max > 0 {
-			free := p.max - p.pending()
-			if free <= 0 {
-				p.metered(p.writeMeter)
-				continue
-			}
-			if space > free {
-				space = free
+			if free := p.max - p.size; n > free {
+				n = free
 			}
 		}
-		p.compact()
-		p.buf = append(p.buf, b[:space]...)
-		b = b[space:]
-		written += space
-		p.cond.Broadcast()
+		blk := append(commands.GetBlock(), b[:n]...)
+		p.enqueue(blk)
+		b = b[n:]
+		written += n
 	}
-	return written, nil
 }
 
-// compact reclaims consumed prefix space when it dominates the buffer.
-func (p *pipe) compact() {
-	if p.off > 4096 && p.off > len(p.buf)/2 {
-		copy(p.buf, p.buf[p.off:])
-		p.buf = p.buf[:p.pending()]
-		p.off = 0
-	}
+// dropHead recycles and removes the fully-consumed head block. Callers
+// hold mu.
+func (p *pipe) dropHead() {
+	commands.PutBlock(p.blocks[0])
+	p.blocks[0] = nil
+	p.blocks = p.blocks[1:]
+	p.off = 0
 }
 
 // Read consumes buffered bytes, blocking while the pipe is open and
-// empty.
+// empty. A single call drains as many queued blocks as fit in b.
 func (p *pipe) Read(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, nil
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
 		if p.closedR {
 			return 0, io.ErrClosedPipe
 		}
-		if n := p.pending(); n > 0 {
-			c := copy(b, p.buf[p.off:])
-			p.off += c
-			if p.pending() == 0 && p.closedW {
-				// Allow the buffer to be reclaimed early.
-				p.buf = nil
-				p.off = 0
+		// Skip framing tokens so byte consumers never see them.
+		for len(p.blocks) > 0 && p.off >= len(p.blocks[0]) {
+			p.dropHead()
+		}
+		if p.size > 0 && len(b) > 0 {
+			read := 0
+			for read < len(b) && len(p.blocks) > 0 {
+				head := p.blocks[0]
+				c := copy(b[read:], head[p.off:])
+				read += c
+				p.off += c
+				p.size -= c
+				if p.off >= len(head) {
+					p.dropHead()
+				}
 			}
-			p.cond.Broadcast()
-			return c, nil
+			p.wwait.Signal()
+			return read, nil
 		}
 		if p.closedW {
 			return 0, io.EOF
 		}
-		p.metered(p.readMeter)
+		p.metered(&p.rwait, p.readMeter)
 	}
 }
 
-// metered waits on the pipe's condition, charging the blocked time to
-// the given meter when one is attached.
-func (p *pipe) metered(meter *int64) {
-	if meter == nil {
-		p.cond.Wait()
-		return
+// ReadChunk dequeues the next whole block, transferring its ownership to
+// the caller. The release function recycles the block's backing array;
+// call it exactly once when done, or never if ownership moves onward.
+// Returns io.EOF after the writer closes and the queue drains.
+func (p *pipe) ReadChunk() ([]byte, func(), error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.closedR {
+			return nil, func() {}, io.ErrClosedPipe
+		}
+		if len(p.blocks) > 0 {
+			head := p.blocks[0]
+			payload := head[p.off:]
+			p.blocks[0] = nil
+			p.blocks = p.blocks[1:]
+			p.off = 0
+			p.size -= len(payload)
+			p.wwait.Signal()
+			release := func() { commands.PutBlock(head) }
+			return payload, release, nil
+		}
+		if p.closedW {
+			return nil, func() {}, io.EOF
+		}
+		p.metered(&p.rwait, p.readMeter)
 	}
-	start := time.Now()
-	p.cond.Wait()
-	atomic.AddInt64(meter, int64(time.Since(start)))
 }
 
 // CloseWrite signals EOF to the reader.
@@ -138,18 +255,33 @@ func (p *pipe) CloseWrite() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.closedW = true
-	p.cond.Broadcast()
+	p.rwait.Broadcast()
+	p.wwait.Broadcast()
 }
 
 // CloseRead abandons the stream: subsequent writes fail with
-// ErrDownstreamClosed (the SIGPIPE analog) and buffered data is dropped.
+// ErrDownstreamClosed (the SIGPIPE analog) and buffered blocks are
+// recycled.
 func (p *pipe) CloseRead() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.closedR = true
-	p.buf = nil
+	for _, b := range p.blocks {
+		commands.PutBlock(b)
+	}
+	p.blocks = nil
 	p.off = 0
-	p.cond.Broadcast()
+	p.size = 0
+	p.rwait.Broadcast()
+	p.wwait.Broadcast()
+}
+
+// moved reports the pipe's lifetime traffic: payload bytes and chunk
+// count ever enqueued.
+func (p *pipe) moved() (bytes, chunks int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytesMoved, p.chunksMoved
 }
 
 // edgeStream packages the two ends of an edge.
@@ -177,9 +309,17 @@ func (s *edgeStream) reader() io.ReadCloser { return readEnd{s.p} }
 type writeEnd struct{ p *pipe }
 
 func (w writeEnd) Write(b []byte) (int, error) { return w.p.Write(b) }
+func (w writeEnd) WriteChunk(b []byte) error   { return w.p.WriteChunk(b) }
 func (w writeEnd) Close() error                { w.p.CloseWrite(); return nil }
 
 type readEnd struct{ p *pipe }
 
-func (r readEnd) Read(b []byte) (int, error) { return r.p.Read(b) }
-func (r readEnd) Close() error               { r.p.CloseRead(); return nil }
+func (r readEnd) Read(b []byte) (int, error)         { return r.p.Read(b) }
+func (r readEnd) ReadChunk() ([]byte, func(), error) { return r.p.ReadChunk() }
+func (r readEnd) Close() error                       { r.p.CloseRead(); return nil }
+
+// Compile-time checks: the edge ends speak the chunk protocol.
+var (
+	_ commands.ChunkWriter = writeEnd{}
+	_ commands.ChunkReader = readEnd{}
+)

@@ -73,6 +73,7 @@ func Profile(ctx context.Context, g *dfg.Graph, reg *commands.Registry, stdio St
 		ex.closeNodeEdges(n)
 	}
 	ex.closeEverything()
+	res.BytesMoved, res.ChunksMoved = ex.traffic()
 	return res, nil
 }
 
@@ -85,6 +86,7 @@ func (ex *executor) materializeUnbounded(e *dfg.Edge, osfs commands.OSFS) error 
 		ex.readers[e] = s.reader()
 		ex.writers[e] = s.writer()
 		ex.names[e] = fmt.Sprintf("%s%d", virtualPrefix, e.ID)
+		ex.pipes = append(ex.pipes, s.p)
 		return nil
 	}
 	return ex.materialize(e, osfs)

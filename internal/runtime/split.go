@@ -1,7 +1,6 @@
 package runtime
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"os"
@@ -9,14 +8,21 @@ import (
 	"repro/internal/commands"
 )
 
-// This file implements the two split strategies of §5.2:
+// This file implements the three split strategies (§5.2 Splitting
+// Challenges, plus the streaming refinement this reproduction adds):
 //
 //   - generalSplit consumes its complete input, counts lines, and then
-//     distributes them evenly — correct for any upstream producer, but a
-//     task-parallelism barrier.
+//     distributes them evenly — correct for any upstream producer and any
+//     consumer, but a task-parallelism barrier with O(input) memory.
 //   - fileSplit (the "input-aware" variant) knows its input is a regular
 //     file of known size: it seeks to newline-aligned byte offsets and
 //     streams each chunk concurrently, never reading the input twice.
+//   - roundRobinSplit streams ~64 KiB newline-aligned blocks and deals
+//     them to consumers as they arrive: no full-input barrier, O(1)
+//     memory, first block flowing downstream as soon as it is read. Its
+//     outputs interleave the input, so it is only used where the planner
+//     paired it with framed consumers and a pash-rr-merge that restores
+//     byte order (see internal/dfg/transform.go).
 
 // generalSplit reads everything from r, then writes line-balanced chunks
 // to the writers in order.
@@ -30,21 +36,18 @@ func generalSplit(r io.Reader, ws []io.WriteCloser) error {
 	per := (len(lines) + n - 1) / n
 	idx := 0
 	for i, w := range ws {
-		bw := bufio.NewWriterSize(w, 64*1024)
+		lw := commands.NewLineWriter(w)
 		for j := 0; j < per && idx < len(lines); j++ {
-			if _, err := bw.Write(lines[idx]); err != nil {
+			if err := lw.WriteLine(lines[idx]); err != nil {
 				if err == ErrDownstreamClosed {
 					break
 				}
 				closeAll(ws[i:])
 				return err
 			}
-			if err := bw.WriteByte('\n'); err != nil {
-				break
-			}
 			idx++
 		}
-		if err := bw.Flush(); err != nil && err != ErrDownstreamClosed {
+		if err := lw.Flush(); err != nil && err != ErrDownstreamClosed {
 			closeAll(ws[i:])
 			return err
 		}
@@ -53,25 +56,74 @@ func generalSplit(r io.Reader, ws []io.WriteCloser) error {
 	return nil
 }
 
+// roundRobinSplit streams newline-aligned blocks from r, transferring
+// ownership of block k to ws[k mod len(ws)]. Consumers start receiving
+// data after the first block read — the split is no longer a pipeline
+// barrier — and memory stays O(blocks in flight). Writers that close
+// early (SIGPIPE analog) drop out of the rotation; the rotation position
+// still advances past them so surviving streams keep their frame
+// arithmetic.
+func roundRobinSplit(r io.Reader, ws []io.WriteCloser) error {
+	n := len(ws)
+	closed := make([]bool, n)
+	alive := n
+	k := 0
+	err := commands.EachLineBlock(r, func(block []byte) error {
+		i := k % n
+		k++
+		if closed[i] {
+			commands.PutBlock(block)
+			return nil
+		}
+		werr := writeChunkTo(ws[i], block)
+		if werr == ErrDownstreamClosed {
+			closed[i] = true
+			if alive--; alive == 0 {
+				return ErrDownstreamClosed
+			}
+			return nil
+		}
+		return werr
+	})
+	closeAll(ws)
+	if err == ErrDownstreamClosed {
+		// Every consumer hung up: clean termination, like a command
+		// killed by SIGPIPE.
+		return nil
+	}
+	return err
+}
+
+// writeChunkTo hands block ownership to w, copying only when w does not
+// speak the chunk protocol.
+func writeChunkTo(w io.Writer, block []byte) error {
+	if cw, ok := w.(commands.ChunkWriter); ok {
+		return cw.WriteChunk(block)
+	}
+	_, err := w.Write(block)
+	commands.PutBlock(block)
+	return err
+}
+
 // fileSplit divides the file [path] into len(ws) byte ranges aligned to
 // line boundaries and streams each range to its writer concurrently.
 // Alignment rule: each chunk starts right after the first newline at or
 // before its nominal offset (chunk 0 starts at 0), so every line lands in
-// exactly one chunk.
+// exactly one chunk. A single file descriptor serves both the alignment
+// probes and the concurrent range reads (ReadAt is goroutine-safe).
 func fileSplit(path string, ws []io.WriteCloser) error {
 	f, err := os.Open(path)
 	if err != nil {
 		closeAll(ws)
 		return err
 	}
+	defer f.Close()
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
 		closeAll(ws)
 		return err
 	}
 	size := st.Size()
-	f.Close()
 	n := int64(len(ws))
 	nominal := make([]int64, n+1)
 	for i := int64(0); i <= n; i++ {
@@ -82,7 +134,7 @@ func fileSplit(path string, ws []io.WriteCloser) error {
 	starts[0] = 0
 	starts[n] = size
 	for i := int64(1); i < n; i++ {
-		off, err := alignToLineStart(path, nominal[i])
+		off, err := alignToLineStart(f, nominal[i])
 		if err != nil {
 			closeAll(ws)
 			return err
@@ -92,7 +144,7 @@ func fileSplit(path string, ws []io.WriteCloser) error {
 	errc := make(chan error, n)
 	for i := int64(0); i < n; i++ {
 		go func(lo, hi int64, w io.WriteCloser) {
-			errc <- streamRange(path, lo, hi, w)
+			errc <- streamRange(f, lo, hi, w)
 		}(starts[i], starts[i+1], ws[i])
 	}
 	var first error
@@ -105,55 +157,63 @@ func fileSplit(path string, ws []io.WriteCloser) error {
 }
 
 // alignToLineStart finds the first byte position >= off that begins a
-// line (position 0 or one past a newline), scanning forward.
-func alignToLineStart(path string, off int64) (int64, error) {
+// line (position 0 or one past a newline), scanning forward with ReadAt
+// on the already-open file.
+func alignToLineStart(f *os.File, off int64) (int64, error) {
 	if off == 0 {
 		return 0, nil
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, err
-	}
-	defer f.Close()
-	if _, err := f.Seek(off-1, io.SeekStart); err != nil {
-		return 0, err
-	}
-	br := bufio.NewReader(f)
-	// Scan until the next newline; the line start is one past it.
-	skipped := int64(0)
+	buf := make([]byte, 4096)
+	pos := off - 1 // include the byte before off: it may be the newline
 	for {
-		b, err := br.ReadByte()
+		n, err := f.ReadAt(buf, pos)
+		for i := 0; i < n; i++ {
+			if buf[i] == '\n' {
+				return pos + int64(i) + 1, nil
+			}
+		}
+		pos += int64(n)
 		if err == io.EOF {
-			return off + skipped, nil
+			return pos, nil
 		}
 		if err != nil {
 			return 0, err
 		}
-		skipped++
-		if b == '\n' {
-			return off - 1 + skipped, nil
-		}
 	}
 }
 
-func streamRange(path string, lo, hi int64, w io.WriteCloser) error {
+// streamRange copies f[lo:hi) to w in pooled blocks, transferring block
+// ownership when w speaks the chunk protocol. ReadAt keeps the shared
+// descriptor position-independent across the concurrent ranges.
+func streamRange(f *os.File, lo, hi int64, w io.WriteCloser) error {
 	defer w.Close()
-	if hi <= lo {
-		return nil
+	pos := lo
+	for pos < hi {
+		want := hi - pos
+		if want > commands.BlockSize {
+			want = commands.BlockSize
+		}
+		block := commands.GetBlock()
+		n, err := f.ReadAt(block[:want], pos)
+		if n > 0 {
+			pos += int64(n)
+			if werr := writeChunkTo(w, block[:n]); werr != nil {
+				if werr == ErrDownstreamClosed {
+					return nil
+				}
+				return werr
+			}
+		} else {
+			commands.PutBlock(block)
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if _, err := f.Seek(lo, io.SeekStart); err != nil {
-		return err
-	}
-	_, err = io.CopyN(w, f, hi-lo)
-	if err == ErrDownstreamClosed || err == io.EOF {
-		return nil
-	}
-	return err
+	return nil
 }
 
 func closeAll(ws []io.WriteCloser) {
