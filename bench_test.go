@@ -20,6 +20,7 @@ package repro
 import (
 	"context"
 	"flag"
+	"fmt"
 	"io"
 	"os"
 	"strings"
@@ -251,6 +252,52 @@ func BenchmarkMicroSort(b *testing.B) {
 	}
 	b.ReportMetric(eager, "speedup-eager@16x")
 	b.ReportMetric(noEager, "speedup-noeager@16x")
+}
+
+// BenchmarkAggTree sweeps width for a sort pipeline comparing the flat
+// n-ary aggregate (AggFanIn: -1) against fan-in-4 aggregation trees
+// (the automatic default at width >= 8), reporting projected speedups
+// on the simulated 64-core machine. The flat merge is a single
+// sequential node whose work grows with width; the tree's leaves merge
+// in parallel, so tree > flat from width 16 on.
+func BenchmarkAggTree(b *testing.B) {
+	dir, err := os.MkdirTemp("", "pashaggtree-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	if err := workload.TextFile(dir+"/in.txt", 60000**benchScale, 7); err != nil {
+		b.Fatal(err)
+	}
+	p := &benchscripts.Prepared{
+		Bench:  benchscripts.Bench{Name: "agg-tree"},
+		Dir:    dir,
+		Script: "cat in.txt | sort",
+	}
+	widths := []int{8, 16, 32}
+	speedups := map[string]float64{}
+	for i := 0; i < b.N; i++ {
+		for _, w := range widths {
+			flat, _, _, err := benchscripts.Speedup(p, core.Options{
+				Width: w, Split: true, Eager: dfg.EagerFull, AggFanIn: -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tree, _, _, err := benchscripts.Speedup(p, core.Options{
+				Width: w, Split: true, Eager: dfg.EagerFull,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			speedups[fmt.Sprintf("flat@%dx", w)] = flat
+			speedups[fmt.Sprintf("tree@%dx", w)] = tree
+		}
+	}
+	for _, w := range widths {
+		b.ReportMetric(speedups[fmt.Sprintf("flat@%dx", w)], fmt.Sprintf("flat@%dx", w))
+		b.ReportMetric(speedups[fmt.Sprintf("tree@%dx", w)], fmt.Sprintf("tree@%dx", w))
+	}
 }
 
 // BenchmarkMicroGNUParallel is the §6.5 GNU parallel comparison: the

@@ -31,7 +31,32 @@
 // split strategies disperse streams across parallel replicas: the
 // barrier generalSplit, the seek-based input-aware fileSplit, and the
 // streaming round-robin split whose framed chunks an order-restoring
-// merge reassembles. internal/runtime/README.md documents the ownership
-// contract, the framing protocol, and how the blocked-time meters feed
-// the multicore simulator.
+// merge reassembles.
+//
+// # Fused stateless pipelines
+//
+// Linear chains of hot stateless commands (cat, tr, grep, cut, sed,
+// rev) collapse into single dfg.KindFused nodes after the
+// transformations settle: each command contributes a composable kernel
+// (commands.Kernel — a per-block transform, byte-identical to the
+// command), and the runtime executes the whole chain as one goroutine
+// running the composed kernels over pooled blocks with zero
+// intermediate pipes. Framing commutes through fusion, so fused
+// replicas slot between a round-robin split and its order-restoring
+// merge unchanged, and per-stage time/byte meters are attributed
+// inside the fused loop.
+//
+// # Aggregation trees
+//
+// Parallelized pure commands aggregate their n partial results through
+// a fan-in-k tree of aggregate nodes (automatic at width >= 8) instead
+// of one flat n-ary merge, for aggregators marked associative by
+// agg.Resolve — sort -m (a loser-tree k-way merge), wc, uniq -c, sums,
+// head/tail, tac. The sequential merge stops being the width-scaling
+// bottleneck: leaves combine in parallel and the critical path shrinks
+// from O(n) streams to O(log_k n) levels.
+//
+// internal/runtime/README.md documents the ownership contract, the
+// framing protocol, the fusion contract, the tree layout, and how the
+// blocked-time meters feed the multicore simulator.
 package repro

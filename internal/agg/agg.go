@@ -16,6 +16,13 @@ import (
 // false when no sound aggregator is known — in which case the node stays
 // sequential (the conservative default). flagArgs are the invocation's
 // non-stream arguments (flags and config operands).
+//
+// Aggregators whose output can be re-aggregated — agg(agg(a)·agg(b)) ==
+// agg(a·b) — are marked Associative, which licenses the transformation
+// to arrange them into fan-in-k trees at high widths instead of one
+// flat n-ary merge (see dfg.Options.AggFanIn). Every aggregator here is
+// associative except pash-agg-bigrams, whose output drops the boundary
+// markers its own input format requires.
 func Resolve(name string, flagArgs []string, inv *annot.Invocation) (*dfg.AggSpec, bool) {
 	switch name {
 	case "sort":
@@ -24,9 +31,12 @@ func Resolve(name string, flagArgs []string, inv *annot.Invocation) (*dfg.AggSpe
 		if inv.Opts.Has("-m") || inv.Opts.Has("-c") || inv.Opts.Has("-o") {
 			return nil, false
 		}
+		// Merging sorted runs is associative, and stability (ties in
+		// source order) composes level by level.
 		return &dfg.AggSpec{
 			MapName: "sort", MapArgs: flagArgs,
 			AggName: "sort", AggArgs: append([]string{"-m"}, flagArgs...),
+			Associative: true,
 		}, true
 	case "uniq":
 		// Boundary merging is implemented for plain uniq and uniq -c.
@@ -37,14 +47,19 @@ func Resolve(name string, flagArgs []string, inv *annot.Invocation) (*dfg.AggSpe
 				return nil, false
 			}
 		}
+		// The aggregate's output is itself valid uniq (-c) output, so
+		// partial merges re-aggregate.
 		return &dfg.AggSpec{
 			MapName: "uniq", MapArgs: flagArgs,
 			AggName: "pash-agg-uniq", AggArgs: flagArgs,
+			Associative: true,
 		}, true
 	case "wc":
+		// Column sums of column sums.
 		return &dfg.AggSpec{
 			MapName: "wc", MapArgs: flagArgs,
 			AggName: "pash-agg-wc", AggArgs: flagArgs,
+			Associative: true,
 		}, true
 	case "grep":
 		// Only the counting form aggregates: sum of per-chunk counts.
@@ -56,6 +71,7 @@ func Resolve(name string, flagArgs []string, inv *annot.Invocation) (*dfg.AggSpe
 		return &dfg.AggSpec{
 			MapName: "grep", MapArgs: flagArgs,
 			AggName: "pash-agg-sum", AggArgs: nil,
+			Associative: true,
 		}, true
 	case "head":
 		n, ok := inv.Opts.Value("-n")
@@ -64,10 +80,13 @@ func Resolve(name string, flagArgs []string, inv *annot.Invocation) (*dfg.AggSpe
 		}
 		// head_K(x·x') == head_K(head_K(x)·head_K(x')). The aggregate is
 		// a dedicated primitive rather than head itself because real
-		// multi-file head prints "==> f <==" headers.
+		// multi-file head prints "==> f <==" headers. Prefix-taking is
+		// associative; StopsEarly keeps t2 from planting a draining
+		// barrier split in front of a command that reads K lines.
 		return &dfg.AggSpec{
 			MapName: "head", MapArgs: flagArgs,
 			AggName: "pash-agg-head", AggArgs: flagArgs,
+			Associative: true, StopsEarly: true,
 		}, true
 	case "tail":
 		n, ok := inv.Opts.Value("-n")
@@ -78,6 +97,7 @@ func Resolve(name string, flagArgs []string, inv *annot.Invocation) (*dfg.AggSpe
 		return &dfg.AggSpec{
 			MapName: "tail", MapArgs: flagArgs,
 			AggName: "pash-agg-tail", AggArgs: flagArgs,
+			Associative: true,
 		}, true
 	case "tac":
 		if len(flagArgs) > 0 {
@@ -85,14 +105,18 @@ func Resolve(name string, flagArgs []string, inv *annot.Invocation) (*dfg.AggSpe
 		}
 		// tac(x·x') == tac(x')·tac(x): concatenate map outputs in
 		// reverse stream order (§5.2: tac "consumes stream descriptors
-		// in reverse order").
+		// in reverse order"). Reversed concatenation of reversed
+		// concatenations composes, so trees are sound.
 		return &dfg.AggSpec{
 			MapName: "tac", MapArgs: nil,
 			AggName: "pash-agg-tac", AggArgs: nil,
+			Associative: true,
 		}, true
 	case "bigrams-aux":
 		// The §3.2 custom-aggregator story: map emits boundary markers,
-		// the aggregate stitches cross-chunk bigrams back in.
+		// the aggregate stitches cross-chunk bigrams back in. Its output
+		// has the markers stripped, so it cannot feed another aggregate:
+		// NOT associative — keep the flat n-ary stage.
 		if len(flagArgs) > 0 {
 			return nil, false
 		}

@@ -1,0 +1,72 @@
+package benchscripts
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dfg"
+)
+
+// TestFusionCorpusEquivalence is the tentpole's corpus-wide property
+// test: every benchmark script (Tab. 2 one-liners and Unix50) produces
+// byte-identical output with stage fusion enabled and disabled, at
+// sequential and parallel widths — including width 16, where the
+// aggregation trees are live too.
+func TestFusionCorpusEquivalence(t *testing.T) {
+	benches := append(append([]Bench{}, OneLiners()...), Unix50()...)
+	for _, b := range benches {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			p, err := Prepare(b, t.TempDir(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{1, 8, 16} {
+				opts := core.Options{Width: w, Split: w > 1, Eager: dfg.EagerFull}
+				fused, err := p.Execute(opts)
+				if err != nil {
+					t.Fatalf("width %d fused: %v", w, err)
+				}
+				opts.DisableFusion = true
+				unfused, err := p.Execute(opts)
+				if err != nil {
+					t.Fatalf("width %d unfused: %v", w, err)
+				}
+				if fused.Hash != unfused.Hash {
+					t.Errorf("width %d: fused output diverged from unfused", w)
+				}
+				if fused.Code != unfused.Code {
+					t.Errorf("width %d: fused exit %d vs unfused %d", w, fused.Code, unfused.Code)
+				}
+			}
+		})
+	}
+}
+
+// TestAggTreeCorpusEquivalence pins tree aggregation against the flat
+// aggregate across the corpus at width 16 (where trees form).
+func TestAggTreeCorpusEquivalence(t *testing.T) {
+	benches := append(append([]Bench{}, OneLiners()...), Unix50()...)
+	for _, b := range benches {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			p, err := Prepare(b, t.TempDir(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree, err := p.Execute(core.Options{Width: 16, Split: true, Eager: dfg.EagerFull})
+			if err != nil {
+				t.Fatalf("tree: %v", err)
+			}
+			flat, err := p.Execute(core.Options{Width: 16, Split: true, Eager: dfg.EagerFull, AggFanIn: -1})
+			if err != nil {
+				t.Fatalf("flat: %v", err)
+			}
+			if tree.Hash != flat.Hash {
+				t.Errorf("tree aggregation diverged from flat at width 16")
+			}
+		})
+	}
+}

@@ -2,21 +2,28 @@ package commands
 
 import (
 	"bytes"
+	"fmt"
 	"strconv"
 	"strings"
 )
 
 func init() { register("cut", cut) }
 
-// cut selects fields (-f, with -d delimiter, default TAB) or character
-// positions (-c, -b) from each line. List syntax: N, N-M, N-, -M,
-// comma-separated. -s suppresses lines without delimiters (field mode).
-func cut(ctx *Context) error {
+// cutSpec is a parsed cut invocation, shared by the command and its
+// kernel so the two can never drift apart.
+type cutSpec struct {
+	ranges   []cutRange
+	delim    byte
+	suppress bool
+	charMode bool
+	operands []string
+}
+
+// parseCutArgs parses cut's argv. Errors are returned plain; the
+// command path wraps them through ctx.Errorf.
+func parseCutArgs(args []string) (*cutSpec, error) {
 	var fieldList, charList string
-	delim := byte('\t')
-	suppress := false
-	var operands []string
-	args := ctx.Args
+	spec := &cutSpec{delim: '\t'}
 	for i := 0; i < len(args); i++ {
 		a := args[i]
 		grab := func(attached string) (string, error) {
@@ -25,7 +32,7 @@ func cut(ctx *Context) error {
 			}
 			i++
 			if i >= len(args) {
-				return "", ctx.Errorf("option %q requires an argument", a)
+				return "", fmt.Errorf("option %q requires an argument", a)
 			}
 			return args[i], nil
 		}
@@ -33,53 +40,61 @@ func cut(ctx *Context) error {
 		case strings.HasPrefix(a, "-f"):
 			v, err := grab(a[2:])
 			if err != nil {
-				return err
+				return nil, err
 			}
 			fieldList = v
-		case strings.HasPrefix(a, "-c"):
+		case strings.HasPrefix(a, "-c"), strings.HasPrefix(a, "-b"):
 			v, err := grab(a[2:])
 			if err != nil {
-				return err
-			}
-			charList = v
-		case strings.HasPrefix(a, "-b"):
-			v, err := grab(a[2:])
-			if err != nil {
-				return err
+				return nil, err
 			}
 			charList = v
 		case strings.HasPrefix(a, "-d"):
 			v, err := grab(a[2:])
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if len(v) != 1 {
-				return ctx.Errorf("delimiter must be a single character")
+				return nil, fmt.Errorf("delimiter must be a single character")
 			}
-			delim = v[0]
+			spec.delim = v[0]
 		case a == "-s":
-			suppress = true
+			spec.suppress = true
 		case a == "-":
-			operands = append(operands, a)
+			spec.operands = append(spec.operands, a)
 		case strings.HasPrefix(a, "-"):
-			return ctx.Errorf("unsupported flag %q", a)
+			return nil, fmt.Errorf("unsupported flag %q", a)
 		default:
-			operands = append(operands, a)
+			spec.operands = append(spec.operands, a)
 		}
 	}
 	if (fieldList == "") == (charList == "") {
-		return ctx.Errorf("specify exactly one of -f or -c/-b")
+		return nil, fmt.Errorf("specify exactly one of -f or -c/-b")
 	}
-	spec := fieldList
-	if spec == "" {
-		spec = charList
+	list := fieldList
+	if list == "" {
+		list = charList
+		spec.charMode = true
 	}
-	ranges, err := parseCutList(spec)
+	ranges, err := parseCutList(list)
 	if err != nil {
-		return ctx.Errorf("bad list %q: %v", spec, err)
+		return nil, fmt.Errorf("bad list %q: %v", list, err)
 	}
+	spec.ranges = ranges
+	return spec, nil
+}
 
-	readers, cleanup, err := ctx.OpenInputs(operands)
+// cut selects fields (-f, with -d delimiter, default TAB) or character
+// positions (-c, -b) from each line. List syntax: N, N-M, N-, -M,
+// comma-separated. -s suppresses lines without delimiters (field mode).
+func cut(ctx *Context) error {
+	spec, err := parseCutArgs(ctx.Args)
+	if err != nil {
+		return ctx.Errorf("%v", err)
+	}
+	delim, suppress, ranges := spec.delim, spec.suppress, spec.ranges
+
+	readers, cleanup, err := ctx.OpenInputs(spec.operands)
 	if err != nil {
 		return err
 	}
@@ -90,7 +105,7 @@ func cut(ctx *Context) error {
 	var out []byte
 	err = EachLineReaders(readers, func(line []byte) error {
 		out = out[:0]
-		if charList != "" {
+		if spec.charMode {
 			for _, r := range ranges {
 				lo, hi := r.lo, r.hi
 				if lo < 1 {

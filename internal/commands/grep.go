@@ -1,6 +1,7 @@
 package commands
 
 import (
+	"bytes"
 	"fmt"
 	"regexp"
 	"strconv"
@@ -8,6 +9,199 @@ import (
 )
 
 func init() { register("grep", grep) }
+
+// grepSpec is a parsed grep invocation.
+type grepSpec struct {
+	ignoreCase, invert, count, lineNums, quiet bool
+	filesWithMatches, wordMatch, lineMatch     bool
+	fixed, onlyMatching                        bool
+	forceName, suppressName                    bool
+	maxCount                                   int
+	patterns                                   []string
+	operands                                   []string
+}
+
+// parseGrepArgs parses grep's argv. Errors are returned plain; the
+// command path wraps them through ctx.Errorf.
+func parseGrepArgs(args []string) (*grepSpec, error) {
+	spec := &grepSpec{maxCount: -1}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if len(a) > 1 && a[0] == '-' && a != "--" {
+			body := a[1:]
+			if strings.HasPrefix(a, "--") {
+				return nil, fmt.Errorf("unsupported flag %q", a)
+			}
+			for len(body) > 0 {
+				c := body[0]
+				body = body[1:]
+				switch c {
+				case 'i':
+					spec.ignoreCase = true
+				case 'v':
+					spec.invert = true
+				case 'c':
+					spec.count = true
+				case 'n':
+					spec.lineNums = true
+				case 'q':
+					spec.quiet = true
+				case 'l':
+					spec.filesWithMatches = true
+				case 'w':
+					spec.wordMatch = true
+				case 'x':
+					spec.lineMatch = true
+				case 'F':
+					spec.fixed = true
+				case 'E', 'G':
+					// Both map onto Go regexp syntax.
+				case 'o':
+					spec.onlyMatching = true
+				case 'H':
+					spec.forceName = true
+				case 'h':
+					spec.suppressName = true
+				case 'm':
+					val := body
+					body = ""
+					if val == "" {
+						i++
+						if i >= len(args) {
+							return nil, fmt.Errorf("-m requires an argument")
+						}
+						val = args[i]
+					}
+					n, err := strconv.Atoi(val)
+					if err != nil {
+						return nil, fmt.Errorf("invalid -m argument %q", val)
+					}
+					spec.maxCount = n
+				case 'e':
+					val := body
+					body = ""
+					if val == "" {
+						i++
+						if i >= len(args) {
+							return nil, fmt.Errorf("-e requires an argument")
+						}
+						val = args[i]
+					}
+					spec.patterns = append(spec.patterns, val)
+				default:
+					return nil, fmt.Errorf("unsupported flag -%c", c)
+				}
+			}
+			continue
+		}
+		if a == "--" {
+			spec.operands = append(spec.operands, args[i+1:]...)
+			break
+		}
+		spec.operands = append(spec.operands, a)
+	}
+	if len(spec.patterns) == 0 {
+		if len(spec.operands) == 0 {
+			return nil, fmt.Errorf("missing pattern")
+		}
+		spec.patterns = spec.operands[0:1]
+		spec.operands = spec.operands[1:]
+	}
+	return spec, nil
+}
+
+// regexpMetaBytes are the characters that make a pattern a real regexp;
+// a pattern free of them matches exactly like a fixed string.
+const regexpMetaBytes = `\.+*?()|[]{}^$`
+
+func plainPattern(p string) bool {
+	return !strings.ContainsAny(p, regexpMetaBytes)
+}
+
+// buildGrepMatcher compiles the spec's patterns into a per-line
+// predicate.
+//
+// Fast path: fixed-string matching (-F, or patterns with no regexp
+// metacharacters) runs on bytes.Contains/bytes.Equal with zero per-line
+// allocations instead of compiling a regexp — on fixed patterns the
+// stdlib substring search is several times faster than RE2's machine.
+// The case-insensitive fixed path keeps the Unicode-lowering behaviour
+// (and its allocations) for compatibility.
+func buildGrepMatcher(spec *grepSpec) (func(line []byte) bool, *regexp.Regexp, error) {
+	fixed := spec.fixed
+	if !fixed && !spec.wordMatch && !spec.onlyMatching && !spec.ignoreCase {
+		fixed = true
+		for _, p := range spec.patterns {
+			if !plainPattern(p) {
+				fixed = false
+				break
+			}
+		}
+	}
+	if fixed {
+		if !spec.ignoreCase {
+			pats := make([][]byte, len(spec.patterns))
+			for i, p := range spec.patterns {
+				pats[i] = []byte(p)
+			}
+			lineMatch := spec.lineMatch
+			return func(line []byte) bool {
+				for _, p := range pats {
+					if lineMatch && bytes.Equal(line, p) {
+						return true
+					}
+					if !lineMatch && bytes.Contains(line, p) {
+						return true
+					}
+				}
+				return false
+			}, nil, nil
+		}
+		lowered := make([]string, len(spec.patterns))
+		for i, p := range spec.patterns {
+			lowered[i] = strings.ToLower(p)
+		}
+		lineMatch := spec.lineMatch
+		return func(line []byte) bool {
+			s := strings.ToLower(string(line))
+			for _, p := range lowered {
+				if lineMatch && s == p {
+					return true
+				}
+				if !lineMatch && strings.Contains(s, p) {
+					return true
+				}
+			}
+			return false
+		}, nil, nil
+	}
+	var res []*regexp.Regexp
+	for _, p := range spec.patterns {
+		if spec.wordMatch {
+			p = `(^|\W)(` + p + `)($|\W)`
+		}
+		if spec.lineMatch {
+			p = `^(` + p + `)$`
+		}
+		if spec.ignoreCase {
+			p = `(?i)` + p
+		}
+		re, err := regexp.Compile(p)
+		if err != nil {
+			return nil, nil, fmt.Errorf("invalid pattern %q: %v", p, err)
+		}
+		res = append(res, re)
+	}
+	matcher := func(line []byte) bool {
+		for _, re := range res {
+			if re.Match(line) {
+				return true
+			}
+		}
+		return false
+	}
+	return matcher, res[0], nil
+}
 
 // grep searches inputs for lines matching a pattern. Supported flags:
 // -i (ignore case), -v (invert), -c (count), -n (line numbers),
@@ -17,187 +211,56 @@ func init() { register("grep", grep) }
 // -e PAT (pattern), -H/-h (with/without filename prefixes).
 //
 // Patterns use Go's RE2 syntax, which covers the ERE subset the
-// benchmarks rely on.
+// benchmarks rely on. Fixed-string patterns (explicit -F, or patterns
+// without regexp metacharacters) bypass the regexp engine entirely.
 func grep(ctx *Context) error {
-	var (
-		ignoreCase, invert, count, lineNums, quiet bool
-		filesWithMatches, wordMatch, lineMatch     bool
-		fixed, onlyMatching                        bool
-		forceName, suppressName                    bool
-		maxCount                                   = -1
-		patterns                                   []string
-		operands                                   []string
-	)
-	args := ctx.Args
-	for i := 0; i < len(args); i++ {
-		a := args[i]
-		if len(a) > 1 && a[0] == '-' && a != "--" {
-			body := a[1:]
-			if strings.HasPrefix(a, "--") {
-				return ctx.Errorf("unsupported flag %q", a)
-			}
-			for len(body) > 0 {
-				c := body[0]
-				body = body[1:]
-				switch c {
-				case 'i':
-					ignoreCase = true
-				case 'v':
-					invert = true
-				case 'c':
-					count = true
-				case 'n':
-					lineNums = true
-				case 'q':
-					quiet = true
-				case 'l':
-					filesWithMatches = true
-				case 'w':
-					wordMatch = true
-				case 'x':
-					lineMatch = true
-				case 'F':
-					fixed = true
-				case 'E', 'G':
-					// Both map onto Go regexp syntax.
-				case 'o':
-					onlyMatching = true
-				case 'H':
-					forceName = true
-				case 'h':
-					suppressName = true
-				case 'm':
-					val := body
-					body = ""
-					if val == "" {
-						i++
-						if i >= len(args) {
-							return ctx.Errorf("-m requires an argument")
-						}
-						val = args[i]
-					}
-					n, err := strconv.Atoi(val)
-					if err != nil {
-						return ctx.Errorf("invalid -m argument %q", val)
-					}
-					maxCount = n
-				case 'e':
-					val := body
-					body = ""
-					if val == "" {
-						i++
-						if i >= len(args) {
-							return ctx.Errorf("-e requires an argument")
-						}
-						val = args[i]
-					}
-					patterns = append(patterns, val)
-				default:
-					return ctx.Errorf("unsupported flag -%c", c)
-				}
-			}
-			continue
-		}
-		if a == "--" {
-			operands = append(operands, args[i+1:]...)
-			break
-		}
-		operands = append(operands, a)
+	spec, err := parseGrepArgs(ctx.Args)
+	if err != nil {
+		return ctx.Errorf("%v", err)
 	}
-	if len(patterns) == 0 {
-		if len(operands) == 0 {
-			return ctx.Errorf("missing pattern")
-		}
-		patterns = operands[0:1]
-		operands = operands[1:]
-	}
+	invert := spec.invert
+	count, lineNums, quiet := spec.count, spec.lineNums, spec.quiet
+	filesWithMatches := spec.filesWithMatches
+	maxCount := spec.maxCount
+	operands := spec.operands
 
-	var matcher func(line []byte) bool
-	if fixed {
-		pats := patterns
-		if ignoreCase {
-			lowered := make([]string, len(pats))
-			for i, p := range pats {
-				lowered[i] = strings.ToLower(p)
-			}
-			pats = lowered
+	matcher, onlyRe, err := buildGrepMatcher(spec)
+	if err != nil {
+		return ctx.Errorf("%v", err)
+	}
+	if spec.onlyMatching && onlyRe != nil {
+		lw := NewLineWriter(ctx.Stdout)
+		defer lw.Flush()
+		readers, cleanup, err := ctx.OpenInputs(operands)
+		if err != nil {
+			return err
 		}
-		matcher = func(line []byte) bool {
-			s := string(line)
-			if ignoreCase {
-				s = strings.ToLower(s)
-			}
-			for _, p := range pats {
-				if lineMatch && s == p {
-					return true
+		defer cleanup()
+		matched := false
+		err = EachLineReaders(readers, func(line []byte) error {
+			for _, m := range onlyRe.FindAll(line, -1) {
+				matched = true
+				if err := lw.WriteLine(m); err != nil {
+					return err
 				}
-				if !lineMatch && strings.Contains(s, p) {
-					return true
-				}
-			}
-			return false
-		}
-	} else {
-		var res []*regexp.Regexp
-		for _, p := range patterns {
-			if wordMatch {
-				p = `(^|\W)(` + p + `)($|\W)`
-			}
-			if lineMatch {
-				p = `^(` + p + `)$`
-			}
-			if ignoreCase {
-				p = `(?i)` + p
-			}
-			re, err := regexp.Compile(p)
-			if err != nil {
-				return ctx.Errorf("invalid pattern %q: %v", p, err)
-			}
-			res = append(res, re)
-		}
-		matcher = func(line []byte) bool {
-			for _, re := range res {
-				if re.Match(line) {
-					return true
-				}
-			}
-			return false
-		}
-		if onlyMatching {
-			re := res[0]
-			lw := NewLineWriter(ctx.Stdout)
-			defer lw.Flush()
-			readers, cleanup, err := ctx.OpenInputs(operands)
-			if err != nil {
-				return err
-			}
-			defer cleanup()
-			matched := false
-			err = EachLineReaders(readers, func(line []byte) error {
-				for _, m := range re.FindAll(line, -1) {
-					matched = true
-					if err := lw.WriteLine(m); err != nil {
-						return err
-					}
-				}
-				return nil
-			})
-			if err != nil {
-				return err
-			}
-			if err := lw.Flush(); err != nil {
-				return err
-			}
-			if !matched {
-				return &ExitError{Code: 1}
 			}
 			return nil
+		})
+		if err != nil {
+			return err
 		}
+		if err := lw.Flush(); err != nil {
+			return err
+		}
+		if !matched {
+			return &ExitError{Code: 1}
+		}
+		return nil
 	}
 
 	lw := NewLineWriter(ctx.Stdout)
 	defer lw.Flush()
-	showName := (len(operands) > 1 || forceName) && !suppressName
+	showName := (len(operands) > 1 || spec.forceName) && !spec.suppressName
 	anyMatch := false
 
 	files := operands

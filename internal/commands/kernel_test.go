@@ -1,0 +1,223 @@
+package commands
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// runCommandOn executes a registered command over input and returns its
+// output and error.
+func runCommandOn(t *testing.T, name string, args []string, input string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := NewStd().Run(name, &Context{
+		Args:   args,
+		Stdin:  strings.NewReader(input),
+		Stdout: &out,
+		Stderr: &bytes.Buffer{},
+	})
+	return out.String(), err
+}
+
+// runKernelOn feeds input to a kernel in pseudo-random chunk sizes —
+// kernels must be chunking-independent — and returns output and status.
+func runKernelOn(t *testing.T, name string, args []string, input string, rng *rand.Rand) (string, error) {
+	t.Helper()
+	k, ok := NewKernel(name, args)
+	if !ok {
+		t.Fatalf("NewKernel(%s %v) not capable", name, args)
+	}
+	var out []byte
+	in := []byte(input)
+	for len(in) > 0 {
+		n := 1 + rng.Intn(len(in))
+		out = k.Apply(out, in[:n])
+		in = in[n:]
+	}
+	out = k.Finish(out)
+	return string(out), k.Status()
+}
+
+var kernelCases = []struct {
+	name string
+	args []string
+}{
+	{"cat", nil},
+	{"cat", []string{"-"}},
+	{"tr", []string{"a-z", "A-Z"}},
+	{"tr", []string{"-d", "aeiou"}},
+	{"tr", []string{"-s", " "}},
+	{"tr", []string{"\\n", " "}},
+	{"tr", []string{"-d", "\\n"}},
+	{"tr", []string{"-cs", "A-Za-z", "\\n"}},
+	{"grep", []string{"th"}},
+	{"grep", []string{"-v", "th"}},
+	{"grep", []string{"-F", "o w"}},
+	{"grep", []string{"-i", "THE"}},
+	{"grep", []string{"-x", "the end"}},
+	{"grep", []string{"-w", "the"}},
+	{"grep", []string{"-E", "t.e|o+"}},
+	{"cut", []string{"-d", " ", "-f", "1"}},
+	{"cut", []string{"-d", " ", "-f", "2-3,5-"}},
+	{"cut", []string{"-d", " ", "-f", "1", "-s"}},
+	{"cut", []string{"-c", "1-4"}},
+	{"cut", []string{"-c", "2,4-"}},
+	{"sed", []string{"s/the/THE/"}},
+	{"sed", []string{"s/o/0/g"}},
+	{"sed", []string{"-e", "s/a/A/", "-e", "y/e/E/"}},
+	{"sed", []string{"/the/s/end/END/"}},
+	{"rev", nil},
+}
+
+var kernelInputs = []string{
+	"",
+	"\n",
+	"the quick brown fox\n",
+	"no trailing newline",
+	"the end\n",
+	"a b c d e f\nthe lazy dog\n\nthe end\n",
+	"aa  bb\n\n\n  the   end",
+	strings.Repeat("the woods are lovely dark and deep\n", 40),
+	strings.Repeat("x", 3*BlockSize) + "\nshort\n", // line longer than a block
+}
+
+// TestKernelCommandEquivalence is the fusion soundness property: every
+// kernel must produce byte-identical output (and the same exit status
+// class) as its command, for any input chunking.
+func TestKernelCommandEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inputs := append([]string{}, kernelInputs...)
+	// Random inputs: printable-ish bytes with newline sprinkles.
+	for i := 0; i < 20; i++ {
+		var sb strings.Builder
+		n := rng.Intn(4000)
+		for j := 0; j < n; j++ {
+			c := byte(' ' + rng.Intn(95))
+			if rng.Intn(12) == 0 {
+				c = '\n'
+			}
+			sb.WriteByte(c)
+		}
+		inputs = append(inputs, sb.String())
+	}
+	for _, tc := range kernelCases {
+		for i, input := range inputs {
+			want, werr := runCommandOn(t, tc.name, tc.args, input)
+			got, gerr := runKernelOn(t, tc.name, tc.args, input, rng)
+			if want != got {
+				t.Fatalf("%s %v input#%d: kernel diverged\ncommand: %q\nkernel:  %q",
+					tc.name, tc.args, i, want, got)
+			}
+			if ExitCode(werr) != ExitCode(gerr) {
+				t.Fatalf("%s %v input#%d: exit %d (command) vs %d (kernel)",
+					tc.name, tc.args, i, ExitCode(werr), ExitCode(gerr))
+			}
+		}
+	}
+}
+
+// TestKernelFinishResets checks the framed-mode contract: after Finish,
+// a kernel processes the next stream as a fresh invocation, so running
+// streams back to back equals running the command on each chunk
+// separately (the unfused framed protocol).
+func TestKernelFinishResets(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	chunks := []string{
+		"the quick\nbrown fox\n",
+		"",
+		"jumps over",
+		"aa  bb\nthe end\n",
+	}
+	for _, tc := range kernelCases {
+		k, ok := NewKernel(tc.name, tc.args)
+		if !ok {
+			t.Fatalf("NewKernel(%s %v) not capable", tc.name, tc.args)
+		}
+		for i, chunk := range chunks {
+			want, _ := runCommandOn(t, tc.name, tc.args, chunk)
+			var out []byte
+			in := []byte(chunk)
+			for len(in) > 0 {
+				n := 1 + rng.Intn(len(in))
+				out = k.Apply(out, in[:n])
+				in = in[n:]
+			}
+			out = k.Finish(out)
+			if string(out) != want {
+				t.Fatalf("%s %v stream#%d: per-stream output diverged\ncommand: %q\nkernel:  %q",
+					tc.name, tc.args, i, want, out)
+			}
+		}
+	}
+}
+
+// TestKernelCapability pins which invocations fuse and which fall back.
+func TestKernelCapability(t *testing.T) {
+	capable := [][2]interface{}{
+		{"cat", []string{}},
+		{"tr", []string{"a", "b"}},
+		{"grep", []string{"-v", "-h", "x"}},
+		{"cut", []string{"-f1,2", "-d:"}},
+		{"sed", []string{"s/a/b/g"}},
+		{"rev", []string{}},
+	}
+	for _, c := range capable {
+		if !KernelCapable(c[0].(string), c[1].([]string)) {
+			t.Errorf("expected %s %v to be kernel-capable", c[0], c[1])
+		}
+	}
+	incapable := [][2]interface{}{
+		{"cat", []string{"-n"}},       // line numbering is positional
+		{"grep", []string{"-c", "x"}}, // counting output
+		{"grep", []string{"-n", "x"}}, // line numbers
+		{"grep", []string{"-m", "3", "x"}},
+		{"grep", []string{"x", "file"}}, // file operand
+		{"sed", []string{"-n", "s/a/b/p"}},
+		{"sed", []string{"3d"}},          // line address
+		{"sed", []string{"s/a/b/", "f"}}, // file operand
+		{"sort", []string{}},             // not stateless
+		{"head", []string{"-n", "1"}},
+		{"wc", []string{"-l"}},
+	}
+	for _, c := range incapable {
+		if KernelCapable(c[0].(string), c[1].([]string)) {
+			t.Errorf("expected %s %v to NOT be kernel-capable", c[0], c[1])
+		}
+	}
+}
+
+// TestGrepFixedFastPath pins the satellite: metacharacter-free patterns
+// take the fixed-string path and still match like the regexp engine.
+func TestGrepFixedFastPath(t *testing.T) {
+	for _, pat := range []string{"needle", "two words", "a"} {
+		if !plainPattern(pat) {
+			t.Fatalf("pattern %q should be plain", pat)
+		}
+	}
+	for _, pat := range []string{"a.b", "x+", "^a", "a$", "[ab]", "a|b", "a\\b", "{2}", "(x)"} {
+		if plainPattern(pat) {
+			t.Fatalf("pattern %q should not be plain", pat)
+		}
+	}
+	input := "haystack with a needle inside\nnothing here\nneedle\n"
+	out, err := runCommandOn(t, "grep", []string{"needle"}, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "haystack with a needle inside\nneedle\n"
+	if out != want {
+		t.Fatalf("fast-path grep output %q, want %q", out, want)
+	}
+	// -x through the fixed path.
+	out, _ = runCommandOn(t, "grep", []string{"-x", "needle"}, input)
+	if out != "needle\n" {
+		t.Fatalf("grep -x fast path output %q", out)
+	}
+	// Metacharacter patterns still hit the regexp engine.
+	out, _ = runCommandOn(t, "grep", []string{"ne+dle"}, input)
+	if out != want {
+		t.Fatalf("regexp grep output %q, want %q", out, want)
+	}
+}

@@ -16,43 +16,14 @@ func init() { register("sed", sed) }
 // single script operand. Patterns use Go RE2 syntax with the common BRE
 // group spelling \(...\) translated.
 func sed(ctx *Context) error {
-	var scripts []string
-	suppress := false
-	var operands []string
-	args := ctx.Args
-	for i := 0; i < len(args); i++ {
-		a := args[i]
-		switch {
-		case a == "-n":
-			suppress = true
-		case a == "-E" || a == "-r":
-			// ERE selected; our engine is RE2 either way.
-		case a == "-e":
-			i++
-			if i >= len(args) {
-				return ctx.Errorf("-e requires an argument")
-			}
-			scripts = append(scripts, args[i])
-		case strings.HasPrefix(a, "-e"):
-			scripts = append(scripts, a[2:])
-		case a == "-i":
-			return ctx.Errorf("-i (in-place) is not supported")
-		case a == "-" || !strings.HasPrefix(a, "-"):
-			operands = append(operands, a)
-		default:
-			return ctx.Errorf("unsupported flag %q", a)
-		}
+	spec, err := parseSedArgs(ctx.Args)
+	if err != nil {
+		return ctx.Errorf("%v", err)
 	}
-	if len(scripts) == 0 {
-		if len(operands) == 0 {
-			return ctx.Errorf("missing script")
-		}
-		scripts = append(scripts, operands[0])
-		operands = operands[1:]
-	}
+	suppress := spec.suppress
 
 	var prog []sedCmd
-	for _, s := range scripts {
+	for _, s := range spec.scripts {
 		cmds, err := parseSedScript(s)
 		if err != nil {
 			return ctx.Errorf("%v", err)
@@ -60,7 +31,7 @@ func sed(ctx *Context) error {
 		prog = append(prog, cmds...)
 	}
 
-	readers, cleanup, err := ctx.OpenInputs(operands)
+	readers, cleanup, err := ctx.OpenInputs(spec.operands)
 	if err != nil {
 		return err
 	}
@@ -115,6 +86,51 @@ func sed(ctx *Context) error {
 		return err
 	}
 	return lw.Flush()
+}
+
+// sedSpec is a parsed sed invocation, shared by the command and its
+// kernel so the accepted flag surface cannot drift between them.
+type sedSpec struct {
+	scripts  []string
+	suppress bool
+	operands []string
+}
+
+// parseSedArgs parses sed's flags and resolves the script operand.
+// Errors are returned plain; the command path wraps them via ctx.Errorf.
+func parseSedArgs(args []string) (*sedSpec, error) {
+	spec := &sedSpec{}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-n":
+			spec.suppress = true
+		case a == "-E" || a == "-r":
+			// ERE selected; our engine is RE2 either way.
+		case a == "-e":
+			i++
+			if i >= len(args) {
+				return nil, fmt.Errorf("-e requires an argument")
+			}
+			spec.scripts = append(spec.scripts, args[i])
+		case strings.HasPrefix(a, "-e"):
+			spec.scripts = append(spec.scripts, a[2:])
+		case a == "-i":
+			return nil, fmt.Errorf("-i (in-place) is not supported")
+		case a == "-" || !strings.HasPrefix(a, "-"):
+			spec.operands = append(spec.operands, a)
+		default:
+			return nil, fmt.Errorf("unsupported flag %q", a)
+		}
+	}
+	if len(spec.scripts) == 0 {
+		if len(spec.operands) == 0 {
+			return nil, fmt.Errorf("missing script")
+		}
+		spec.scripts = append(spec.scripts, spec.operands[0])
+		spec.operands = spec.operands[1:]
+	}
+	return spec, nil
 }
 
 type sedCmd struct {

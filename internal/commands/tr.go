@@ -1,18 +1,31 @@
 package commands
 
-import "strings"
+import (
+	"fmt"
+	"strings"
+)
 
 func init() { register("tr", tr) }
 
-// tr transliterates, squeezes, or deletes characters. Flags: -d (delete
-// SET1), -s (squeeze repeats from the last operand set), -c/-C
-// (complement SET1). Sets support ranges (a-z), escapes (\n, \t, \\),
-// and the classes [:alpha:], [:digit:], [:alnum:], [:space:], [:upper:],
-// [:lower:], [:punct:].
-func tr(ctx *Context) error {
+// trProgram is the compiled form of a tr invocation: the byte tables
+// that drive the per-byte state machine. It is shared by the streaming
+// command below and the composable kernel in kernel.go.
+type trProgram struct {
+	del, squeeze      bool
+	inSet1, inSqueeze [256]bool
+	xlat              [256]byte
+	// newlineIntact is true when the transformation leaves '\n'
+	// untouched, in which case line structure is preserved and a final
+	// unterminated line is re-emitted newline-terminated (the shared
+	// convention of this command substrate).
+	newlineIntact bool
+}
+
+// parseTrProgram compiles tr's argv into the byte tables.
+func parseTrProgram(args []string) (*trProgram, error) {
 	var del, squeeze, complement bool
 	var sets []string
-	for _, a := range ctx.Args {
+	for _, a := range args {
 		switch {
 		case a == "-d":
 			del = true
@@ -27,41 +40,40 @@ func tr(ctx *Context) error {
 		case a == "-cd" || a == "-dc":
 			complement, del = true, true
 		case len(a) > 1 && a[0] == '-':
-			return ctx.Errorf("unsupported flag %q", a)
+			return nil, fmt.Errorf("unsupported flag %q", a)
 		default:
 			sets = append(sets, a)
 		}
 	}
 	if len(sets) == 0 || len(sets) > 2 {
-		return ctx.Errorf("expected 1 or 2 sets, got %d", len(sets))
+		return nil, fmt.Errorf("expected 1 or 2 sets, got %d", len(sets))
 	}
 
 	set1, err := expandTrSet(sets[0])
 	if err != nil {
-		return ctx.Errorf("bad set %q: %v", sets[0], err)
+		return nil, fmt.Errorf("bad set %q: %v", sets[0], err)
 	}
 	var set2 []byte
 	if len(sets) == 2 {
 		set2, err = expandTrSet(sets[1])
 		if err != nil {
-			return ctx.Errorf("bad set %q: %v", sets[1], err)
+			return nil, fmt.Errorf("bad set %q: %v", sets[1], err)
 		}
 	}
 
-	var inSet1 [256]bool
+	p := &trProgram{del: del, squeeze: squeeze}
 	for _, c := range set1 {
-		inSet1[c] = true
+		p.inSet1[c] = true
 	}
 	if complement {
-		for i := range inSet1 {
-			inSet1[i] = !inSet1[i]
+		for i := range p.inSet1 {
+			p.inSet1[i] = !p.inSet1[i]
 		}
 	}
 
 	// Translation table.
-	var xlat [256]byte
-	for i := range xlat {
-		xlat[i] = byte(i)
+	for i := range p.xlat {
+		p.xlat[i] = byte(i)
 	}
 	if len(set2) > 0 && !del {
 		if complement {
@@ -69,8 +81,8 @@ func tr(ctx *Context) error {
 			// to the last char of set2 (GNU behaviour).
 			last := set2[len(set2)-1]
 			for i := 0; i < 256; i++ {
-				if inSet1[i] {
-					xlat[i] = last
+				if p.inSet1[i] {
+					p.xlat[i] = last
 				}
 			}
 		} else {
@@ -79,28 +91,43 @@ func tr(ctx *Context) error {
 				if j >= len(set2) {
 					j = len(set2) - 1 // pad with last char, GNU style
 				}
-				xlat[c] = set2[j]
+				p.xlat[c] = set2[j]
 			}
 		}
 	}
 
 	// Squeeze set: with -d -s it is set2; with -s alone it is the result
 	// set (set2 if given, else set1 possibly complemented).
-	var inSqueeze [256]bool
 	if squeeze {
 		sq := set2
 		if len(sets) == 1 {
 			sq = nil
 			for i := 0; i < 256; i++ {
-				if inSet1[i] {
+				if p.inSet1[i] {
 					sq = append(sq, byte(i))
 				}
 			}
 		}
 		for _, c := range sq {
-			inSqueeze[c] = true
+			p.inSqueeze[c] = true
 		}
 	}
+	p.newlineIntact = !(p.inSet1['\n'] && (del || p.xlat['\n'] != '\n'))
+	return p, nil
+}
+
+// tr transliterates, squeezes, or deletes characters. Flags: -d (delete
+// SET1), -s (squeeze repeats from the last operand set), -c/-C
+// (complement SET1). Sets support ranges (a-z), escapes (\n, \t, \\),
+// and the classes [:alpha:], [:digit:], [:alnum:], [:space:], [:upper:],
+// [:lower:], [:punct:].
+func tr(ctx *Context) error {
+	p, perr := parseTrProgram(ctx.Args)
+	if perr != nil {
+		return ctx.Errorf("%v", perr)
+	}
+	del, squeeze := p.del, p.squeeze
+	inSet1, inSqueeze, xlat := &p.inSet1, &p.inSqueeze, &p.xlat
 
 	lw := NewLineWriter(ctx.Stdout)
 	defer lw.Flush()
@@ -116,11 +143,10 @@ func tr(ctx *Context) error {
 	// newline-terminated — the convention shared by this command
 	// substrate. When the transformation deletes or rewrites newlines,
 	// output is the raw byte transformation.
-	newlineIntact := !(inSet1['\n'] && (del || xlat['\n'] != '\n'))
 	lastOut := -1
 	lastIn := byte('\n')
 	sawInput := false
-	err = EachLineBlock(ctx.stdin(), func(block []byte) error {
+	err := EachLineBlock(ctx.stdin(), func(block []byte) error {
 		if len(block) > 0 {
 			sawInput = true
 			lastIn = block[len(block)-1]
@@ -149,7 +175,7 @@ func tr(ctx *Context) error {
 	if err != nil {
 		return err
 	}
-	if newlineIntact && sawInput && lastIn != '\n' {
+	if p.newlineIntact && sawInput && lastIn != '\n' {
 		if !(squeeze && inSqueeze['\n'] && lastOut == '\n') {
 			if err := lw.writeByte('\n'); err != nil {
 				return err

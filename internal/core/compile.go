@@ -261,11 +261,13 @@ func (c *Compiler) Optimize(g *dfg.Graph) {
 }
 
 // OptimizeForEmission applies the transformations with the barrier split
-// forced: emitted scripts run real processes with no chunk framing, so
-// the streaming round-robin split (whose outputs interleave the input)
-// cannot be reassembled there.
+// forced and stage fusion off: emitted scripts run real processes with
+// no chunk framing, so the streaming round-robin split (whose outputs
+// interleave the input) cannot be reassembled there, and a fused node
+// has no shell rendering (its kernels exist only in-process).
 func (c *Compiler) OptimizeForEmission(g *dfg.Graph) {
 	opts := c.dfgOptions()
 	opts.SplitMode = dfg.SplitGeneral
+	opts.DisableFusion = true
 	dfg.Apply(g, opts)
 }

@@ -30,6 +30,17 @@ type Options struct {
 	// BlockingEagerBytes bounds eager buffers (Blocking Eager config);
 	// 0 = unbounded eager buffers.
 	BlockingEagerBytes int
+	// DisableFusion turns off the stage-fusion pass that collapses
+	// chains of kernel-capable stateless commands into single fused
+	// nodes (dfg.KindFused). Fusion is on by default for in-process
+	// execution; emission always disables it (fused nodes have no shell
+	// rendering).
+	DisableFusion bool
+	// AggFanIn shapes the aggregation stage of parallelized pure
+	// commands: 0 = automatic (fan-in-4 trees for associative
+	// aggregators once width >= 8), negative = always flat, k >= 2 =
+	// fan-in-k trees. See dfg.Options.AggFanIn.
+	AggFanIn int
 	// MeasureMode runs regions through the profiling executor (nodes
 	// sequential, unbounded buffers) to collect clean per-node works
 	// for the multicore scheduling simulator. Output is identical.
@@ -71,5 +82,8 @@ func (c *Compiler) dfgOptions() dfg.Options {
 		InputAwareSplit: c.Opts.InputAwareSplit,
 		SplitMode:       c.Opts.SplitMode,
 		Eager:           c.Opts.Eager,
+		KernelCapable:   commands.KernelCapable,
+		DisableFusion:   c.Opts.DisableFusion,
+		AggFanIn:        c.Opts.AggFanIn,
 	}
 }

@@ -28,6 +28,7 @@ const (
 	KindMap              // replicated map instance of a P command
 	KindAgg              // aggregate stage of a P command
 	KindMerge            // order-restoring round-robin merge (inverse of a RR split)
+	KindFused            // a collapsed chain of kernel-capable stateless commands
 )
 
 func (k NodeKind) String() string {
@@ -46,6 +47,8 @@ func (k NodeKind) String() string {
 		return "agg"
 	case KindMerge:
 		return "merge"
+	case KindFused:
+		return "fused"
 	}
 	return "?"
 }
@@ -102,6 +105,22 @@ type Node struct {
 	// Framing is only sound for stateless commands — the same per-chunk
 	// independence that justifies splitting them at all.
 	Framed bool
+
+	// Stages lists the collapsed command invocations of a KindFused node
+	// in pipeline order. The fused executor composes their kernels in a
+	// single goroutine; each stage reads the previous stage's output as
+	// its standard input. Framing commutes through fusion: a fused node
+	// built from framed replicas is itself Framed and keeps the
+	// one-chunk-in/one-chunk-out discipline.
+	Stages []FusedStage
+}
+
+// FusedStage is one command invocation inside a fused chain. Args are
+// plain literals: fusable nodes consume standard input only, so no
+// input placeholders survive into a stage.
+type FusedStage struct {
+	Name string
+	Args []string
 }
 
 // AggSpec is a (map, aggregate) implementation pair for a P command
@@ -112,6 +131,18 @@ type AggSpec struct {
 	MapArgs []string
 	AggName string
 	AggArgs []string
+	// Associative marks aggregators whose output can be re-aggregated:
+	// agg(agg(x1···xk)·agg(xk+1···xn)) == agg(x1···xn). Only associative
+	// aggregators may be arranged into fan-in-k trees; the conservative
+	// default (false) keeps the flat n-ary aggregate.
+	Associative bool
+	// StopsEarly marks prefix-taking commands (head -n K): they stop
+	// reading after a bounded prefix, so inserting a split before them
+	// (t2) is pure loss — the barrier split drains the whole input the
+	// command would never have read, and early-exit propagation dies at
+	// the barrier. T still applies when an upstream cat already
+	// provides parallelism.
+	StopsEarly bool
 }
 
 // ArgStrings renders the template with the provided per-input names.
@@ -128,6 +159,13 @@ func (n *Node) ArgStrings(inputName func(i int) string) []string {
 }
 
 func (n *Node) String() string {
+	if n.Kind == KindFused {
+		names := make([]string, len(n.Stages))
+		for i, st := range n.Stages {
+			names[i] = st.Name
+		}
+		return fmt.Sprintf("#%d %s %s (%s)", n.ID, n.Kind, n.Class, strings.Join(names, "|"))
+	}
 	var parts []string
 	for _, a := range n.Args {
 		if a.InputIdx >= 0 {

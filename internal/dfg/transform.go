@@ -36,6 +36,47 @@ type Options struct {
 	// AggResolver supplies (map, aggregate) pairs for P commands. Nil
 	// means only S commands parallelize.
 	AggResolver func(name string, argv []string) (*AggSpec, bool)
+	// KernelCapable reports whether a command invocation has a
+	// composable kernel implementation (commands.KernelCapable). It
+	// drives the post-transformation fusion pass; nil disables fusion
+	// entirely (no capability information).
+	KernelCapable func(name string, args []string) bool
+	// DisableFusion turns the stage-fusion pass off even when
+	// KernelCapable is available. Emission paths set it: a fused node
+	// has no shell rendering.
+	DisableFusion bool
+	// AggFanIn shapes the aggregation stage of parallelized pure
+	// commands: 0 picks automatically (fan-in-4 trees once the width
+	// reaches aggTreeMinWidth, for associative aggregators), a negative
+	// value forces the flat n-ary aggregate, and k >= 2 forces fan-in-k
+	// trees whenever the width exceeds k.
+	AggFanIn int
+}
+
+// Aggregation-tree defaults: trees replace the flat aggregate once
+// enough replicas feed it that the single sequential merge becomes the
+// width-scaling bottleneck.
+const (
+	defaultAggFanIn = 4
+	aggTreeMinWidth = 8
+)
+
+// aggFanIn resolves the tree shape for one parallelized pure node.
+func aggFanIn(opts Options, width int, spec *AggSpec) int {
+	if spec == nil || !spec.Associative {
+		return width // flat: correctness first
+	}
+	switch {
+	case opts.AggFanIn < 0:
+		return width
+	case opts.AggFanIn >= 2:
+		return opts.AggFanIn
+	default:
+		if width >= aggTreeMinWidth {
+			return defaultAggFanIn
+		}
+		return width
+	}
 }
 
 // SplitMode selects the split strategy the planner assigns to inserted
@@ -104,6 +145,7 @@ func (m EagerMode) String() string {
 func Apply(g *Graph, opts Options) {
 	if opts.Width < 2 {
 		planEager(g, opts)
+		Fuse(g, opts)
 		return
 	}
 	// t1: concatenate multi-input parallelizable nodes so T can fire.
@@ -138,6 +180,7 @@ func Apply(g *Graph, opts Options) {
 		}
 	}
 	planEager(g, opts)
+	Fuse(g, opts)
 }
 
 func snapshot(ns []*Node) []*Node {
@@ -276,7 +319,7 @@ func tryParallelize(g *Graph, n *Node, opts Options) bool {
 	case annot.Stateless:
 		parallelizeStateless(g, n, pred)
 	case annot.Pure:
-		parallelizePure(g, n, pred)
+		parallelizePure(g, n, pred, opts)
 	}
 	return true
 }
@@ -346,27 +389,69 @@ func parallelizeStateless(g *Graph, n *Node, pred *Node) {
 	g.removeNode(n)
 }
 
-// parallelizePure replaces v with n map instances feeding one aggregate
-// node: v(x1···xn) => agg(m(x1)···m(xn)).
-func parallelizePure(g *Graph, n *Node, pred *Node) {
+// parallelizePure replaces v with n map instances feeding an aggregate
+// stage: v(x1···xn) => agg(m(x1)···m(xn)). For associative aggregators
+// at high widths, the aggregate is a fan-in-k tree of KindAgg nodes
+// instead of one flat n-ary node: the sequential merge of n partial
+// results is the other width-scaling bottleneck, and a tree turns its
+// critical path from O(n) input streams into O(log_k n) levels whose
+// leaves run in parallel.
+func parallelizePure(g *Graph, n *Node, pred *Node, opts Options) {
 	out := n.Out[0]
 	feeds := detachPredecessor(g, n)
 
-	agg := g.AddNode(NewNode(KindAgg, n.Agg.AggName, litArgs(n.Agg.AggArgs), annot.Pure))
+	maps := make([]*Node, len(feeds))
 	for i, feed := range feeds {
 		m := g.AddNode(NewNode(KindMap, n.Agg.MapName, litArgs(n.Agg.MapArgs), annot.Pure))
 		m.noSplit = true
 		feed.To = m
 		m.In = []*Edge{feed}
 		m.StdinInput = 0
-		g.Connect(m, agg)
-		agg.Args = append(agg.Args, InArg(i))
+		maps[i] = m
 	}
+	agg := buildAggTree(g, n.Agg, maps, aggFanIn(opts, len(maps), n.Agg))
 	out.From = agg
 	agg.Out = append(agg.Out, out)
 	n.Out = nil
 	n.In = nil
 	g.removeNode(n)
+}
+
+// buildAggTree combines the children's outputs through KindAgg nodes
+// with at most fanIn inputs each, returning the root aggregate.
+// Children are grouped left to right at every level, so the root
+// consumes partial results in original stream order — the property the
+// boundary-fixing aggregators (and sort -m's stability) rely on.
+func buildAggTree(g *Graph, spec *AggSpec, children []*Node, fanIn int) *Node {
+	if fanIn < 2 {
+		fanIn = len(children)
+	}
+	newAgg := func(group []*Node) *Node {
+		a := g.AddNode(NewNode(KindAgg, spec.AggName, litArgs(spec.AggArgs), annot.Pure))
+		for i, c := range group {
+			g.Connect(c, a)
+			a.Args = append(a.Args, InArg(i))
+		}
+		return a
+	}
+	for len(children) > fanIn {
+		var next []*Node
+		for lo := 0; lo < len(children); lo += fanIn {
+			hi := lo + fanIn
+			if hi > len(children) {
+				hi = len(children)
+			}
+			group := children[lo:hi]
+			if len(group) == 1 {
+				// A trailing singleton needs no combining stage.
+				next = append(next, group[0])
+				continue
+			}
+			next = append(next, newAgg(group))
+		}
+		children = next
+	}
+	return newAgg(children)
 }
 
 func cloneLits(args []Arg) []Arg {
@@ -388,6 +473,12 @@ func litArgs(ss []string) []Arg {
 // before it, so T can fire on the next pass.
 func trySplit(g *Graph, n *Node, opts Options) bool {
 	if !parallelizable(n, opts) || n.noSplit {
+		return false
+	}
+	// Prefix-takers (head) read a bounded prefix and hang up; a split
+	// would drain the entire input behind a barrier to feed maps that
+	// discard almost all of it, and kill early-exit propagation.
+	if n.Agg != nil && n.Agg.StopsEarly {
 		return false
 	}
 	if len(n.In) != 1 {

@@ -75,8 +75,39 @@ func (g *Graph) Validate() error {
 				return fmt.Errorf("dfg: node %s input %d consumed %d times", n, i, c)
 			}
 		}
+		if err := validateFused(n); err != nil {
+			return err
+		}
 	}
 	return g.checkAcyclic()
+}
+
+// validateFused checks the KindFused invariants: only fused nodes carry
+// stages; a fused node is a straight pipe segment (one stdin input, one
+// output) with at least two collapsed stages, and every stage is a
+// plain literal invocation.
+func validateFused(n *Node) error {
+	if n.Kind != KindFused {
+		if len(n.Stages) > 0 {
+			return fmt.Errorf("dfg: non-fused node %s carries %d stages", n, len(n.Stages))
+		}
+		return nil
+	}
+	if len(n.Stages) < 2 {
+		return fmt.Errorf("dfg: fused node %s has %d stages (need >= 2)", n, len(n.Stages))
+	}
+	if len(n.In) != 1 || len(n.Out) != 1 {
+		return fmt.Errorf("dfg: fused node %s must have exactly one input and one output", n)
+	}
+	if n.StdinInput != 0 {
+		return fmt.Errorf("dfg: fused node %s must consume its input as stdin", n)
+	}
+	for _, st := range n.Stages {
+		if st.Name == "" {
+			return fmt.Errorf("dfg: fused node %s has a stage with no command name", n)
+		}
+	}
+	return nil
 }
 
 func containsEdge(list []*Edge, e *Edge) bool {

@@ -45,6 +45,11 @@ type Config struct {
 	// Split picks among the split implementations for unmarked split
 	// nodes; the zero value preserves the InputAwareSplit behaviour.
 	Split SplitStrategy
+	// DisableFusion makes the executor run KindFused nodes as their
+	// original command chain connected by internal pipes instead of the
+	// in-place kernel loop — the A/B switch behind BenchmarkFusion and a
+	// safety valve when a planned stage turns out to have no kernel.
+	DisableFusion bool
 	// Dir is the working directory for file bindings.
 	Dir string
 	// Env is the command environment.
@@ -83,6 +88,20 @@ type NodeTime struct {
 	Name   string
 	Wall   time.Duration
 	Active time.Duration
+	// Stages breaks a fused node's work down per collapsed stage: the
+	// fused loop attributes kernel time and byte traffic to each stage
+	// even though no pipe separates them any more.
+	Stages []StageTime
+}
+
+// StageTime is one fused stage's attribution: time spent inside the
+// stage's kernel and the bytes that crossed it. BytesIn/BytesOut play
+// the role the pipe meters played before fusion removed the pipes.
+type StageTime struct {
+	Name     string
+	Active   time.Duration
+	BytesIn  int64
+	BytesOut int64
 }
 
 // Execute runs the graph to completion: one goroutine per node, edges as
@@ -123,8 +142,28 @@ type executor struct {
 	meters  map[*dfg.Node]*int64 // blocked ns per node
 	pipes   []*pipe              // internal edge pipes, for traffic totals
 
+	stageMu    sync.Mutex
+	stageTimes map[*dfg.Node][]StageTime // per-stage attribution of fused nodes
+
 	closers []io.Closer
 	closeMu sync.Mutex
+}
+
+// recordStages stores a fused node's per-stage attribution.
+func (ex *executor) recordStages(n *dfg.Node, st []StageTime) {
+	ex.stageMu.Lock()
+	if ex.stageTimes == nil {
+		ex.stageTimes = map[*dfg.Node][]StageTime{}
+	}
+	ex.stageTimes[n] = st
+	ex.stageMu.Unlock()
+}
+
+// stagesFor reads back a fused node's attribution (nil for plain nodes).
+func (ex *executor) stagesFor(n *dfg.Node) []StageTime {
+	ex.stageMu.Lock()
+	defer ex.stageMu.Unlock()
+	return ex.stageTimes[n]
 }
 
 // traffic sums lifetime byte/chunk movement across the internal pipes.
@@ -172,7 +211,7 @@ func (ex *executor) run(ctx context.Context) (*Result, error) {
 			if active < 0 {
 				active = 0
 			}
-			nodeTimes[i] = NodeTime{ID: n.ID, Name: n.Name, Wall: wall, Active: active}
+			nodeTimes[i] = NodeTime{ID: n.ID, Name: n.Name, Wall: wall, Active: active, Stages: ex.stagesFor(n)}
 			code := commands.ExitCode(err)
 			if err != nil && !isCleanTermination(err) {
 				mu.Lock()
@@ -337,6 +376,9 @@ func (ex *executor) closeNodeEdges(n *dfg.Node) {
 func (ex *executor) runNode(ctx context.Context, n *dfg.Node, overlay *overlayFS) error {
 	if n.Kind == dfg.KindSplit {
 		return ex.runSplit(n)
+	}
+	if n.Kind == dfg.KindFused {
+		return ex.runFused(n, overlay)
 	}
 	if n.Framed {
 		if err, ok := ex.runFramed(n, overlay); ok {

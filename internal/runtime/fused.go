@@ -1,0 +1,339 @@
+package runtime
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/commands"
+	"repro/internal/dfg"
+)
+
+// This file executes KindFused nodes: chains of kernel-capable
+// stateless commands collapsed by the dfg fusion pass. One goroutine
+// runs the composed kernels back to back over pooled blocks — zero
+// intermediate pipes, zero per-stage goroutines — while attributing
+// time and byte traffic to each stage so the meters the pipes used to
+// provide survive fusion. See internal/runtime/README.md ("Stage
+// fusion") for the contract.
+
+// runFused dispatches a fused node: the kernel loop when every stage
+// builds a kernel and fusion is enabled at execution time, the
+// pipe-chain fallback otherwise.
+func (ex *executor) runFused(n *dfg.Node, overlay *overlayFS) error {
+	kernels, ok := buildKernels(n)
+	if !ok || ex.cfg.DisableFusion {
+		return ex.runFusedUnfused(n, overlay)
+	}
+	meters := make([]StageTime, len(n.Stages))
+	for i := range meters {
+		meters[i].Name = n.Stages[i].Name
+	}
+	defer ex.recordStages(n, meters)
+
+	if n.Framed {
+		cr, rok := ex.readers[n.In[0]].(commands.ChunkReader)
+		cw, wok := ex.writers[n.Out[0]].(commands.ChunkWriter)
+		if rok && wok {
+			return runFusedFramed(cr, cw, kernels, meters)
+		}
+		// No chunk framing on these edges: degrade to the plain
+		// streaming loop, mirroring runFramed's fallback.
+	}
+	return runFusedStreaming(ex.readers[n.In[0]], ex.writers[n.Out[0]], kernels, meters)
+}
+
+// buildKernels instantiates the chain's kernels.
+func buildKernels(n *dfg.Node) ([]commands.Kernel, bool) {
+	kernels := make([]commands.Kernel, len(n.Stages))
+	for i, st := range n.Stages {
+		k, ok := commands.NewKernel(st.Name, st.Args)
+		if !ok {
+			return nil, false
+		}
+		kernels[i] = k
+	}
+	return kernels, true
+}
+
+// applyStage runs one kernel over one block, charging the stage meter.
+func applyStage(k commands.Kernel, m *StageTime, in []byte) []byte {
+	start := time.Now()
+	out := k.Apply(commands.GetBlock(), in)
+	m.Active += time.Since(start)
+	m.BytesIn += int64(len(in))
+	m.BytesOut += int64(len(out))
+	return out
+}
+
+// runFusedStreaming is the non-framed loop: read blocks (zero-copy when
+// the input edge speaks chunks), pass each through the kernel chain in
+// place, hand the survivor downstream, then cascade the kernels'
+// end-of-stream output. The chain's exit status is the last stage's
+// (shell pipeline semantics within the fused segment).
+func runFusedStreaming(r io.Reader, w io.Writer, kernels []commands.Kernel, meters []StageTime) error {
+	process := func(block []byte, release func()) error {
+		cur := block
+		owned := false // cur is a pool block we own (vs the pipe's block)
+		for i, k := range kernels {
+			if _, id := k.(interface{ IsPassThrough() }); id {
+				continue
+			}
+			next := applyStage(k, &meters[i], cur)
+			if owned {
+				commands.PutBlock(cur)
+			} else if release != nil {
+				release()
+				release = nil
+			}
+			cur = next
+			owned = true
+			if len(cur) == 0 {
+				commands.PutBlock(cur)
+				return nil
+			}
+		}
+		if len(cur) == 0 {
+			if owned {
+				commands.PutBlock(cur)
+			} else if release != nil {
+				release()
+			}
+			return nil
+		}
+		// writeChunkTo transfers ownership (pool block or pipe block
+		// alike); an un-transformed pipe block simply keeps its release
+		// uncalled, per the ownership contract.
+		return writeChunkTo(w, cur)
+	}
+
+	var loopErr error
+	if cr, ok := r.(commands.ChunkReader); ok {
+		for loopErr == nil {
+			b, release, err := cr.ReadChunk()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			loopErr = process(b, release)
+		}
+	} else {
+		for loopErr == nil {
+			b := commands.GetBlock()
+			var nr int
+			var err error
+			for nr == 0 && err == nil {
+				nr, err = r.Read(b[:commands.BlockSize])
+			}
+			if nr > 0 {
+				// The block came from the pool; recycle it once a stage
+				// replaces it (ownership otherwise passes to the writer).
+				loopErr = process(b[:nr], func() { commands.PutBlock(b) })
+			} else {
+				commands.PutBlock(b)
+			}
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if loopErr != nil {
+		return loopErr
+	}
+
+	// End of stream: each stage's Finish output flows through the
+	// stages after it, in order, before those stages finish themselves.
+	tail := commands.GetBlock()
+	for i := range kernels {
+		start := time.Now()
+		t := kernels[i].Finish(commands.GetBlock())
+		meters[i].Active += time.Since(start)
+		meters[i].BytesOut += int64(len(t))
+		for j := i + 1; j < len(kernels) && len(t) > 0; j++ {
+			if _, id := kernels[j].(interface{ IsPassThrough() }); id {
+				continue
+			}
+			nt := applyStage(kernels[j], &meters[j], t)
+			commands.PutBlock(t)
+			t = nt
+		}
+		tail = append(tail, t...)
+		commands.PutBlock(t)
+	}
+	if len(tail) > 0 {
+		if err := writeChunkTo(w, tail); err != nil {
+			return err
+		}
+	} else {
+		commands.PutBlock(tail)
+	}
+	return kernels[len(kernels)-1].Status()
+}
+
+// runFusedFramed preserves the round-robin frame discipline: the whole
+// kernel chain runs once per input chunk (Apply + Finish, resetting
+// per-stream state), and exactly one output chunk is emitted per input
+// chunk — empty ones included, as ordering tokens for the downstream
+// merge. This is the fused equivalent of invoking each chain command
+// once per chunk, which is what the unfused framed executor does.
+func runFusedFramed(cr commands.ChunkReader, cw commands.ChunkWriter, kernels []commands.Kernel, meters []StageTime) error {
+	for {
+		b, release, err := cr.ReadChunk()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		cur := b
+		owned := false
+		for i, k := range kernels {
+			if _, id := k.(interface{ IsPassThrough() }); id {
+				continue
+			}
+			start := time.Now()
+			next := k.Apply(commands.GetBlock(), cur)
+			next = k.Finish(next)
+			meters[i].Active += time.Since(start)
+			meters[i].BytesIn += int64(len(cur))
+			meters[i].BytesOut += int64(len(next))
+			if owned {
+				commands.PutBlock(cur)
+			} else if release != nil {
+				release()
+				release = nil
+			}
+			cur = next
+			owned = true
+		}
+		// One chunk out per chunk in, empty chunks included.
+		if err := cw.WriteChunk(cur); err != nil {
+			return err
+		}
+	}
+}
+
+// runFusedUnfused executes a fused node as its original command chain
+// connected by internal pipes — one goroutine per stage, exactly what
+// the graph looked like before fusion. It backs Config.DisableFusion
+// (the fused-vs-unfused A/B in BenchmarkFusion) and the defensive case
+// of a stage without a kernel at execution time.
+func (ex *executor) runFusedUnfused(n *dfg.Node, overlay *overlayFS) error {
+	if n.Framed {
+		if err, ok := ex.runFusedUnfusedFramed(n, overlay); ok {
+			return err
+		}
+	}
+	var stdin io.Reader = ex.readers[n.In[0]]
+	out := ex.writers[n.Out[0]]
+
+	type stageIO struct {
+		stdin  io.Reader
+		stdout io.WriteCloser
+		closeR io.Closer // internal pipe read end to close when done
+	}
+	ios := make([]stageIO, len(n.Stages))
+	for i := range n.Stages {
+		ios[i].stdin = stdin
+		if i == len(n.Stages)-1 {
+			ios[i].stdout = nopWriteCloser{out}
+		} else {
+			s := newEdgeStream(false, 0)
+			ios[i].stdout = s.writer()
+			stdin = s.reader()
+			ios[i+1].closeR = s.reader()
+		}
+	}
+
+	errs := make([]error, len(n.Stages))
+	var wg sync.WaitGroup
+	for i, st := range n.Stages {
+		i, st := i, st
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cctx := &commands.Context{
+				Args:   st.Args,
+				Stdin:  ios[i].stdin,
+				Stdout: ios[i].stdout,
+				Stderr: ex.stdio.Stderr,
+				FS:     overlay,
+				Env:    ex.cfg.Env,
+			}
+			errs[i] = ex.reg.Run(st.Name, cctx)
+			ios[i].stdout.Close()
+			if ios[i].closeR != nil {
+				ios[i].closeR.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !isCleanTermination(err) {
+			return err
+		}
+	}
+	return errs[len(errs)-1]
+}
+
+// runFusedUnfusedFramed is the fallback's framed variant: every chain
+// command runs once per input chunk, in order, exactly one output chunk
+// per input chunk. It reports ok=false when the edges carry no chunk
+// framing.
+func (ex *executor) runFusedUnfusedFramed(n *dfg.Node, overlay *overlayFS) (error, bool) {
+	cr, rok := ex.readers[n.In[0]].(commands.ChunkReader)
+	cw, wok := ex.writers[n.Out[0]].(commands.ChunkWriter)
+	if !rok || !wok {
+		return nil, false
+	}
+	for {
+		b, release, err := cr.ReadChunk()
+		if err == io.EOF {
+			return nil, true
+		}
+		if err != nil {
+			return err, true
+		}
+		cur := b
+		owned := false
+		for _, st := range n.Stages {
+			col := &chunkCollector{buf: commands.GetBlock()}
+			cctx := &commands.Context{
+				Args:   st.Args,
+				Stdin:  bytes.NewReader(cur),
+				Stdout: col,
+				Stderr: ex.stdio.Stderr,
+				FS:     overlay,
+				Env:    ex.cfg.Env,
+			}
+			runErr := ex.reg.Run(st.Name, cctx)
+			if owned {
+				commands.PutBlock(cur)
+			} else if release != nil {
+				release()
+				release = nil
+			}
+			if runErr != nil {
+				// Per-chunk non-zero statuses (grep finding nothing in
+				// this chunk) are normal; real failures abort the node.
+				var ee *commands.ExitError
+				if !errors.As(runErr, &ee) {
+					commands.PutBlock(col.buf)
+					return runErr, true
+				}
+			}
+			cur = col.buf
+			owned = true
+		}
+		if err := cw.WriteChunk(cur); err != nil {
+			return err, true
+		}
+	}
+}

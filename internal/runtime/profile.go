@@ -60,7 +60,7 @@ func Profile(ctx context.Context, g *dfg.Graph, reg *commands.Registry, stdio St
 		err := ex.runNode(ctx, n, overlay)
 		wall := time.Since(start)
 		res.NodeTimes = append(res.NodeTimes, NodeTime{
-			ID: n.ID, Name: n.Name, Wall: wall, Active: wall,
+			ID: n.ID, Name: n.Name, Wall: wall, Active: wall, Stages: ex.stagesFor(n),
 		})
 		code := commands.ExitCode(err)
 		if err != nil && !isCleanTermination(err) {
