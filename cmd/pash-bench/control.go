@@ -1,0 +1,134 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/serve"
+	"repro/pash"
+)
+
+// runControl measures the multi-tenant control plane: plan-cache
+// amortization (cold compile vs cached instantiation, per region) and
+// pash-serve throughput with concurrent clients. Records land in the
+// -out JSON like every other bench.
+func runControl(scale int) {
+	controlPlanCache()
+	controlServe(scale)
+}
+
+// controlPlanCache times 1000 plan resolutions of a fixed 4-stage
+// pipeline with and without the cache — the per-iteration control-plane
+// overhead a hot loop pays.
+func controlPlanCache() {
+	stages := []core.Stage{
+		{Name: "cut", Args: []string{"-d", " ", "-f1"}},
+		{Name: "grep", Args: []string{"o"}},
+		{Name: "sort"},
+		{Name: "wc", Args: []string{"-l"}},
+	}
+	const iters = 1000
+
+	cold := core.NewCompiler(core.DefaultOptions(8))
+	cold.Plans = nil
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, _, err := cold.PlanRegion(stages, 8); err != nil {
+			fmt.Fprintln(os.Stderr, "pash-bench:", err)
+			os.Exit(1)
+		}
+	}
+	coldDur := time.Since(start)
+
+	cached := core.NewCompiler(core.DefaultOptions(8))
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if _, _, err := cached.PlanRegion(stages, 8); err != nil {
+			fmt.Fprintln(os.Stderr, "pash-bench:", err)
+			os.Exit(1)
+		}
+	}
+	cachedDur := time.Since(start)
+
+	speedup := float64(coldDur) / float64(cachedDur)
+	fmt.Printf("plan cache (%d iterations of cut|grep|sort|wc, width 8):\n", iters)
+	fmt.Printf("  cold    %10.1f us/region\n", float64(coldDur.Microseconds())/iters)
+	fmt.Printf("  cached  %10.1f us/region   (%.1fx)\n", float64(cachedDur.Microseconds())/iters, speedup)
+	record(benchRecord{Bench: "plan-cache", Config: "cold", Metric: "us_per_region",
+		Value: float64(coldDur.Microseconds()) / iters})
+	record(benchRecord{Bench: "plan-cache", Config: "cached", Metric: "us_per_region",
+		Value: float64(cachedDur.Microseconds()) / iters})
+	record(benchRecord{Bench: "plan-cache", Config: "cached", Speedup: speedup})
+}
+
+// controlServe drives a pash-serve instance with concurrent clients for
+// a fixed window and reports request and byte throughput.
+func controlServe(scale int) {
+	dir, err := os.MkdirTemp("", "pash-serve-bench")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pash-bench:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	var sb strings.Builder
+	for i := 0; i < 2000*scale; i++ {
+		fmt.Fprintf(&sb, "w%d payload line %d\n", i%13, i)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "d.txt"), []byte(sb.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "pash-bench:", err)
+		os.Exit(1)
+	}
+
+	sess := pash.NewSession(pash.DefaultOptions(8))
+	sess.Dir = dir
+	srv := serve.New(sess, runtime.NewScheduler(0))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	script := url.QueryEscape("cut -d ' ' -f1 d.txt | sort | uniq -c | sort -rn | head -n 5")
+	target := ts.URL + "/run?script=" + script
+
+	const clients = 8
+	window := time.Duration(scale) * time.Second
+	var requests atomic.Int64
+	ctx, cancel := context.WithTimeout(context.Background(), window)
+	defer cancel()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				resp, err := http.Post(target, "application/octet-stream", strings.NewReader(""))
+				if err != nil {
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				requests.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	m := srv.Snapshot()
+	reqPerSec := float64(requests.Load()) / window.Seconds()
+	fmt.Printf("serve throughput (%d clients, %v window): %.0f req/s, %.1f MB/s out, cache hit %d/%d\n",
+		clients, window, reqPerSec, m.ThroughputBPS/1e6, m.PlanCache.Hits, m.PlanCache.Hits+m.PlanCache.Misses)
+	record(benchRecord{Bench: "serve-throughput", Config: fmt.Sprintf("clients%d", clients),
+		Metric: "req_per_sec", Value: reqPerSec})
+	record(benchRecord{Bench: "serve-throughput", Config: fmt.Sprintf("clients%d", clients),
+		Metric: "bytes_per_sec", Value: m.ThroughputBPS})
+}

@@ -89,9 +89,12 @@ func main() {
 		widths  = flag.String("widths", "2,4,8,16,32,64", "width sweep for -fig 7")
 		bench   = flag.String("bench", "", "restrict -fig 7 to one benchmark")
 		jsonOut = flag.String("out", "", "also write results as JSON to this file (e.g. BENCH_fig7.json)")
+		control = flag.Bool("control", false, "measure the control plane: plan cache + pash-serve throughput")
 	)
 	flag.Parse()
 	switch {
+	case *control:
+		runControl(*scale)
 	case *table == 1:
 		pash.WriteTable1(os.Stdout)
 	case *table == 2:

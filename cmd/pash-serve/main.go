@@ -1,0 +1,63 @@
+// pash-serve is the multi-tenant daemon: it accepts shell scripts over
+// HTTP (TCP or a unix socket), executes them through one shared
+// parallelizing session — one plan cache, one machine scheduler — and
+// streams each script's stdout back to its client.
+//
+//	pash-serve -listen :8721 -width 8
+//	pash-serve -listen unix:/tmp/pash.sock
+//
+//	# script in the body:
+//	curl -s --data-binary 'seq 9 | wc -l' http://localhost:8721/run
+//	# script in the query, stdin in the body:
+//	curl -s --data-binary @input.txt 'http://localhost:8721/run?script=grep%20x%20|%20wc%20-l'
+//	curl -s http://localhost:8721/metrics
+//
+// The exit status arrives in the X-Pash-Exit-Code HTTP trailer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"repro/internal/serve"
+	"repro/pash"
+)
+
+func main() {
+	listen := flag.String("listen", ":8721", "listen address: host:port, or unix:/path/to.sock")
+	width := flag.Int("width", 8, "parallelism width requested per region")
+	workers := flag.Int("workers", 0, "scheduler worker tokens (0 = number of CPUs)")
+	scripts := flag.Int("scripts", 0, "max concurrently admitted scripts (0 = same as workers)")
+	dir := flag.String("dir", "", "working directory for script file access")
+	flag.Parse()
+
+	sched := pash.NewScheduler(*workers)
+	if *scripts > 0 {
+		sched.SetMaxScripts(*scripts)
+	}
+	sess := pash.NewSession(pash.DefaultOptions(*width))
+	sess.Dir = *dir
+	srv := serve.New(sess, sched)
+
+	var ln net.Listener
+	var err error
+	if path, ok := strings.CutPrefix(*listen, "unix:"); ok {
+		os.Remove(path)
+		ln, err = net.Listen("unix", path)
+	} else {
+		ln, err = net.Listen("tcp", *listen)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pash-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "pash-serve: listening on %s (width %d)\n", ln.Addr(), *width)
+	if err := http.Serve(ln, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "pash-serve:", err)
+		os.Exit(1)
+	}
+}

@@ -84,8 +84,8 @@ func main() {
 
 	code, st, err := s.RunStats(context.Background(), src, os.Stdin, os.Stdout, os.Stderr)
 	if *stats {
-		fmt.Fprintf(os.Stderr, "pash: %d region(s), %d total nodes, largest region %d nodes\n",
-			st.Regions, st.TotalNodes, st.MaxNodes)
+		fmt.Fprintf(os.Stderr, "pash: %d region(s), %d total nodes, largest region %d nodes, plan cache %d hit / %d miss\n",
+			st.Regions, st.TotalNodes, st.MaxNodes, st.PlanHits, st.PlanMisses)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pash: %v\n", err)

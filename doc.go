@@ -56,7 +56,38 @@
 // bottleneck: leaves combine in parallel and the critical path shrinks
 // from O(n) streams to O(log_k n) levels.
 //
+// # The multi-tenant control plane
+//
+// Region compilation is split into planning (classify, lift to a DFG,
+// optimize — pure in the expanded argv) and instantiation (clone the
+// planned template, bind per-run IO). Planned templates live in an LRU
+// plan cache keyed by the canonical fingerprint of the expanded region
+// — per stage: name, argv, resolved redirections, all length-prefixed —
+// plus the planning options (effective width, split/eager/fusion
+// knobs). A loop body re-plans only when its expanded argv changes, so
+// `for f in *; do cut ... | grep ... | wc; done` compiles once and
+// every later iteration pays one graph clone (see BenchmarkPlanCache).
+//
+// A shared runtime.Scheduler lets N concurrent script executions share
+// the machine instead of each claiming its configured width: top-level
+// runs block in script admission (a bounded semaphore), and each
+// region's effective width is chosen at instantiation — measured
+// region history first (regions too short to amortize parallelism run
+// sequentially), then 1 + whatever extra worker tokens the shared pool
+// can spare, never blocking (which keeps concurrently-executing
+// pipeline stages deadlock-free).
+//
+// pash.Session is safe for concurrent Run: each run takes an immutable
+// compiler snapshot, and extensions (RegisterCommand,
+// RegisterAnnotation, SetOptions) swap registries copy-on-write.
+// cmd/pash-serve multiplexes many clients over one session — one plan
+// cache, one scheduler — streaming stdin/stdout over HTTP (TCP or unix
+// socket) with exit codes in response trailers and cache/scheduler/
+// throughput counters on /metrics; internal/serve documents the
+// protocol.
+//
 // internal/runtime/README.md documents the ownership contract, the
-// framing protocol, the fusion contract, the tree layout, and how the
-// blocked-time meters feed the multicore simulator.
+// framing protocol, the fusion contract, the tree layout, the
+// scheduler's admission rules, and how the blocked-time meters feed the
+// multicore simulator.
 package repro

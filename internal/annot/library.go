@@ -56,6 +56,25 @@ func (r *Registry) RegisterRefiner(name string, f Refiner) {
 	r.refiners[name] = f
 }
 
+// Clone returns an independent copy of the registry (records are
+// immutable once parsed, so they are shared; the maps are not). It
+// backs the session layer's copy-on-write extension story.
+func (r *Registry) Clone() *Registry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	nr := &Registry{
+		recs:     make(map[string]*Record, len(r.recs)),
+		refiners: make(map[string]Refiner, len(r.refiners)),
+	}
+	for k, v := range r.recs {
+		nr.recs[k] = v
+	}
+	for k, v := range r.refiners {
+		nr.refiners[k] = v
+	}
+	return nr
+}
+
 // Lookup returns the record for a command name, if any.
 func (r *Registry) Lookup(name string) (*Record, bool) {
 	r.mu.RLock()

@@ -170,6 +170,19 @@ func (r *Registry) Lookup(name string) (Func, bool) {
 	return f, ok
 }
 
+// Clone returns an independent copy of the registry: registrations on
+// either side no longer affect the other. It backs the session layer's
+// copy-on-write extension story.
+func (r *Registry) Clone() *Registry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	nr := &Registry{cmds: make(map[string]Func, len(r.cmds))}
+	for k, v := range r.cmds {
+		nr.cmds[k] = v
+	}
+	return nr
+}
+
 // Names returns registered command names, sorted.
 func (r *Registry) Names() []string {
 	r.mu.RLock()

@@ -10,6 +10,7 @@ import (
 	"repro/internal/annot"
 	"repro/internal/commands"
 	"repro/internal/dfg"
+	"repro/internal/runtime"
 )
 
 // Options selects the degree of parallelism and which runtime primitives
@@ -56,15 +57,30 @@ func DefaultOptions(width int) Options {
 	}
 }
 
-// Compiler holds the registries the compilation pipeline consults.
+// Compiler holds the registries the compilation pipeline consults plus
+// the shared control-plane state: the plan cache and, optionally, the
+// machine-wide scheduler. A Compiler value is treated as an immutable
+// snapshot during a run — mutators (the pash session layer) replace
+// registries copy-on-write and swap in a fresh struct rather than
+// mutating one a concurrent run may be reading.
 type Compiler struct {
 	Annot *annot.Registry
 	Cmds  *commands.Registry
 	Opts  Options
+
+	// Plans caches planned+optimized region templates keyed by the
+	// canonical region fingerprint and planning options; nil disables
+	// caching (every region compiles cold).
+	Plans *PlanCache
+
+	// Sched, when set, chooses each region's effective width from the
+	// shared worker-token pool at instantiation time instead of
+	// unconditionally claiming Opts.Width replicas.
+	Sched *runtime.Scheduler
 }
 
 // NewCompiler builds a compiler over the standard annotation and command
-// registries with the given options.
+// registries with the given options and a default-sized plan cache.
 func NewCompiler(opts Options) *Compiler {
 	reg := commands.NewStd()
 	agg.Install(reg)
@@ -72,6 +88,7 @@ func NewCompiler(opts Options) *Compiler {
 		Annot: annot.StdRegistry(),
 		Cmds:  reg,
 		Opts:  opts,
+		Plans: NewPlanCache(0),
 	}
 }
 

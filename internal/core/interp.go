@@ -3,12 +3,14 @@ package core
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/commands"
 	"repro/internal/dfg"
 	"repro/internal/runtime"
 	"repro/internal/shell"
@@ -25,9 +27,12 @@ type Interp struct {
 	stdio runtime.StdIO
 
 	jobMu sync.Mutex
-	jobs  []chan int
+	jobs  []chan jobResult
 
+	statsMu sync.Mutex
 	// Stats accumulates per-region compilation metrics for Tab. 2.
+	// Read it only after RunScript returns (background jobs update it
+	// concurrently while a script runs).
 	Stats InterpStats
 
 	profMu sync.Mutex
@@ -36,11 +41,22 @@ type Interp struct {
 	Profiles []RegionProfile
 }
 
+// jobResult is one background job's outcome.
+type jobResult struct {
+	code int
+	err  error
+}
+
 // InterpStats aggregates region-level metrics.
 type InterpStats struct {
 	Regions    int
 	TotalNodes int
 	MaxNodes   int
+	// PlanHits / PlanMisses count regions served from the compiler's
+	// plan cache vs. compiled cold (a hit costs one graph clone; a miss
+	// costs the full compile+optimize pass).
+	PlanHits   int
+	PlanMisses int
 }
 
 // RegionProfile is one executed region's graph plus measured node times.
@@ -73,36 +89,45 @@ func (in *Interp) RunScript(ctx context.Context, src string) (int, error) {
 		return 127, err
 	}
 	code, err := in.runList(ctx, list)
-	werr := in.waitJobs()
+	_, werr := in.waitJobs()
 	if err == nil {
 		err = werr
 	}
 	return code, err
 }
 
-func (in *Interp) waitJobs() error {
+// waitJobs drains the pending background jobs, returning the exit code
+// of the last job (POSIX `wait` semantics) and the first error any job
+// reported.
+func (in *Interp) waitJobs() (int, error) {
 	in.jobMu.Lock()
 	jobs := in.jobs
 	in.jobs = nil
 	in.jobMu.Unlock()
+	code := 0
+	var firstErr error
 	for _, j := range jobs {
-		<-j
+		r := <-j
+		code = r.code
+		if firstErr == nil {
+			firstErr = r.err
+		}
 	}
-	return nil
+	return code, firstErr
 }
 
 func (in *Interp) runList(ctx context.Context, list *shell.List) (int, error) {
 	code := 0
 	for _, item := range list.Items {
 		if item.Background {
-			ch := make(chan int, 1)
+			ch := make(chan jobResult, 1)
 			in.jobMu.Lock()
 			in.jobs = append(in.jobs, ch)
 			in.jobMu.Unlock()
 			cmd := item.Cmd
 			go func() {
-				c, _ := in.runCommand(ctx, cmd)
-				ch <- c
+				c, err := in.runCommand(ctx, cmd)
+				ch <- jobResult{code: c, err: err}
 			}()
 			code = 0
 			continue
@@ -125,7 +150,7 @@ func (in *Interp) runCommand(ctx context.Context, cmd shell.Command) (int, error
 		for _, c := range cmd.Cmds {
 			s, ok := c.(*shell.Simple)
 			if !ok {
-				// Compound stages run sequentially through a buffer.
+				// Compound stages stream through bounded pipes.
 				return in.runCompoundPipeline(ctx, cmd)
 			}
 			stages = append(stages, s)
@@ -212,7 +237,7 @@ func (in *Interp) runCommand(ctx context.Context, cmd shell.Command) (int, error
 	case *shell.Subshell:
 		sub := &Interp{c: in.c, env: in.env.Child(), dir: in.dir, stdio: in.stdio}
 		code, err := sub.runList(ctx, cmd.Body)
-		if werr := sub.waitJobs(); err == nil {
+		if _, werr := sub.waitJobs(); err == nil {
 			err = werr
 		}
 		return code, err
@@ -229,29 +254,85 @@ func negate(code int) int {
 	return 0
 }
 
-// runCompoundPipeline executes a pipeline containing compound stages by
-// buffering between stages (sequential semantics, never parallelized).
+// runCompoundPipeline executes a pipeline containing compound stages.
+// Stages run concurrently, connected by bounded synchronous pipes (no
+// unbounded intermediate buffers), each in a subshell scope. A stage
+// that finishes without draining its input closes it, so upstream
+// stages terminate with the SIGPIPE analog instead of blocking forever.
 func (in *Interp) runCompoundPipeline(ctx context.Context, p *shell.Pipeline) (int, error) {
-	var input io.Reader = in.stdio.Stdin
-	code := 0
+	n := len(p.Cmds)
+	if n == 1 {
+		// Not really a pipeline — a lone negated compound (`! { ...; }`).
+		// POSIX runs it in the current environment, so assignments
+		// persist; only real multi-stage pipelines get subshell scopes.
+		sub := &Interp{c: in.c, env: in.env, dir: in.dir, stdio: in.stdio}
+		code, err := sub.runCommand(ctx, p.Cmds[0])
+		if _, werr := sub.waitJobs(); err == nil {
+			err = werr
+		}
+		if p.Negated {
+			code = negate(code)
+		}
+		return code, err
+	}
+	type stageResult struct {
+		code int
+		err  error
+	}
+	results := make([]stageResult, n)
+	var wg sync.WaitGroup
+	var prevReader *io.PipeReader // pipe feeding stage i; nil for the first
 	for i, c := range p.Cmds {
-		var out bytes.Buffer
-		stdio := runtime.StdIO{Stdin: input, Stdout: &out, Stderr: in.stdio.Stderr}
-		if i == len(p.Cmds)-1 {
+		stdio := runtime.StdIO{Stderr: in.stdio.Stderr}
+		if prevReader != nil {
+			stdio.Stdin = prevReader
+		} else {
+			stdio.Stdin = in.stdio.Stdin
+		}
+		var pw *io.PipeWriter
+		var nextReader *io.PipeReader
+		if i == n-1 {
 			stdio.Stdout = in.stdio.Stdout
+		} else {
+			nextReader, pw = io.Pipe()
+			stdio.Stdout = pw
 		}
-		sub := &Interp{c: in.c, env: in.env, dir: in.dir, stdio: stdio}
-		var err error
-		code, err = sub.runCommand(ctx, c)
-		if err != nil {
-			return code, err
+		sub := &Interp{c: in.c, env: in.env.Child(), dir: in.dir, stdio: stdio}
+		wg.Add(1)
+		go func(i int, c shell.Command, sub *Interp, pw *io.PipeWriter, myInput *io.PipeReader) {
+			defer wg.Done()
+			code, err := sub.runCommand(ctx, c)
+			if _, werr := sub.waitJobs(); err == nil {
+				err = werr
+			}
+			if pw != nil {
+				pw.CloseWithError(err)
+			}
+			if myInput != nil {
+				// Unread input: closing delivers write errors upstream.
+				myInput.Close()
+			}
+			if err != nil && errors.Is(err, io.ErrClosedPipe) {
+				// Downstream exited early; normal pipeline behaviour.
+				err = nil
+			}
+			results[i] = stageResult{code: code, err: err}
+		}(i, c, sub, pw, prevReader)
+		prevReader = nextReader
+	}
+	wg.Wait()
+	code := results[n-1].code
+	var firstErr error
+	for _, r := range results {
+		if r.err != nil {
+			firstErr = r.err
+			break
 		}
-		input = &out
 	}
 	if p.Negated {
 		code = negate(code)
 	}
-	return code, nil
+	return code, firstErr
 }
 
 // expander builds the word expander with command substitution wired to a
@@ -276,7 +357,7 @@ func (in *Interp) expander() *shell.Expander {
 			if _, err := sub.runList(context.Background(), list); err != nil {
 				return "", err
 			}
-			if werr := sub.waitJobs(); werr != nil {
+			if _, werr := sub.waitJobs(); werr != nil {
 				return "", werr
 			}
 			return out.String(), nil
@@ -284,17 +365,94 @@ func (in *Interp) expander() *shell.Expander {
 	}
 }
 
-// runPipeline expands the stages, compiles the region to a DFG, applies
-// the transformations, and executes it.
+// bareRedirs performs a command-less redirection list: POSIX `> out.txt`
+// creates/truncates the target, `>> out.txt` creates it for append, and
+// `< in.txt` verifies it is openable. Failures report to stderr with
+// exit status 1, like a real shell.
+func (in *Interp) bareRedirs(x *shell.Expander, redirs []*shell.Redir) (int, error) {
+	osfs := commands.OSFS{Dir: in.dir}
+	for _, r := range redirs {
+		tgt, err := x.ExpandString(r.Target)
+		if err != nil {
+			return 1, err
+		}
+		switch r.Op {
+		case shell.RedirOut:
+			w, err := osfs.Create(tgt)
+			if err != nil {
+				fmt.Fprintf(in.stdio.Stderr, "pash: %s: %v\n", tgt, err)
+				return 1, nil
+			}
+			w.Close()
+		case shell.RedirAppend:
+			w, err := osfs.Append(tgt)
+			if err != nil {
+				fmt.Fprintf(in.stdio.Stderr, "pash: %s: %v\n", tgt, err)
+				return 1, nil
+			}
+			w.Close()
+		case shell.RedirIn:
+			f, err := osfs.Open(tgt)
+			if err != nil {
+				fmt.Fprintf(in.stdio.Stderr, "pash: %s: %v\n", tgt, err)
+				return 1, nil
+			}
+			f.Close()
+		default:
+			return 1, fmt.Errorf("core: unsupported bare redirection %s", r.Op)
+		}
+	}
+	return 0, nil
+}
+
+// envOverride is one pending per-command assignment prefix.
+type envOverride struct {
+	name  string
+	value string
+}
+
+// applyOverrides installs assignment-prefix values for the duration of a
+// region's execution and returns the restore function. The prior values
+// (or absence) come back afterward — the prefix scopes to the command
+// instead of leaking into the script's environment.
+func (in *Interp) applyOverrides(ovs []envOverride) func() {
+	if len(ovs) == 0 {
+		return func() {}
+	}
+	type saved struct {
+		name    string
+		value   string
+		present bool
+	}
+	prior := make([]saved, 0, len(ovs))
+	for _, ov := range ovs {
+		v, ok := in.env.Lookup(ov.name)
+		prior = append(prior, saved{name: ov.name, value: v, present: ok})
+		in.env.Set(ov.name, ov.value)
+	}
+	return func() {
+		// Restore in reverse so repeated names unwind correctly.
+		for i := len(prior) - 1; i >= 0; i-- {
+			s := prior[i]
+			if s.present {
+				in.env.Set(s.name, s.value)
+			} else {
+				in.env.Unset(s.name)
+			}
+		}
+	}
+}
+
+// runPipeline expands the stages, plans the region (through the plan
+// cache when one is configured), and executes it at the effective width
+// the shared scheduler grants.
 func (in *Interp) runPipeline(ctx context.Context, simples []*shell.Simple) (int, error) {
 	x := in.expander()
 
-	// A lone assignment command mutates the environment.
+	// A lone assignment command mutates the environment; a bare
+	// redirection list opens/creates its targets.
 	if len(simples) == 1 && len(simples[0].Args) == 0 {
 		s := simples[0]
-		if len(s.Assigns) == 0 && len(s.Redirs) > 0 {
-			return 0, nil // bare redirection: creates/truncates files; skip
-		}
 		for _, a := range s.Assigns {
 			v, err := x.ExpandString(a.Value)
 			if err != nil {
@@ -302,24 +460,39 @@ func (in *Interp) runPipeline(ctx context.Context, simples []*shell.Simple) (int
 			}
 			in.env.Set(a.Name, v)
 		}
+		if len(s.Redirs) > 0 {
+			return in.bareRedirs(x, s.Redirs)
+		}
 		return 0, nil
 	}
 
 	stages := make([]Stage, 0, len(simples))
+	var overrides []envOverride
 	for _, s := range simples {
 		if len(s.Assigns) > 0 {
-			// Per-command assignment prefixes would need process-local
-			// environments; run them as global sets (close enough for
-			// the benchmark corpus, where they don't appear mid-pipe).
+			if len(s.Args) == 0 {
+				// Assignment-only stage inside a pipeline: it runs in a
+				// subshell in a real shell, so its sets are invisible;
+				// we keep the historical behaviour of applying them.
+				for _, a := range s.Assigns {
+					v, err := x.ExpandString(a.Value)
+					if err != nil {
+						return 1, err
+					}
+					in.env.Set(a.Name, v)
+				}
+				continue
+			}
+			// Per-command assignment prefixes (FOO=1 cmd) scope to the
+			// command: expanded now (before the prefix could influence
+			// its own argv, per POSIX), installed only around execution,
+			// and restored afterward.
 			for _, a := range s.Assigns {
 				v, err := x.ExpandString(a.Value)
 				if err != nil {
 					return 1, err
 				}
-				in.env.Set(a.Name, v)
-			}
-			if len(s.Args) == 0 {
-				continue
+				overrides = append(overrides, envOverride{name: a.Name, value: v})
 			}
 		}
 		var argv []string
@@ -354,17 +527,43 @@ func (in *Interp) runPipeline(ctx context.Context, simples []*shell.Simple) (int
 		}
 	}
 
-	g, err := in.c.CompilePipeline(stages, RegionIO{})
+	// Control plane: fingerprint the region, consult the measured
+	// history for a width hint, take width tokens from the shared
+	// scheduler, then plan (cache hit: clone; miss: compile+optimize).
+	rkey := regionKey(stages)
+	eff := in.c.Opts.Width
+	if in.c.Sched != nil {
+		// Multi-tenant instantiation: measured history first (regions
+		// too short to amortize parallelism run sequentially), then the
+		// shared token pool caps what the machine can spare right now.
+		want := eff
+		if in.c.Plans != nil {
+			want = in.c.Plans.widthHint(rkey, want)
+		}
+		var release func()
+		eff, release = in.c.Sched.AcquireWidth(want)
+		defer release()
+	}
+	g, hit, err := in.c.planRegion(stages, rkey, eff)
 	if err != nil {
 		return 1, err
 	}
-	in.c.Optimize(g)
 
+	in.statsMu.Lock()
 	in.Stats.Regions++
 	in.Stats.TotalNodes += len(g.Nodes)
 	if len(g.Nodes) > in.Stats.MaxNodes {
 		in.Stats.MaxNodes = len(g.Nodes)
 	}
+	if hit {
+		in.Stats.PlanHits++
+	} else {
+		in.Stats.PlanMisses++
+	}
+	in.statsMu.Unlock()
+
+	restore := in.applyOverrides(overrides)
+	defer restore()
 
 	rcfg := runtime.Config{
 		BlockingEager:   in.c.Opts.BlockingEagerBytes,
@@ -387,9 +586,16 @@ func (in *Interp) runPipeline(ctx context.Context, simples []*shell.Simple) (int
 	if err != nil {
 		return 1, err
 	}
+	wall := time.Since(start)
+	if in.c.Plans != nil && in.c.Sched != nil && !in.c.Opts.MeasureMode {
+		// Close the JIT loop: the measured wall feeds the next
+		// instantiation's width hint. Only scheduled (multi-tenant)
+		// sessions consult the hint, so only they pay the bookkeeping.
+		in.c.Plans.noteRun(rkey, wall)
+	}
 	in.profMu.Lock()
 	in.Profiles = append(in.Profiles, RegionProfile{
-		Graph: g, Times: res.NodeTimes, Wall: time.Since(start),
+		Graph: g, Times: res.NodeTimes, Wall: wall,
 	})
 	in.profMu.Unlock()
 	return res.ExitCode, nil
@@ -424,7 +630,8 @@ func (in *Interp) builtin(ctx context.Context, st Stage) (int, bool, error) {
 		}
 		return 0, true, nil
 	case "wait":
-		return 0, true, in.waitJobs()
+		code, err := in.waitJobs()
+		return code, true, err
 	case "exec", "set", "umask", "ulimit":
 		// Accepted and ignored: benchmark scripts use them only for
 		// shell housekeeping.

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+func writeBenchCorpus(b *testing.B, dir string) {
+	b.Helper()
+	if err := os.WriteFile(filepath.Join(dir, "a.txt"), []byte(corpus(200)), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchRunScript(b *testing.B, c *Compiler, src, dir string) {
+	b.Helper()
+	var out bytes.Buffer
+	in := NewInterp(c, dir, nil, runtime.StdIO{Stdin: strings.NewReader(""), Stdout: &out, Stderr: io.Discard})
+	if _, err := in.RunScript(context.Background(), src); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPlanCache measures per-iteration control-plane cost for the
+// loop body `cut | grep | sort | wc` at width 8: Cold compiles and
+// optimizes every iteration (the seed behaviour); Cached pays one
+// fingerprint + LRU lookup + template clone. The acceptance bar for
+// this PR is Cold/Cached >= 5x.
+func BenchmarkPlanCache(b *testing.B) {
+	stages := fixedPipelineStages()
+
+	b.Run("Cold", func(b *testing.B) {
+		c := NewCompiler(DefaultOptions(8))
+		c.Plans = nil
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.planRegion(stages, regionKey(stages), 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("Cached", func(b *testing.B) {
+		c := NewCompiler(DefaultOptions(8))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.planRegion(stages, regionKey(stages), 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPlanCacheEndToEnd runs the whole interpreter on a
+// 1000-iteration fixed-pipeline loop, cache on vs off — the user-visible
+// version of BenchmarkPlanCache (execution time included).
+func BenchmarkPlanCacheEndToEnd(b *testing.B) {
+	dir := b.TempDir()
+	writeBenchCorpus(b, dir)
+	src := fixedLoopScript(1000)
+	b.Run("Cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := NewCompiler(DefaultOptions(8))
+			c.Plans = nil
+			benchRunScript(b, c, src, dir)
+		}
+	})
+	b.Run("Cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := NewCompiler(DefaultOptions(8))
+			benchRunScript(b, c, src, dir)
+		}
+	})
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation distorts perf-assertion ratios.
+const raceEnabled = false

@@ -1,0 +1,172 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Scheduler is the shared control plane for a multi-tenant process: N
+// concurrent script executions share one machine instead of each
+// claiming its configured Width worth of goroutines. It implements two
+// separate disciplines:
+//
+//   - Script admission (Admit/release): a bounded semaphore over whole
+//     script executions. Admit blocks — this is where backpressure on a
+//     saturated machine lives. Only *top-level* entry points (a
+//     Session.Run, a daemon request) admit; nested interpreters spawned
+//     for command substitution or compound-pipeline stages never do, so
+//     admission cannot deadlock against a region the same script is
+//     already running.
+//
+//   - Width tokens (AcquireWidth/release): a pool of data-parallelism
+//     tokens sized to the machine. Every region is entitled to run
+//     sequentially (width 1) without asking; tokens only pay for the
+//     *extra* replicas beyond the first. AcquireWidth never blocks — a
+//     region that wants width 8 on a busy machine degrades toward
+//     sequential rather than queueing, which keeps pipelines of
+//     concurrently-executing stages deadlock-free by construction.
+type Scheduler struct {
+	slots  chan struct{} // script admission semaphore
+	tokens chan struct{} // extra-replica width tokens
+
+	totalSlots  int
+	totalTokens int
+
+	admitted   atomic.Int64 // scripts admitted so far
+	waited     atomic.Int64 // admissions that had to block
+	waitNanos  atomic.Int64 // total time spent blocked in Admit
+	active     atomic.Int64 // scripts currently admitted
+	tokensOut  atomic.Int64 // width tokens currently held
+	widthAsks  atomic.Int64 // AcquireWidth calls
+	widthTrims atomic.Int64 // AcquireWidth calls granted less than asked
+}
+
+// NewScheduler builds a scheduler with the given width-token pool size;
+// tokens <= 0 sizes the pool to the machine (GOMAXPROCS). Script
+// admission slots default to the same count; adjust with SetMaxScripts
+// before sharing the scheduler.
+func NewScheduler(tokens int) *Scheduler {
+	if tokens <= 0 {
+		tokens = stdruntime.GOMAXPROCS(0)
+	}
+	s := &Scheduler{
+		slots:       make(chan struct{}, tokens),
+		tokens:      make(chan struct{}, tokens),
+		totalSlots:  tokens,
+		totalTokens: tokens,
+	}
+	for i := 0; i < tokens; i++ {
+		s.tokens <- struct{}{}
+		s.slots <- struct{}{}
+	}
+	return s
+}
+
+// SetMaxScripts resizes the script-admission semaphore. It must be
+// called before the scheduler is shared with runners.
+func (s *Scheduler) SetMaxScripts(n int) {
+	if n <= 0 {
+		n = s.totalTokens
+	}
+	s.slots = make(chan struct{}, n)
+	s.totalSlots = n
+	for i := 0; i < n; i++ {
+		s.slots <- struct{}{}
+	}
+}
+
+// Admit blocks until a script slot is free (or ctx is done) and returns
+// a release function. Callers must be top-level script executions.
+func (s *Scheduler) Admit(ctx context.Context) (func(), error) {
+	waitedFlag := false
+	start := time.Now()
+	select {
+	case <-s.slots:
+	default:
+		waitedFlag = true
+		s.waited.Add(1)
+		select {
+		case <-s.slots:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("runtime: admission: %w", ctx.Err())
+		}
+	}
+	if waitedFlag {
+		s.waitNanos.Add(int64(time.Since(start)))
+	}
+	s.admitted.Add(1)
+	s.active.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.active.Add(-1)
+			s.slots <- struct{}{}
+		})
+	}, nil
+}
+
+// AcquireWidth grants an effective parallelism width for one region:
+// 1 (always, immediately) plus up to want-1 extra tokens from the pool,
+// never blocking. The release function returns the extras.
+func (s *Scheduler) AcquireWidth(want int) (int, func()) {
+	s.widthAsks.Add(1)
+	if want < 1 {
+		want = 1
+	}
+	extra := 0
+grab:
+	for extra < want-1 {
+		select {
+		case <-s.tokens:
+			extra++
+		default:
+			break grab
+		}
+	}
+	if 1+extra < want {
+		s.widthTrims.Add(1)
+	}
+	s.tokensOut.Add(int64(extra))
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			s.tokensOut.Add(int64(-extra))
+			for i := 0; i < extra; i++ {
+				s.tokens <- struct{}{}
+			}
+		})
+	}
+	return 1 + extra, release
+}
+
+// SchedulerStats is a point-in-time snapshot for metrics export.
+type SchedulerStats struct {
+	ScriptSlots   int           `json:"script_slots"`
+	ActiveScripts int64         `json:"active_scripts"`
+	Admitted      int64         `json:"admitted"`
+	Waited        int64         `json:"waited"`
+	WaitTime      time.Duration `json:"wait_ns"`
+	WidthTokens   int           `json:"width_tokens"`
+	TokensInUse   int64         `json:"tokens_in_use"`
+	WidthAsks     int64         `json:"width_asks"`
+	WidthTrims    int64         `json:"width_trims"`
+}
+
+// Stats snapshots the scheduler's counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	return SchedulerStats{
+		ScriptSlots:   s.totalSlots,
+		ActiveScripts: s.active.Load(),
+		Admitted:      s.admitted.Load(),
+		Waited:        s.waited.Load(),
+		WaitTime:      time.Duration(s.waitNanos.Load()),
+		WidthTokens:   s.totalTokens,
+		TokensInUse:   s.tokensOut.Load(),
+		WidthAsks:     s.widthAsks.Load(),
+		WidthTrims:    s.widthTrims.Load(),
+	}
+}

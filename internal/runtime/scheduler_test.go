@@ -1,0 +1,135 @@
+package runtime
+
+import (
+	"context"
+	stdruntime "runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSchedulerWidthGrants(t *testing.T) {
+	s := NewScheduler(8)
+	// A lone region gets everything it asks for (1 + 7 extras).
+	w, rel := s.AcquireWidth(8)
+	if w != 8 {
+		t.Fatalf("first acquire = %d, want 8", w)
+	}
+	// The first acquire consumed 7 extras; a second concurrent region
+	// degrades to the one remaining token + its baseline, not blocking.
+	w2, rel2 := s.AcquireWidth(8)
+	if w2 != 2 {
+		t.Fatalf("contended acquire = %d, want 2", w2)
+	}
+	rel()
+	// Tokens came back: a third region gets full width again.
+	w3, rel3 := s.AcquireWidth(4)
+	if w3 != 4 {
+		t.Fatalf("post-release acquire = %d, want 4", w3)
+	}
+	rel2()
+	rel3()
+	st := s.Stats()
+	if st.TokensInUse != 0 {
+		t.Errorf("tokens leaked: %+v", st)
+	}
+	if st.WidthAsks != 3 || st.WidthTrims != 1 {
+		t.Errorf("width counters = %+v", st)
+	}
+	// Double release is a no-op.
+	rel()
+	if got := s.Stats().TokensInUse; got != 0 {
+		t.Errorf("double release corrupted pool: %d", got)
+	}
+}
+
+func TestSchedulerWidthNeverExceedsPool(t *testing.T) {
+	s := NewScheduler(4)
+	var mu sync.Mutex
+	extrasOut := 0
+	maxExtras := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				w, rel := s.AcquireWidth(4)
+				mu.Lock()
+				extrasOut += w - 1
+				if extrasOut > maxExtras {
+					maxExtras = extrasOut
+				}
+				mu.Unlock()
+				stdruntime.Gosched()
+				mu.Lock()
+				extrasOut -= w - 1
+				mu.Unlock()
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxExtras > 4 {
+		t.Errorf("extras outstanding exceeded pool: %d > 4", maxExtras)
+	}
+	if st := s.Stats(); st.TokensInUse != 0 {
+		t.Errorf("tokens leaked: %+v", st)
+	}
+}
+
+func TestSchedulerAdmissionBlocksAndReleases(t *testing.T) {
+	s := NewScheduler(8)
+	s.SetMaxScripts(2)
+	rel1, err := s.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := s.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Third admission blocks until a slot frees.
+	entered := make(chan struct{})
+	go func() {
+		rel3, err := s.Admit(context.Background())
+		if err == nil {
+			defer rel3()
+		}
+		close(entered)
+	}()
+	select {
+	case <-entered:
+		t.Fatal("third admission did not block at capacity 2")
+	case <-time.After(50 * time.Millisecond):
+	}
+	rel1()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked admission never unblocked after release")
+	}
+	rel2()
+	st := s.Stats()
+	if st.Admitted != 3 || st.Waited < 1 {
+		t.Errorf("admission counters = %+v", st)
+	}
+	if st.ActiveScripts != 0 {
+		t.Errorf("active scripts leaked: %+v", st)
+	}
+}
+
+func TestSchedulerAdmissionRespectsContext(t *testing.T) {
+	s := NewScheduler(1)
+	s.SetMaxScripts(1)
+	rel, err := s.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := s.Admit(ctx); err == nil {
+		t.Fatal("admission should fail when the context expires")
+	}
+}

@@ -1,0 +1,188 @@
+// Package serve is the pash-serve daemon core: it multiplexes many
+// clients over one shared session — one plan cache, one machine
+// scheduler — turning the parallelizing interpreter into a long-lived
+// multi-tenant service. The compiler cost the plan cache amortizes
+// within one script amortizes across *clients* here: a thousand
+// requests running the same pipeline shape compile it once.
+//
+// Protocol (HTTP, over TCP or a unix socket):
+//
+//	POST /run?script=<urlencoded script>   body = stdin stream
+//	POST /run                              body = script, stdin empty
+//
+// The response body streams the script's stdout as it is produced.
+// Because the status line is sent before the script finishes, the exit
+// status and any execution error arrive in HTTP trailers:
+//
+//	X-Pash-Exit-Code: <int>
+//	X-Pash-Error:     <message, only on error>
+//
+// GET /metrics returns a JSON snapshot of plan-cache, scheduler, and
+// throughput counters; GET /healthz returns 200 "ok".
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/pash"
+)
+
+// Server multiplexes script executions over one shared pash.Session.
+type Server struct {
+	sess  *pash.Session
+	sched *pash.Scheduler
+	start time.Time
+
+	requests atomic.Int64
+	active   atomic.Int64
+	failures atomic.Int64
+	bytesOut atomic.Int64
+}
+
+// New builds a server over the given session. If sched is non-nil it is
+// attached to the session; every request then passes admission control
+// and draws region widths from the shared pool.
+func New(sess *pash.Session, sched *pash.Scheduler) *Server {
+	if sched != nil {
+		sess.UseScheduler(sched)
+	}
+	return &Server{sess: sess, sched: sched, start: time.Now()}
+}
+
+// Session exposes the shared session (test hook).
+func (s *Server) Session() *pash.Session { return s.sess }
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// countingWriter streams stdout to the client, flushing eagerly so
+// long-running scripts deliver output as they produce it.
+type countingWriter struct {
+	w     http.ResponseWriter
+	flush http.Flusher
+	n     *atomic.Int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(int64(n))
+	if cw.flush != nil {
+		cw.flush.Flush()
+	}
+	return n, err
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.requests.Add(1)
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	script := r.URL.Query().Get("script")
+	var stdin io.Reader
+	if script != "" {
+		// Script in the query: the body is the script's stdin.
+		stdin = r.Body
+	} else {
+		// Script in the body: stdin is empty. Read one byte past the
+		// limit so an oversized script is rejected, not truncated to a
+		// prefix that might still parse and run.
+		const maxScript = 1 << 20
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxScript+1))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(body) > maxScript {
+			http.Error(w, "script exceeds 1 MiB", http.StatusRequestEntityTooLarge)
+			return
+		}
+		script = string(body)
+		stdin = nil
+	}
+	if script == "" {
+		http.Error(w, "empty script", http.StatusBadRequest)
+		return
+	}
+
+	// The script reads the request body (stdin) while streaming the
+	// response body (stdout): full duplex, which HTTP/1 handlers must
+	// opt into.
+	http.NewResponseController(w).EnableFullDuplex()
+
+	// Trailers must be declared before the body starts streaming.
+	w.Header().Set("Trailer", "X-Pash-Exit-Code, X-Pash-Error")
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Commit the response as chunked now: trailers only travel on
+		// chunked responses, and a script may produce no output at all.
+		flusher.Flush()
+	}
+	stdout := &countingWriter{w: w, flush: flusher, n: &s.bytesOut}
+	code, err := s.sess.Run(r.Context(), script, stdin, stdout, io.Discard)
+	w.Header().Set("X-Pash-Exit-Code", fmt.Sprintf("%d", code))
+	if err != nil {
+		s.failures.Add(1)
+		w.Header().Set("X-Pash-Error", err.Error())
+	}
+}
+
+// Metrics is the /metrics JSON document.
+type Metrics struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      int64   `json:"requests"`
+	Active        int64   `json:"active"`
+	Failures      int64   `json:"failures"`
+	BytesOut      int64   `json:"bytes_out"`
+	// ThroughputBPS is lifetime bytes_out / uptime.
+	ThroughputBPS float64              `json:"throughput_bps"`
+	PlanCache     pash.PlanCacheStats  `json:"plan_cache"`
+	Scheduler     *pash.SchedulerStats `json:"scheduler,omitempty"`
+}
+
+// Snapshot gathers the current metrics.
+func (s *Server) Snapshot() Metrics {
+	up := time.Since(s.start).Seconds()
+	m := Metrics{
+		UptimeSeconds: up,
+		Requests:      s.requests.Load(),
+		Active:        s.active.Load(),
+		Failures:      s.failures.Load(),
+		BytesOut:      s.bytesOut.Load(),
+		PlanCache:     s.sess.PlanCacheStats(),
+	}
+	if up > 0 {
+		m.ThroughputBPS = float64(m.BytesOut) / up
+	}
+	if s.sched != nil {
+		st := s.sched.Stats()
+		m.Scheduler = &st
+	}
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Snapshot())
+}

@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/pash"
+)
+
+func newTestServer(t testing.TB, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	sess := pash.NewSession(pash.DefaultOptions(4))
+	sess.Dir = dir
+	srv := New(sess, pash.NewScheduler(4))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// runRemote posts a script (stdin in the body when given) and returns
+// stdout, the trailer exit code, and the trailer error message.
+func runRemote(t testing.TB, ts *httptest.Server, script, stdin string) (string, string, string) {
+	t.Helper()
+	url := ts.URL + "/run?script=" + queryEscape(script)
+	resp, err := http.Post(url, "application/octet-stream", strings.NewReader(stdin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), resp.Trailer.Get("X-Pash-Exit-Code"), resp.Trailer.Get("X-Pash-Error")
+}
+
+func queryEscape(s string) string {
+	var sb strings.Builder
+	for _, b := range []byte(s) {
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9',
+			b == '-', b == '_', b == '.', b == '~':
+			sb.WriteByte(b)
+		default:
+			fmt.Fprintf(&sb, "%%%02X", b)
+		}
+	}
+	return sb.String()
+}
+
+func TestServeRunScriptInBody(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	resp, err := http.Post(ts.URL+"/run", "text/plain", strings.NewReader("echo hello | tr a-z A-Z"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if string(out) != "HELLO\n" {
+		t.Errorf("body-script output = %q", out)
+	}
+	if code := resp.Trailer.Get("X-Pash-Exit-Code"); code != "0" {
+		t.Errorf("exit trailer = %q", code)
+	}
+}
+
+func TestServeStdinStreamAndExitCode(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	out, code, errMsg := runRemote(t, ts, "grep alpha | wc -l", "alpha\nbeta\nalpha x\n")
+	if strings.TrimSpace(out) != "2" || code != "0" || errMsg != "" {
+		t.Errorf("out=%q code=%q err=%q", out, code, errMsg)
+	}
+	// Non-zero exit propagates through the trailer (even with no
+	// output bytes, which exercises the forced-chunked path).
+	_, code, _ = runRemote(t, ts, "false", "")
+	if code != "1" {
+		t.Errorf("failing script exit trailer = %q", code)
+	}
+}
+
+// TestServeConcurrentClients is the e2e acceptance test: many clients
+// multiplexed over one daemon must each get byte-identical output to a
+// sequential local run.
+func TestServeConcurrentClients(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&sb, "w%d line %d\n", i%7, i)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "d.txt"), []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scripts := []string{
+		"cut -d ' ' -f1 d.txt | sort | uniq -c",
+		"grep w3 d.txt | wc -l",
+		"sort d.txt | head -n 5",
+		"tr a-z A-Z < d.txt | grep W5 | wc -l",
+	}
+	// Local sequential reference.
+	want := make([]string, len(scripts))
+	for i, src := range scripts {
+		s := pash.NewSession(pash.SequentialOptions())
+		s.Dir = dir
+		var out bytes.Buffer
+		if code, err := s.Run(context.Background(), src, strings.NewReader(""), &out, os.Stderr); err != nil || code != 0 {
+			t.Fatalf("reference %q: code=%d err=%v", src, code, err)
+		}
+		want[i] = out.String()
+	}
+
+	srv, ts := newTestServer(t, dir)
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			i := c % len(scripts)
+			out, code, errMsg := runRemote(t, ts, scripts[i], "")
+			if code != "0" || errMsg != "" {
+				errs <- fmt.Errorf("client %d: code=%q err=%q", c, code, errMsg)
+				return
+			}
+			if out != want[i] {
+				errs <- fmt.Errorf("client %d diverged:\n--- want:\n%s--- got:\n%s", c, want[i], out)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	m := srv.Snapshot()
+	if m.Requests != clients || m.Failures != 0 {
+		t.Errorf("metrics: %+v", m)
+	}
+	if m.PlanCache.Hits == 0 {
+		t.Errorf("daemon plan cache never hit across %d clients: %+v", clients, m.PlanCache)
+	}
+	if m.Scheduler == nil || m.Scheduler.Admitted != clients {
+		t.Errorf("scheduler metrics: %+v", m.Scheduler)
+	}
+}
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	if _, _, errMsg := runRemote(t, ts, "echo x", ""); errMsg != "" {
+		t.Fatalf("run: %s", errMsg)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests != 1 || m.BytesOut != 2 || m.Scheduler == nil {
+		t.Errorf("metrics = %+v", m)
+	}
+	// Health endpoint.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != 200 {
+		t.Errorf("healthz = %d", hr.StatusCode)
+	}
+}
+
+func TestServeRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	resp, err := http.Get(ts.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /run = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/run", "text/plain", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty script = %d", resp.StatusCode)
+	}
+	// Oversized scripts are rejected, never truncated-and-run.
+	big := "echo " + strings.Repeat("x", 1<<20)
+	resp, err = http.Post(ts.URL+"/run", "text/plain", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized script = %d, want 413", resp.StatusCode)
+	}
+}
+
+// BenchmarkServeThroughput measures requests through the full daemon
+// stack: HTTP, admission, plan cache (hot after the first iteration),
+// execution, streamed response.
+func BenchmarkServeThroughput(b *testing.B) {
+	dir := b.TempDir()
+	var sb strings.Builder
+	for i := 0; i < 2000; i++ {
+		fmt.Fprintf(&sb, "w%d payload line %d\n", i%13, i)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "d.txt"), []byte(sb.String()), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	_, ts := newTestServer(b, dir)
+	script := queryEscape("cut -d ' ' -f1 d.txt | sort | uniq -c | sort -rn | head -n 5")
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := http.Post(ts.URL+"/run?script="+script, "application/octet-stream", strings.NewReader(""))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if code := resp.Trailer.Get("X-Pash-Exit-Code"); code != "0" {
+				b.Errorf("exit = %q", code)
+				return
+			}
+		}
+	})
+}

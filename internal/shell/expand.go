@@ -5,37 +5,43 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
-// Env is a shell variable environment.
+// Env is a shell variable environment. A scope chain shares one lock,
+// so concurrent readers and writers — background jobs snapshotting the
+// environment while the foreground installs command-scoped assignment
+// prefixes, pipeline stages running in child scopes — never race on the
+// underlying maps. (Which value a concurrently-spawned background job
+// observes is inherently timing-dependent, as in a real shell; the lock
+// only rules out map corruption.)
 type Env struct {
+	mu     *sync.RWMutex // shared across the whole scope chain
 	vars   map[string]string
 	parent *Env
 }
 
 // NewEnv returns an empty environment.
 func NewEnv() *Env {
-	return &Env{vars: map[string]string{}}
+	return &Env{mu: &sync.RWMutex{}, vars: map[string]string{}}
 }
 
 // Child returns a scope that shadows e. Sets go to the child.
 func (e *Env) Child() *Env {
-	return &Env{vars: map[string]string{}, parent: e}
+	return &Env{mu: e.mu, vars: map[string]string{}, parent: e}
 }
 
 // Get looks a variable up through the scope chain. Missing variables
 // expand to the empty string, as in the shell.
 func (e *Env) Get(name string) string {
-	for s := e; s != nil; s = s.parent {
-		if v, ok := s.vars[name]; ok {
-			return v
-		}
-	}
-	return ""
+	v, _ := e.Lookup(name)
+	return v
 }
 
 // Lookup is Get with a presence flag.
 func (e *Env) Lookup(name string) (string, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	for s := e; s != nil; s = s.parent {
 		if v, ok := s.vars[name]; ok {
 			return v, true
@@ -46,17 +52,30 @@ func (e *Env) Lookup(name string) (string, bool) {
 
 // Set defines a variable in the innermost scope.
 func (e *Env) Set(name, value string) {
+	e.mu.Lock()
 	e.vars[name] = value
+	e.mu.Unlock()
+}
+
+// Unset removes a variable from the innermost scope (outer-scope
+// definitions, if any, become visible again). It undoes a Set made in
+// the same scope — the restore half of command-scoped assignments.
+func (e *Env) Unset(name string) {
+	e.mu.Lock()
+	delete(e.vars, name)
+	e.mu.Unlock()
 }
 
 // Names returns the defined variable names, sorted, across all scopes.
 func (e *Env) Names() []string {
+	e.mu.RLock()
 	seen := map[string]bool{}
 	for s := e; s != nil; s = s.parent {
 		for k := range s.vars {
 			seen[k] = true
 		}
 	}
+	e.mu.RUnlock()
 	out := make([]string, 0, len(seen))
 	for k := range seen {
 		out = append(out, k)

@@ -17,6 +17,7 @@ package pash
 import (
 	"context"
 	"io"
+	"sync"
 
 	"repro/internal/annot"
 	"repro/internal/commands"
@@ -47,18 +48,38 @@ func DefaultOptions(width int) Options { return core.DefaultOptions(width) }
 // SequentialOptions disables parallelization entirely.
 func SequentialOptions() Options { return Options{Width: 1} }
 
+// Scheduler is the shared machine scheduler: script admission slots
+// plus a width-token pool that concurrent executions draw from. Build
+// one with NewScheduler and attach it to any number of sessions.
+type Scheduler = runtime.Scheduler
+
+// SchedulerStats re-exports the scheduler metrics snapshot.
+type SchedulerStats = runtime.SchedulerStats
+
+// PlanCacheStats re-exports the plan-cache metrics snapshot.
+type PlanCacheStats = core.PlanCacheStats
+
+// NewScheduler builds a shared scheduler; tokens <= 0 sizes the worker
+// pool to the machine.
+func NewScheduler(tokens int) *Scheduler { return runtime.NewScheduler(tokens) }
+
 // Session holds a compiler configuration plus the execution environment.
-// Sessions are safe to reuse across scripts; methods that register
-// extensions are not safe to call concurrently with Run.
+// Sessions are safe for concurrent Run calls: each run takes an
+// immutable snapshot of the compiler, and extension methods
+// (RegisterAnnotation, RegisterCommand, SetOptions, UseScheduler)
+// replace registries copy-on-write instead of mutating state a running
+// script may be reading. Dir and Vars are plain fields — set them
+// before sharing the session.
 type Session struct {
+	mu       sync.RWMutex
 	compiler *core.Compiler
+
 	// Dir is the working directory for file access ("" = process cwd).
 	Dir string
 	// Vars seeds the shell variable environment (e.g. PASH_CURL_ROOT).
 	Vars map[string]string
 
 	isolatedAnnot bool
-	isolatedCmds  bool
 }
 
 // NewSession builds a session with the standard command and annotation
@@ -67,24 +88,74 @@ func NewSession(opts Options) *Session {
 	return &Session{compiler: core.NewCompiler(opts)}
 }
 
+// snapshot returns an immutable per-run view of the compiler: the
+// struct is copied, so concurrent mutators swap a fresh one in rather
+// than changing what this run sees. The plan cache and scheduler
+// pointers are shared deliberately — they are the cross-run state.
+func (s *Session) snapshot() *core.Compiler {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cc := *s.compiler
+	return &cc
+}
+
+// mutate clones the compiler struct, applies fn, and swaps the result
+// in. In-flight runs keep their snapshot; new runs see the update.
+func (s *Session) mutate(fn func(c *core.Compiler)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cc := *s.compiler
+	fn(&cc)
+	s.compiler = &cc
+}
+
 // Options returns the session's compiler options.
-func (s *Session) Options() Options { return s.compiler.Opts }
+func (s *Session) Options() Options { return s.snapshot().Opts }
 
 // SetOptions replaces the compiler options (e.g. to sweep widths).
-func (s *Session) SetOptions(opts Options) { s.compiler.Opts = opts }
+func (s *Session) SetOptions(opts Options) {
+	s.mutate(func(c *core.Compiler) { c.Opts = opts })
+}
+
+// UseScheduler attaches a shared scheduler: Run calls pass admission
+// control before starting, and each region's effective width is granted
+// from the scheduler's token pool. Pass nil to detach.
+func (s *Session) UseScheduler(sched *Scheduler) {
+	s.mutate(func(c *core.Compiler) { c.Sched = sched })
+}
+
+// PlanCacheStats snapshots the session's plan-cache counters.
+func (s *Session) PlanCacheStats() PlanCacheStats {
+	c := s.snapshot()
+	if c.Plans == nil {
+		return PlanCacheStats{}
+	}
+	return c.Plans.Stats()
+}
 
 // RegisterAnnotation adds or replaces an annotation record in the
-// session's registry (isolated from other sessions on first use).
+// session's registry. The registry is cloned copy-on-write and the plan
+// cache reset, so cached plans never survive a classification change.
 func (s *Session) RegisterAnnotation(record string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cc := *s.compiler
 	if !s.isolatedAnnot {
 		reg, err := annot.NewStdRegistry()
 		if err != nil {
 			return err
 		}
-		s.compiler.Annot = reg
+		cc.Annot = reg
 		s.isolatedAnnot = true
+	} else {
+		cc.Annot = cc.Annot.Clone()
 	}
-	return s.compiler.Annot.Register(record)
+	if err := cc.Annot.Register(record); err != nil {
+		return err
+	}
+	cc.Plans = core.NewPlanCache(0)
+	s.compiler = &cc
+	return nil
 }
 
 // CommandFunc is a user-supplied command implementation: it reads stdin,
@@ -92,29 +163,51 @@ func (s *Session) RegisterAnnotation(record string) error {
 type CommandFunc func(args []string, stdin io.Reader, stdout io.Writer) error
 
 // RegisterCommand installs a custom command under the given name,
-// making it usable from scripts run by this session.
+// making it usable from scripts run by this session. The command
+// registry is cloned copy-on-write and the plan cache reset (a name
+// that previously missed lookup may now resolve).
 func (s *Session) RegisterCommand(name string, fn CommandFunc) {
-	if !s.isolatedCmds {
-		// The compiler's registry is freshly built per compiler, so it
-		// is already session-local; just mark it.
-		s.isolatedCmds = true
-	}
-	s.compiler.Cmds.Register(name, func(ctx *commands.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cc := *s.compiler
+	cc.Cmds = cc.Cmds.Clone()
+	cc.Cmds.Register(name, func(ctx *commands.Context) error {
 		return fn(ctx.Args, ctx.Stdin, ctx.Stdout)
 	})
+	cc.Plans = core.NewPlanCache(0)
+	s.compiler = &cc
 }
 
 // Run parses and executes a script with PaSh's parallelizing
-// interpreter, returning the script's exit status.
+// interpreter, returning the script's exit status. When a scheduler is
+// attached, the call blocks in admission until the machine has a free
+// script slot.
 func (s *Session) Run(ctx context.Context, src string, stdin io.Reader, stdout, stderr io.Writer) (int, error) {
-	return core.Run(ctx, s.compiler, src, s.Dir, s.Vars,
+	c := s.snapshot()
+	if c.Sched != nil {
+		release, err := c.Sched.Admit(ctx)
+		if err != nil {
+			return 1, err
+		}
+		defer release()
+	}
+	return core.Run(ctx, c, src, s.Dir, s.Vars,
 		runtime.StdIO{Stdin: stdin, Stdout: stdout, Stderr: stderr})
 }
 
 // RunStats executes like Run but also returns region compilation
-// statistics (regions found, node counts — Tab. 2's metrics).
+// statistics (regions found, node counts, plan-cache hits/misses —
+// Tab. 2's metrics).
 func (s *Session) RunStats(ctx context.Context, src string, stdin io.Reader, stdout, stderr io.Writer) (int, core.InterpStats, error) {
-	in := core.NewInterp(s.compiler, s.Dir, s.Vars,
+	c := s.snapshot()
+	if c.Sched != nil {
+		release, err := c.Sched.Admit(ctx)
+		if err != nil {
+			return 1, core.InterpStats{}, err
+		}
+		defer release()
+	}
+	in := core.NewInterp(c, s.Dir, s.Vars,
 		runtime.StdIO{Stdin: stdin, Stdout: stdout, Stderr: stderr})
 	code, err := in.RunScript(ctx, src)
 	return code, in.Stats, err
@@ -123,7 +216,7 @@ func (s *Session) RunStats(ctx context.Context, src string, stdin io.Reader, std
 // Compile builds an ahead-of-time plan; static regions are parallelized,
 // dynamic ones preserved verbatim.
 func (s *Session) Compile(src string) (*Plan, error) {
-	return s.compiler.Plan(src)
+	return s.snapshot().Plan(src)
 }
 
 // Table1 re-exports the parallelizability study (§3.1).
