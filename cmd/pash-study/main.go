@@ -1,8 +1,43 @@
+// pash-study prints the parallelizability study (Tab. 1) by default,
+// and doubles as the planner's inspection tool: with -dot it compiles a
+// script and prints its optimized dataflow graphs as Graphviz dot
+// (fused stages, split strategies, aggregation-tree shape).
+//
+//	pash-study                                  # Table 1
+//	pash-study -dot -c 'cat f | grep x | sort'  # planner view
+//	pash-study -dot -width 16 -c '...' | dot -Tsvg > plan.svg
 package main
 
 import (
+	"flag"
+	"fmt"
 	"os"
+
 	"repro/internal/annot"
+	"repro/pash"
 )
 
-func main() { annot.WriteTable1(os.Stdout) }
+func main() {
+	var (
+		dot    = flag.Bool("dot", false, "print the optimized DFG of -c's script as Graphviz dot")
+		script = flag.String("c", "", "script source for -dot")
+		width  = flag.Int("width", 8, "parallelism width for -dot")
+	)
+	flag.Parse()
+
+	if !*dot {
+		annot.WriteTable1(os.Stdout)
+		return
+	}
+	if *script == "" {
+		fmt.Fprintln(os.Stderr, "pash-study: -dot requires -c 'script'")
+		os.Exit(2)
+	}
+	s := pash.NewSession(pash.DefaultOptions(*width))
+	plan, err := s.CompileExec(*script)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pash-study: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(plan.Dot())
+}

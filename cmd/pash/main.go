@@ -6,6 +6,7 @@
 //	pash [-width N] [-no-split] [-eager MODE] [-curl-root DIR] script.sh
 //	pash -c 'cat f | grep x | sort'
 //	pash -emit script.sh     # print the Fig. 3-style parallel script
+//	pash -graph -c '...'     # print the optimized DFG as Graphviz dot
 //	pash -stats -c '...'     # report region/node statistics
 package main
 
@@ -25,6 +26,7 @@ func main() {
 		noSplit  = flag.Bool("no-split", false, "disable split insertion (t2)")
 		eager    = flag.String("eager", "full", "eager mode: none|blocking|full")
 		emit     = flag.Bool("emit", false, "emit the compiled parallel script instead of running")
+		graph    = flag.Bool("graph", false, "print the optimized dataflow graph as Graphviz dot instead of running")
 		script   = flag.String("c", "", "script source (instead of a file argument)")
 		stats    = flag.Bool("stats", false, "print region statistics to stderr")
 		curlRoot = flag.String("curl-root", os.Getenv("PASH_CURL_ROOT"), "offline root for the curl simulation")
@@ -67,6 +69,18 @@ func main() {
 	s.Dir = *dir
 	if *curlRoot != "" {
 		s.Vars = map[string]string{"PASH_CURL_ROOT": *curlRoot}
+	}
+
+	if *graph {
+		// The in-process execution view: fused stages, streaming
+		// splits, aggregation trees — what the interpreter would run.
+		plan, err := s.CompileExec(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pash: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(plan.Dot())
+		return
 	}
 
 	if *emit {

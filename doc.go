@@ -78,13 +78,50 @@
 // pipeline stages deadlock-free).
 //
 // pash.Session is safe for concurrent Run: each run takes an immutable
-// compiler snapshot, and extensions (RegisterCommand,
+// compiler snapshot, and extensions (Register, RegisterCommand,
 // RegisterAnnotation, SetOptions) swap registries copy-on-write.
 // cmd/pash-serve multiplexes many clients over one session — one plan
 // cache, one scheduler — streaming stdin/stdout over HTTP (TCP or unix
 // socket) with exit codes in response trailers and cache/scheduler/
 // throughput counters on /metrics; internal/serve documents the
 // protocol.
+//
+// # The Job API
+//
+// pash.Session.Start launches a script and returns a pash.Job handle
+// immediately: streaming stdin/stdout, Wait/Cancel/Stats/ID semantics,
+// cancellation at statement boundaries (exit status 130). Run is
+// Start + Wait. pash-serve runs one Job per request — the request
+// context cancels it when the client disconnects, per-request planning
+// options (width, split mode, fusion) ride query parameters, and
+// /metrics lists a live row per in-flight job.
+//
+// # Extending pash
+//
+// The typed extension API (pash.CommandSpec) makes a user command a
+// full citizen of the parallelizing compiler. One registration carries:
+//
+//   - the implementation (a CommandFunc),
+//   - a builder-style annotation — clauses guarded by option predicates
+//     (pash.Opt, OptEq, Not, AllOf, AnyOf) assigning a class and I/O
+//     shape (pash.Stdin, Stdout, Arg, Args), mirroring the DSL records
+//     of Appendix A,
+//   - an optional pash.KernelFactory: the per-block form that lets
+//     stateless invocations join fused chains and framed round-robin
+//     split regions,
+//   - an optional pash.AggregatorSpec: the (map, aggregate) pair that
+//     parallelizes pure invocations, joining fan-in aggregation trees
+//     when marked associative.
+//
+// Shadowing precedence: a user registration wins over a builtin of the
+// same name completely within its session — the builtin's
+// implementation, kernel, aggregator, and (unless the session supplies
+// its own) annotation record all stop applying. Registration bumps the
+// registries' generations, which are part of every plan-cache key, so
+// re-registration invalidates cached plans by construction.
+// examples/extension is the runnable tour; `pash -graph` and
+// pash.Plan.Dot render the planned graphs (fused stages, split
+// strategies, aggregation-tree shape) as Graphviz dot.
 //
 // internal/runtime/README.md documents the ownership contract, the
 // framing protocol, the fusion contract, the tree layout, the

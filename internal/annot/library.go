@@ -4,7 +4,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
+
+// registryGen hands out globally unique generation numbers (see
+// Generation).
+var registryGen atomic.Uint64
 
 // Registry holds annotation records and classifies concrete invocations.
 // It plays the role of PaSh's annotation store: records are expressed once
@@ -13,6 +18,7 @@ type Registry struct {
 	mu       sync.RWMutex
 	recs     map[string]*Record
 	refiners map[string]Refiner
+	gen      uint64
 }
 
 // Refiner post-processes a resolved invocation. PaSh needs a few
@@ -23,30 +29,61 @@ type Refiner func(inv *Invocation)
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{recs: map[string]*Record{}, refiners: map[string]Refiner{}}
+	return &Registry{
+		recs:     map[string]*Record{},
+		refiners: map[string]Refiner{},
+		gen:      registryGen.Add(1),
+	}
 }
 
 // Register parses DSL source and adds all records, replacing any existing
 // records with the same name (the §3.2 maintenance story: annotations can
 // be updated as commands evolve).
 func (r *Registry) Register(src string) error {
+	_, err := r.RegisterRecords(src)
+	return err
+}
+
+// RegisterRecords parses DSL source, adds all records, and returns them —
+// the typed construction path's sibling, for callers that need to know
+// which names a registration touched.
+func (r *Registry) RegisterRecords(src string) ([]*Record, error) {
 	recs, err := ParseRecords(src)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, rec := range recs {
 		r.recs[rec.Name] = rec
 	}
-	return nil
+	r.gen = registryGen.Add(1)
+	return recs, nil
 }
 
-// Add inserts a pre-built record.
+// Add inserts a pre-built record: the typed construction path beside the
+// string parser. Records built programmatically (the public extension
+// API's annotation builder compiles to one) classify identically to
+// parsed ones.
 func (r *Registry) Add(rec *Record) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.recs[rec.Name] = rec
+	r.gen = registryGen.Add(1)
+}
+
+// Remove deletes a command's record, returning it to the conservative
+// side-effectful default. Session-level command shadowing uses it: a
+// user implementation under a builtin name must not inherit the
+// builtin's parallelizability claims.
+func (r *Registry) Remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.recs[name]; !ok {
+		return
+	}
+	delete(r.recs, name)
+	r.gen = registryGen.Add(1)
 }
 
 // RegisterRefiner attaches a semantic refiner to a command name.
@@ -54,6 +91,16 @@ func (r *Registry) RegisterRefiner(name string, f Refiner) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.refiners[name] = f
+	r.gen = registryGen.Add(1)
+}
+
+// Generation identifies the registry's record state. It changes on
+// every mutation and is globally unique across diverged registries, so
+// plan caches can key on it.
+func (r *Registry) Generation() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gen
 }
 
 // Clone returns an independent copy of the registry (records are
@@ -65,6 +112,7 @@ func (r *Registry) Clone() *Registry {
 	nr := &Registry{
 		recs:     make(map[string]*Record, len(r.recs)),
 		refiners: make(map[string]Refiner, len(r.refiners)),
+		gen:      r.gen,
 	}
 	for k, v := range r.recs {
 		nr.recs[k] = v

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Func is a command implementation. A nil error is exit status 0; an
@@ -77,6 +78,12 @@ func (fs OSFS) Create(path string) (io.WriteCloser, error) { return os.Create(fs
 func (fs OSFS) Append(path string) (io.WriteCloser, error) {
 	return os.OpenFile(fs.resolve(path), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 }
+
+// VirtualStreamPrefix namespaces the runtime's in-process edge streams
+// in the overlay filesystem: an operand with this prefix names a live
+// dataflow edge, not a real file. Extension-API aggregator wrappers use
+// it to tell stream operands from configuration arguments.
+const VirtualStreamPrefix = "/pash/edge/"
 
 // Context carries everything a command invocation needs.
 type Context struct {
@@ -144,22 +151,96 @@ func (ctx *Context) stdin() io.Reader {
 	return ctx.Stdin
 }
 
-// Registry maps command names to implementations — the in-process PATH.
+// KernelMaker builds the composable per-block kernel for one invocation
+// of an externally-registered command, or reports false when this flag
+// combination has no kernel form. It is the extension-API analog of the
+// builtin kernelMakers table: a command that supplies one participates
+// in stage fusion exactly like the builtins.
+type KernelMaker func(args []string) (Kernel, bool)
+
+// AggSpec is the extension-API (map, aggregate) pair for a
+// user-registered pure command: running the map on each input chunk and
+// the aggregate over the map outputs must reproduce the original
+// command. It mirrors dfg.AggSpec without importing it (the compiler
+// converts). Nil MapArgs/AggArgs mean "reuse the invocation's own
+// flags" (the sort/sort -m convention); MapName "" means the command
+// itself is its own map.
+type AggSpec struct {
+	MapName     string
+	MapArgs     []string
+	AggName     string
+	AggArgs     []string
+	Associative bool
+	StopsEarly  bool
+}
+
+// registryGen hands out globally unique generation numbers: any two
+// registries that ever diverged by a registration carry different
+// generations, so plan-cache keys built from them can never collide.
+var registryGen atomic.Uint64
+
+// Registry maps command names to implementations — the in-process PATH —
+// plus the extension metadata (kernels, aggregator specs) that lets
+// user-registered commands join the planner's fast paths.
 type Registry struct {
-	mu   sync.RWMutex
-	cmds map[string]Func
+	mu      sync.RWMutex
+	cmds    map[string]Func
+	kernels map[string]KernelMaker
+	aggs    map[string]*AggSpec
+	// custom marks names whose implementation was supplied through the
+	// public registration path. A custom implementation shadows every
+	// piece of builtin metadata for that name: builtin kernels and
+	// aggregator pairs no longer apply (they describe the replaced
+	// implementation, not the user's).
+	custom map[string]bool
+	gen    uint64
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{cmds: map[string]Func{}}
+	return &Registry{
+		cmds:    map[string]Func{},
+		kernels: map[string]KernelMaker{},
+		aggs:    map[string]*AggSpec{},
+		custom:  map[string]bool{},
+		gen:     registryGen.Add(1),
+	}
 }
 
-// Register adds or replaces a command.
+// Register adds or replaces a command. The name is marked
+// user-registered: it shadows the builtin of the same name completely,
+// including the builtin's kernel and aggregator metadata (re-register
+// those through RegisterKernel/RegisterAgg if the replacement supports
+// them).
 func (r *Registry) Register(name string, f Func) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.cmds[name] = f
+	r.custom[name] = true
+	// A fresh implementation invalidates any extension metadata that
+	// described the previous one.
+	delete(r.kernels, name)
+	delete(r.aggs, name)
+	r.gen = registryGen.Add(1)
+}
+
+// RegisterKernel attaches a kernel constructor to a (user-registered)
+// command name, making its invocations fusable and framed-splittable.
+func (r *Registry) RegisterKernel(name string, mk KernelMaker) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.kernels[name] = mk
+	r.gen = registryGen.Add(1)
+}
+
+// RegisterAgg attaches a (map, aggregate) pair to a (user-registered)
+// command name, letting the parallelization transformation apply to its
+// pure invocations.
+func (r *Registry) RegisterAgg(name string, spec AggSpec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.aggs[name] = &spec
+	r.gen = registryGen.Add(1)
 }
 
 // Lookup finds a command.
@@ -170,15 +251,84 @@ func (r *Registry) Lookup(name string) (Func, bool) {
 	return f, ok
 }
 
+// IsCustom reports whether the name's implementation came through the
+// public registration path (and therefore shadows builtin metadata).
+func (r *Registry) IsCustom(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.custom[name]
+}
+
+// AggFor returns the externally-registered aggregator pair for a
+// command name.
+func (r *Registry) AggFor(name string) (AggSpec, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if spec := r.aggs[name]; spec != nil {
+		return *spec, true
+	}
+	return AggSpec{}, false
+}
+
+// NewKernel builds the kernel for an invocation, preferring
+// externally-registered kernels and falling back to the builtin table —
+// except for custom names, whose user implementation shadows the
+// builtin kernel (which would be byte-faithful to the wrong command).
+func (r *Registry) NewKernel(name string, args []string) (Kernel, bool) {
+	r.mu.RLock()
+	mk := r.kernels[name]
+	custom := r.custom[name]
+	r.mu.RUnlock()
+	if mk != nil {
+		return mk(args)
+	}
+	if custom {
+		return nil, false
+	}
+	return NewKernel(name, args)
+}
+
+// KernelCapable reports whether the invocation can run as a fused
+// kernel under this registry (the planner's dfg.Options.KernelCapable).
+func (r *Registry) KernelCapable(name string, args []string) bool {
+	_, ok := r.NewKernel(name, args)
+	return ok
+}
+
+// Generation identifies the registry's registration state. It changes
+// on every Register/RegisterKernel/RegisterAgg call and is globally
+// unique across diverged registries, so plan caches can key on it.
+func (r *Registry) Generation() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gen
+}
+
 // Clone returns an independent copy of the registry: registrations on
 // either side no longer affect the other. It backs the session layer's
-// copy-on-write extension story.
+// copy-on-write extension story. The clone keeps the generation — it is
+// indistinguishable from its parent until someone registers into it.
 func (r *Registry) Clone() *Registry {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	nr := &Registry{cmds: make(map[string]Func, len(r.cmds))}
+	nr := &Registry{
+		cmds:    make(map[string]Func, len(r.cmds)),
+		kernels: make(map[string]KernelMaker, len(r.kernels)),
+		aggs:    make(map[string]*AggSpec, len(r.aggs)),
+		custom:  make(map[string]bool, len(r.custom)),
+		gen:     r.gen,
+	}
 	for k, v := range r.cmds {
 		nr.cmds[k] = v
+	}
+	for k, v := range r.kernels {
+		nr.kernels[k] = v
+	}
+	for k, v := range r.aggs {
+		nr.aggs[k] = v
+	}
+	for k, v := range r.custom {
+		nr.custom[k] = v
 	}
 	return nr
 }
@@ -251,8 +401,13 @@ func NewStd() *Registry {
 }
 
 func installAll(r *Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Builtins bypass Register so they carry no custom mark: their
+	// kernel and aggregator metadata stays live until a user
+	// registration shadows the name.
 	for name, f := range builtins {
-		r.Register(name, f)
+		r.cmds[name] = f
 	}
 }
 

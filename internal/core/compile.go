@@ -168,7 +168,7 @@ func (c *Compiler) CompilePipeline(stages []Stage, io RegionIO) (*dfg.Graph, err
 		// Attach the aggregator for parallelizable pure commands.
 		if inv.Class == annot.Pure {
 			flagLits := literalArgs(node)
-			if spec, ok := agg.Resolve(st.Name, flagLits, inv); ok {
+			if spec, ok := c.resolveAgg(st.Name, flagLits, inv); ok {
 				node.Agg = spec
 			}
 		}
@@ -253,6 +253,42 @@ func literalArgs(n *dfg.Node) []string {
 		}
 	}
 	return out
+}
+
+// resolveAgg picks the (map, aggregate) pair for a pure invocation.
+// User-registered commands consult the command registry's external
+// aggregator specs — a user implementation shadows any builtin pair of
+// the same name, which would describe the replaced command — while
+// builtins keep using the agg library. Nil MapArgs/AggArgs in an
+// external spec default to the invocation's own flags (the sort /
+// sort -m convention), and an empty MapName means the command maps
+// itself.
+func (c *Compiler) resolveAgg(name string, flagLits []string, inv *annot.Invocation) (*dfg.AggSpec, bool) {
+	if c.Cmds.IsCustom(name) {
+		as, ok := c.Cmds.AggFor(name)
+		if !ok {
+			return nil, false
+		}
+		spec := &dfg.AggSpec{
+			MapName:     as.MapName,
+			MapArgs:     as.MapArgs,
+			AggName:     as.AggName,
+			AggArgs:     as.AggArgs,
+			Associative: as.Associative,
+			StopsEarly:  as.StopsEarly,
+		}
+		if spec.MapName == "" {
+			spec.MapName = name
+		}
+		if spec.MapArgs == nil {
+			spec.MapArgs = flagLits
+		}
+		if spec.AggArgs == nil {
+			spec.AggArgs = flagLits
+		}
+		return spec, true
+	}
+	return agg.Resolve(name, flagLits, inv)
 }
 
 // Optimize applies the parallelization transformations in place.

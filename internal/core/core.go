@@ -99,7 +99,7 @@ func (c *Compiler) dfgOptions() dfg.Options {
 		InputAwareSplit: c.Opts.InputAwareSplit,
 		SplitMode:       c.Opts.SplitMode,
 		Eager:           c.Opts.Eager,
-		KernelCapable:   commands.KernelCapable,
+		KernelCapable:   c.Cmds.KernelCapable,
 		DisableFusion:   c.Opts.DisableFusion,
 		AggFanIn:        c.Opts.AggFanIn,
 	}

@@ -29,27 +29,41 @@ type PlanItem struct {
 
 // Plan compiles src ahead of time. Regions whose words are fully static
 // (after constant propagation of static assignments) are lifted and
-// optimized; everything else is preserved verbatim — PaSh's conservative
-// treatment of incomplete information (§5.1).
+// optimized for emission (barrier splits, no fusion — the constraints
+// of real processes and FIFOs); everything else is preserved verbatim —
+// PaSh's conservative treatment of incomplete information (§5.1).
 func (c *Compiler) Plan(src string) (*Plan, error) {
+	return c.plan(src, true)
+}
+
+// PlanExec compiles like Plan but optimizes each region for in-process
+// execution: stage fusion on, streaming splits where sound — the graphs
+// the interpreter would actually run. Its items carry KindFused nodes
+// and so cannot be emitted as a shell script; use it for inspection
+// (Plan.Dot, `pash -graph`).
+func (c *Compiler) PlanExec(src string) (*Plan, error) {
+	return c.plan(src, false)
+}
+
+func (c *Compiler) plan(src string, emission bool) (*Plan, error) {
 	list, err := shell.Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &Plan{}
 	env := shell.NewEnv()
-	c.planList(p, list, env)
+	c.planList(p, list, env, emission)
 	return p, nil
 }
 
 // planList walks a list, lifting what it can.
-func (c *Compiler) planList(p *Plan, list *shell.List, env *shell.Env) {
+func (c *Compiler) planList(p *Plan, list *shell.List, env *shell.Env, emission bool) {
 	for _, item := range list.Items {
-		c.planCommand(p, item.Cmd, env, item.Background)
+		c.planCommand(p, item.Cmd, env, item.Background, emission)
 	}
 }
 
-func (c *Compiler) planCommand(p *Plan, cmd shell.Command, env *shell.Env, background bool) {
+func (c *Compiler) planCommand(p *Plan, cmd shell.Command, env *shell.Env, background, emission bool) {
 	verbatim := func() {
 		p.Items = append(p.Items, PlanItem{Verbatim: shell.Print(cmd), Background: background})
 	}
@@ -71,7 +85,7 @@ func (c *Compiler) planCommand(p *Plan, cmd shell.Command, env *shell.Env, backg
 			p.Items = append(p.Items, PlanItem{Verbatim: shell.Print(cmd), Background: background})
 			return
 		}
-		if g, ok := c.tryCompileStatic([]*shell.Simple{cmd}, env); ok {
+		if g, ok := c.tryCompileStatic([]*shell.Simple{cmd}, env, emission); ok {
 			p.Items = append(p.Items, PlanItem{Graph: g, Background: background})
 			return
 		}
@@ -90,7 +104,7 @@ func (c *Compiler) planCommand(p *Plan, cmd shell.Command, env *shell.Env, backg
 			verbatim()
 			return
 		}
-		if g, ok := c.tryCompileStatic(simples, env); ok {
+		if g, ok := c.tryCompileStatic(simples, env, emission); ok {
 			p.Items = append(p.Items, PlanItem{Graph: g, Background: background})
 			return
 		}
@@ -106,7 +120,7 @@ func (c *Compiler) planCommand(p *Plan, cmd shell.Command, env *shell.Env, backg
 
 // tryCompileStatic compiles a pipeline if every word expands statically
 // (undefined variables count as dynamic — the conservative default).
-func (c *Compiler) tryCompileStatic(simples []*shell.Simple, env *shell.Env) (*dfg.Graph, bool) {
+func (c *Compiler) tryCompileStatic(simples []*shell.Simple, env *shell.Env, emission bool) (*dfg.Graph, bool) {
 	x := &shell.Expander{Env: env, Strict: true}
 	var stages []Stage
 	for _, s := range simples {
@@ -138,7 +152,11 @@ func (c *Compiler) tryCompileStatic(simples []*shell.Simple, env *shell.Env) (*d
 	if err != nil {
 		return nil, false
 	}
-	c.OptimizeForEmission(g)
+	if emission {
+		c.OptimizeForEmission(g)
+	} else {
+		c.Optimize(g)
+	}
 	return g, true
 }
 

@@ -88,6 +88,12 @@ func (in *Interp) RunScript(ctx context.Context, src string) (int, error) {
 	if err != nil {
 		return 127, err
 	}
+	return in.RunParsed(ctx, list)
+}
+
+// RunParsed executes an already-parsed script, so callers that parse
+// for validation (the Job API) do not pay the parse twice.
+func (in *Interp) RunParsed(ctx context.Context, list *shell.List) (int, error) {
 	code, err := in.runList(ctx, list)
 	_, werr := in.waitJobs()
 	if err == nil {
@@ -119,6 +125,12 @@ func (in *Interp) waitJobs() (int, error) {
 func (in *Interp) runList(ctx context.Context, list *shell.List) (int, error) {
 	code := 0
 	for _, item := range list.Items {
+		// Cancellation point: a cancelled job (Job.Cancel, a dropped
+		// serve request) stops at the next statement boundary with the
+		// shell's interrupted status.
+		if err := ctx.Err(); err != nil {
+			return 130, err
+		}
 		if item.Background {
 			ch := make(chan jobResult, 1)
 			in.jobMu.Lock()

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/commands"
 	"repro/internal/runtime"
 )
 
@@ -55,6 +56,43 @@ func TestPlanCacheHitOutputIdentical(t *testing.T) {
 	}
 	if s := cached.Plans.Stats(); s.Hits != 4 || s.Entries != 1 {
 		t.Errorf("cache-level stats = %+v", s)
+	}
+}
+
+// TestPlanKeyIncludesRegistryGeneration: registering into the command
+// or annotation registry must invalidate cached plans by construction,
+// even when the cache object itself survives — the plan key carries
+// both registry generations.
+func TestPlanKeyIncludesRegistryGeneration(t *testing.T) {
+	c := NewCompiler(DefaultOptions(4))
+	// NewCompiler shares the process-wide annotation registry; clone it
+	// before mutating so this test's registrations stay private.
+	c.Annot = c.Annot.Clone()
+	stages := []Stage{{Name: "grep", Args: []string{"x"}}, {Name: "wc", Args: []string{"-l"}}}
+
+	if _, hit, err := c.PlanRegion(stages, 4); err != nil || hit {
+		t.Fatalf("first plan: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := c.PlanRegion(stages, 4); err != nil || !hit {
+		t.Fatalf("second plan should hit: hit=%v err=%v", hit, err)
+	}
+
+	// A command registration bumps the registry generation: same cache,
+	// same region, but the stale template must not be served.
+	c.Cmds.Register("grep", func(ctx *commands.Context) error { return nil })
+	if _, hit, err := c.PlanRegion(stages, 4); err != nil || hit {
+		t.Fatalf("plan after command registration should miss: hit=%v err=%v", hit, err)
+	}
+	if _, hit, err := c.PlanRegion(stages, 4); err != nil || !hit {
+		t.Fatalf("re-plan should hit again: hit=%v err=%v", hit, err)
+	}
+
+	// Same for annotation registrations.
+	if err := c.Annot.Register(`grep { | _ => (E, [], []) }`); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err := c.PlanRegion(stages, 4); err != nil || hit {
+		t.Fatalf("plan after annotation registration should miss: hit=%v err=%v", hit, err)
 	}
 }
 

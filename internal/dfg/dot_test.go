@@ -1,0 +1,35 @@
+package dfg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/annot"
+)
+
+func TestGraphDot(t *testing.T) {
+	g := New()
+	a := g.AddNode(NewNode(KindCommand, "tr", []Arg{Lit("a-z"), Lit("A-Z")}, annot.Stateless))
+	f := g.AddNode(&Node{
+		Kind: KindFused, Name: "fused:tr|grep", Class: annot.Stateless,
+		StdinInput: 0, Framed: true,
+		Stages: []FusedStage{{Name: "tr", Args: []string{"a-z", "A-Z"}}, {Name: "grep", Args: []string{"x"}}},
+	})
+	in := g.AddEdge(&Edge{To: a, Source: Binding{Kind: BindStdin}})
+	a.In = []*Edge{in}
+	a.StdinInput = 0
+	mid := g.Connect(a, f)
+	mid.Eager = true
+	out := g.AddEdge(&Edge{From: f, Sink: Binding{Kind: BindFile, Path: "out.txt"}})
+	f.Out = []*Edge{out}
+
+	dot := g.Dot()
+	for _, want := range []string{
+		"digraph pash", "tr a-z A-Z", `fused\ntr a-z A-Z\ngrep x`, "[framed]",
+		"stdin", "out.txt", "eager", "box3d",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+}

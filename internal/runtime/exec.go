@@ -176,8 +176,10 @@ func (ex *executor) traffic() (bytes, chunks int64) {
 	return bytes, chunks
 }
 
-// virtualPrefix namespaces edge streams in the overlay filesystem.
-const virtualPrefix = "/pash/edge/"
+// virtualPrefix namespaces edge streams in the overlay filesystem. The
+// value lives in the commands package so extension-API wrappers can
+// recognize stream operands.
+const virtualPrefix = commands.VirtualStreamPrefix
 
 func (ex *executor) run(ctx context.Context) (*Result, error) {
 	// Materialize edges.
@@ -404,7 +406,15 @@ func (ex *executor) runNode(ctx context.Context, n *dfg.Node, overlay *overlayFS
 		FS:     overlay,
 		Env:    ex.cfg.Env,
 	}
-	return ex.reg.Run(n.Name, cctx)
+	reg := ex.reg
+	if n.Kind == dfg.KindCat || n.Kind == dfg.KindMerge || n.Kind == dfg.KindRelay {
+		// Collector and relay nodes are the runtime's own primitives,
+		// inserted by the transformations: they always run the builtin
+		// implementations, even when a session shadows "cat" with a
+		// user command.
+		reg = commands.Std()
+	}
+	return reg.Run(n.Name, cctx)
 }
 
 // runSplit dispatches to the right split strategy: round-robin when the

@@ -23,7 +23,7 @@ import (
 // builds a kernel and fusion is enabled at execution time, the
 // pipe-chain fallback otherwise.
 func (ex *executor) runFused(n *dfg.Node, overlay *overlayFS) error {
-	kernels, ok := buildKernels(n)
+	kernels, ok := buildKernels(ex.reg, n)
 	if !ok || ex.cfg.DisableFusion {
 		return ex.runFusedUnfused(n, overlay)
 	}
@@ -45,11 +45,13 @@ func (ex *executor) runFused(n *dfg.Node, overlay *overlayFS) error {
 	return runFusedStreaming(ex.readers[n.In[0]], ex.writers[n.Out[0]], kernels, meters)
 }
 
-// buildKernels instantiates the chain's kernels.
-func buildKernels(n *dfg.Node) ([]commands.Kernel, bool) {
+// buildKernels instantiates the chain's kernels through the execution
+// registry, so externally-registered kernels (and user shadowing of
+// builtin names) resolve exactly as the planner's capability check did.
+func buildKernels(reg *commands.Registry, n *dfg.Node) ([]commands.Kernel, bool) {
 	kernels := make([]commands.Kernel, len(n.Stages))
 	for i, st := range n.Stages {
-		k, ok := commands.NewKernel(st.Name, st.Args)
+		k, ok := reg.NewKernel(st.Name, st.Args)
 		if !ok {
 			return nil, false
 		}

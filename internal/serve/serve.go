@@ -5,10 +5,24 @@
 // within one script amortizes across *clients* here: a thousand
 // requests running the same pipeline shape compile it once.
 //
+// Each request runs as one pash.Job: cancellation rides the request
+// context (a client hanging up stops its script at the next statement
+// boundary), and /metrics exposes a live row per in-flight job.
+//
 // Protocol (HTTP, over TCP or a unix socket):
 //
 //	POST /run?script=<urlencoded script>   body = stdin stream
 //	POST /run                              body = script, stdin empty
+//
+// Per-request planning options ride query parameters or headers
+// (X-Pash-Width, X-Pash-Split, X-Pash-Fusion), overriding the session
+// defaults for that request only:
+//
+//	width=N        region parallelism width (1..256)
+//	split=MODE     auto | general | rr
+//	fusion=on|off  stage fusion toggle
+//
+// Invalid values are rejected with 400 before execution starts.
 //
 // The response body streams the script's stdout as it is produced.
 // Because the status line is sent before the script finishes, the exit
@@ -17,8 +31,11 @@
 //	X-Pash-Exit-Code: <int>
 //	X-Pash-Error:     <message, only on error>
 //
-// GET /metrics returns a JSON snapshot of plan-cache, scheduler, and
-// throughput counters; GET /healthz returns 200 "ok".
+// Scripts that fail to parse are rejected with 400 (the Job API
+// validates syntax synchronously, before the response commits).
+//
+// GET /metrics returns a JSON snapshot of plan-cache, scheduler,
+// throughput, and per-job counters; GET /healthz returns 200 "ok".
 package serve
 
 import (
@@ -26,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -38,10 +56,11 @@ type Server struct {
 	sched *pash.Scheduler
 	start time.Time
 
-	requests atomic.Int64
-	active   atomic.Int64
-	failures atomic.Int64
-	bytesOut atomic.Int64
+	requests  atomic.Int64
+	active    atomic.Int64
+	failures  atomic.Int64
+	cancelled atomic.Int64
+	bytesOut  atomic.Int64
 }
 
 // New builds a server over the given session. If sched is non-nil it is
@@ -69,20 +88,76 @@ func (s *Server) Handler() http.Handler {
 }
 
 // countingWriter streams stdout to the client, flushing eagerly so
-// long-running scripts deliver output as they produce it.
+// long-running scripts deliver output as they produce it. Writes block
+// on ready until the handler has committed the response headers (the
+// job goroutine may produce output before the handler reaches
+// WriteHeader).
 type countingWriter struct {
 	w     http.ResponseWriter
 	flush http.Flusher
 	n     *atomic.Int64
+	ready <-chan struct{}
 }
 
 func (cw *countingWriter) Write(p []byte) (int, error) {
+	<-cw.ready
 	n, err := cw.w.Write(p)
 	cw.n.Add(int64(n))
 	if cw.flush != nil {
 		cw.flush.Flush()
 	}
 	return n, err
+}
+
+// requestOptions derives this request's planning options from query
+// parameters (or X-Pash-* headers), starting from the session defaults.
+// It returns nil when the request overrides nothing.
+func requestOptions(sess *pash.Session, r *http.Request) (*pash.Options, error) {
+	q := r.URL.Query()
+	get := func(param, header string) string {
+		if v := q.Get(param); v != "" {
+			return v
+		}
+		return r.Header.Get(header)
+	}
+	o := sess.Options()
+	changed := false
+	if v := get("width", "X-Pash-Width"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 256 {
+			return nil, fmt.Errorf("invalid width %q (want 1..256)", v)
+		}
+		o.Width = n
+		changed = true
+	}
+	if v := get("split", "X-Pash-Split"); v != "" {
+		switch v {
+		case "auto":
+			o.SplitMode = pash.SplitAuto
+		case "general":
+			o.SplitMode = pash.SplitGeneral
+		case "rr", "round-robin":
+			o.SplitMode = pash.SplitRoundRobin
+		default:
+			return nil, fmt.Errorf("invalid split mode %q (want auto|general|rr)", v)
+		}
+		changed = true
+	}
+	if v := get("fusion", "X-Pash-Fusion"); v != "" {
+		switch v {
+		case "on", "true", "1":
+			o.DisableFusion = false
+		case "off", "false", "0":
+			o.DisableFusion = true
+		default:
+			return nil, fmt.Errorf("invalid fusion %q (want on|off)", v)
+		}
+		changed = true
+	}
+	if !changed {
+		return nil, nil
+	}
+	return &o, nil
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -121,27 +196,52 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	var startOpts []pash.StartOption
+	if o, err := requestOptions(s.sess, r); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	} else if o != nil {
+		startOpts = append(startOpts, pash.WithOptions(*o))
+	}
+
 	// The script reads the request body (stdin) while streaming the
 	// response body (stdout): full duplex, which HTTP/1 handlers must
 	// opt into.
 	http.NewResponseController(w).EnableFullDuplex()
 
+	flusher, _ := w.(http.Flusher)
+	ready := make(chan struct{})
+	stdout := &countingWriter{w: w, flush: flusher, n: &s.bytesOut, ready: ready}
+
+	// One job per request: r.Context() cancels it when the client
+	// disconnects. Start validates the script's syntax synchronously,
+	// so parse errors still get a clean 400 (nothing streamed yet).
+	job, err := s.sess.Start(r.Context(), script, pash.JobIO{Stdin: stdin, Stdout: stdout}, startOpts...)
+	if err != nil {
+		s.failures.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
 	// Trailers must be declared before the body starts streaming.
 	w.Header().Set("Trailer", "X-Pash-Exit-Code, X-Pash-Error")
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.WriteHeader(http.StatusOK)
-
-	flusher, _ := w.(http.Flusher)
 	if flusher != nil {
 		// Commit the response as chunked now: trailers only travel on
 		// chunked responses, and a script may produce no output at all.
 		flusher.Flush()
 	}
-	stdout := &countingWriter{w: w, flush: flusher, n: &s.bytesOut}
-	code, err := s.sess.Run(r.Context(), script, stdin, stdout, io.Discard)
+	close(ready)
+
+	code, err := job.Wait()
 	w.Header().Set("X-Pash-Exit-Code", fmt.Sprintf("%d", code))
 	if err != nil {
-		s.failures.Add(1)
+		if r.Context().Err() != nil {
+			s.cancelled.Add(1)
+		} else {
+			s.failures.Add(1)
+		}
 		w.Header().Set("X-Pash-Error", err.Error())
 	}
 }
@@ -152,11 +252,14 @@ type Metrics struct {
 	Requests      int64   `json:"requests"`
 	Active        int64   `json:"active"`
 	Failures      int64   `json:"failures"`
+	Cancelled     int64   `json:"cancelled"`
 	BytesOut      int64   `json:"bytes_out"`
 	// ThroughputBPS is lifetime bytes_out / uptime.
 	ThroughputBPS float64              `json:"throughput_bps"`
 	PlanCache     pash.PlanCacheStats  `json:"plan_cache"`
 	Scheduler     *pash.SchedulerStats `json:"scheduler,omitempty"`
+	// Jobs lists the in-flight jobs, one live row each.
+	Jobs []pash.JobStats `json:"jobs,omitempty"`
 }
 
 // Snapshot gathers the current metrics.
@@ -167,8 +270,10 @@ func (s *Server) Snapshot() Metrics {
 		Requests:      s.requests.Load(),
 		Active:        s.active.Load(),
 		Failures:      s.failures.Load(),
+		Cancelled:     s.cancelled.Load(),
 		BytesOut:      s.bytesOut.Load(),
 		PlanCache:     s.sess.PlanCacheStats(),
+		Jobs:          s.sess.Jobs(),
 	}
 	if up > 0 {
 		m.ThroughputBPS = float64(m.BytesOut) / up

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/pash"
 )
@@ -210,6 +211,180 @@ func TestServeRejectsBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Errorf("oversized script = %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestServePerRequestOptions is the e2e test for per-request planning
+// options: width/split/fusion overrides apply to one request only,
+// reach the planner (distinct plan-cache keys), and invalid values are
+// rejected with 400 before execution.
+func TestServePerRequestOptions(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&sb, "w%d line %d\n", i%7, i)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "d.txt"), []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, dir)
+	script := "sort d.txt | uniq -c | head -n 3"
+
+	post := func(params string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/run?script="+queryEscape(script)+"&"+params,
+			"application/octet-stream", strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		return resp, string(out)
+	}
+
+	// Valid overrides: every combination must produce the same bytes.
+	var want string
+	for i, params := range []string{
+		"width=1", "width=8", "width=8&split=general", "width=8&split=rr",
+		"width=8&fusion=off", "split=auto&fusion=on",
+	} {
+		resp, out := post(params)
+		if resp.StatusCode != 200 || resp.Trailer.Get("X-Pash-Exit-Code") != "0" {
+			t.Fatalf("%s: status=%d exit=%q", params, resp.StatusCode, resp.Trailer.Get("X-Pash-Exit-Code"))
+		}
+		if i == 0 {
+			want = out
+		} else if out != want {
+			t.Errorf("%s diverged:\n--- want:\n%s--- got:\n%s", params, want, out)
+		}
+	}
+	// The overrides reached the planner: each distinct option set
+	// compiled its own plan (same region fingerprint, different keys).
+	if m := srv.Snapshot(); m.PlanCache.Misses < 5 {
+		t.Errorf("expected >= 5 distinct plan keys across option sets, got %+v", m.PlanCache)
+	}
+
+	// Invalid values: 400, no execution.
+	before := srv.Snapshot().PlanCache
+	for _, params := range []string{"width=0", "width=banana", "width=9999", "split=zigzag", "fusion=maybe"} {
+		resp, _ := post(params)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", params, resp.StatusCode)
+		}
+	}
+	if after := srv.Snapshot().PlanCache; after.Misses != before.Misses || after.Hits != before.Hits {
+		t.Errorf("invalid options still planned something: %+v -> %+v", before, after)
+	}
+
+	// Headers work as the query-param alternative.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/run?script="+queryEscape(script), strings.NewReader(""))
+	req.Header.Set("X-Pash-Width", "2")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(out) != want {
+		t.Errorf("header override: status=%d out=%q", resp.StatusCode, out)
+	}
+}
+
+// TestServeParseErrorRejected: unparsable scripts get a clean 400 (the
+// Job API validates syntax before the response commits) instead of a
+// trailer error on an empty 200.
+func TestServeParseErrorRejected(t *testing.T) {
+	_, ts := newTestServer(t, "")
+	resp, err := http.Post(ts.URL+"/run", "text/plain", strings.NewReader("for do done ("))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("parse error status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServeLiveJobRows: an in-flight request appears as a running job
+// row in /metrics and disappears once it completes.
+func TestServeLiveJobRows(t *testing.T) {
+	srv, ts := newTestServer(t, "")
+	pr, pw := io.Pipe()
+	type result struct {
+		out  string
+		code string
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/run?script="+queryEscape("wc -l"), "application/octet-stream", pr)
+		if err != nil {
+			done <- result{}
+			return
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		done <- result{out: string(out), code: resp.Trailer.Get("X-Pash-Exit-Code")}
+	}()
+
+	deadline := time.After(5 * time.Second)
+	for {
+		m := srv.Snapshot()
+		if len(m.Jobs) == 1 && m.Jobs[0].Running && m.Jobs[0].Script == "wc -l" {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("running job never surfaced in metrics: %+v", m.Jobs)
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	pw.Write([]byte("a\nb\nc\n"))
+	pw.Close()
+	r := <-done
+	if strings.TrimSpace(r.out) != "3" || r.code != "0" {
+		t.Errorf("request result = %+v", r)
+	}
+	if m := srv.Snapshot(); len(m.Jobs) != 0 {
+		t.Errorf("finished job still listed: %+v", m.Jobs)
+	}
+}
+
+// TestServeRequestCancellation: a client disconnecting mid-script
+// cancels its job; the daemon drains back to zero active jobs.
+func TestServeRequestCancellation(t *testing.T) {
+	srv, ts := newTestServer(t, "")
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/run", strings.NewReader("while true; do true; done"))
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		errCh <- err
+	}()
+
+	deadline := time.After(5 * time.Second)
+	for srv.Snapshot().Active == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("request never became active")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	cancel()
+	<-errCh
+	for srv.Snapshot().Active != 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("cancelled request never drained: %+v", srv.Snapshot())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if m := srv.Snapshot(); len(m.Jobs) != 0 {
+		t.Errorf("cancelled job still listed: %+v", m.Jobs)
 	}
 }
 

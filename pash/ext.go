@@ -1,0 +1,397 @@
+package pash
+
+// This file is the typed extension API: the first-class path for making
+// a user command a full citizen of the parallelizing compiler. The
+// paper's claim (§3.2) is that a light-touch annotation suffices for
+// arbitrary commands to join automatic parallelization; CommandSpec is
+// that annotation in typed form — class and I/O shape via a builder
+// (mirroring the DSL's records without exposing internals), plus the
+// two runtime hooks the string DSL cannot express: a KernelFactory
+// (stage fusion, framed round-robin splitting) and an AggregatorSpec
+// (map/aggregate parallelization, fan-in aggregation trees). A command
+// registered with all three parallelizes exactly like a builtin.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/annot"
+	"repro/internal/commands"
+	"repro/internal/core"
+)
+
+// Class is a parallelizability class (§3.1): how much the compiler may
+// assume about a command when parallelizing it.
+type Class = annot.Class
+
+// Parallelizability classes.
+const (
+	// ClassStateless commands map/filter individual lines with no state
+	// across them; replicas' outputs concatenate. They round-robin
+	// split, fuse, and replicate freely.
+	ClassStateless = annot.Stateless
+	// ClassPure commands are functionally pure but keep state across
+	// the whole pass (sort, wc). They parallelize only with an
+	// AggregatorSpec.
+	ClassPure = annot.Pure
+	// ClassNonParallelizable commands are pure but not data-parallel on
+	// one input (sha1sum).
+	ClassNonParallelizable = annot.NonParallelizable
+	// ClassSideEffectful commands touch the environment; never
+	// parallelized. This is the conservative default for unannotated
+	// commands.
+	ClassSideEffectful = annot.SideEffectful
+)
+
+// Pred is a predicate over an invocation's option multiset, used to
+// guard annotation clauses ("with -c this command is pure"). The zero
+// Pred matches every invocation.
+type Pred struct{ p annot.Pred }
+
+// Opt matches when the option is present (clustered short flags are
+// split, so -rn registers both -r and -n).
+func Opt(name string) Pred { return Pred{&annot.HasOpt{Opt: name}} }
+
+// OptEq matches when the option is present with exactly this value.
+func OptEq(name, value string) Pred { return Pred{&annot.ValueEq{Opt: name, Val: value}} }
+
+// Not negates a predicate. Negating the zero ("match everything")
+// predicate yields one that matches nothing.
+func Not(p Pred) Pred {
+	if p.p == nil {
+		// No invocation carries this impossible option name.
+		return Pred{&annot.HasOpt{Opt: "\x00never"}}
+	}
+	return Pred{&annot.Not{P: p.p}}
+}
+
+// AllOf conjoins predicates; with no arguments it matches everything.
+func AllOf(ps ...Pred) Pred {
+	var acc annot.Pred
+	for _, p := range ps {
+		if p.p == nil {
+			continue
+		}
+		if acc == nil {
+			acc = p.p
+		} else {
+			acc = &annot.And{L: acc, R: p.p}
+		}
+	}
+	return Pred{acc}
+}
+
+// AnyOf disjoins predicates; with no arguments it matches everything.
+func AnyOf(ps ...Pred) Pred {
+	var acc annot.Pred
+	for _, p := range ps {
+		if p.p == nil {
+			return Pred{}
+		}
+		if acc == nil {
+			acc = p.p
+		} else {
+			acc = &annot.Or{L: acc, R: p.p}
+		}
+	}
+	return Pred{acc}
+}
+
+// IO names one abstract input or output position of a command: standard
+// input, standard output, or operand positions (non-option arguments).
+type IO struct{ ref annot.IORef }
+
+// Stdin refers to the command's standard input.
+func Stdin() IO { return IO{annot.IORef{Kind: annot.IOStdin}} }
+
+// Stdout refers to the command's standard output.
+func Stdout() IO { return IO{annot.IORef{Kind: annot.IOStdout}} }
+
+// Arg refers to the i-th operand (0-based, counting only non-option
+// arguments) as a file stream.
+func Arg(i int) IO { return IO{annot.IORef{Kind: annot.IOArg, Lo: i}} }
+
+// Args refers to operands lo..hi (exclusive; hi < 0 means "to the
+// end") as file streams in order.
+func Args(lo, hi int) IO { return IO{annot.IORef{Kind: annot.IOArgs, Lo: lo, Hi: hi}} }
+
+// Annotation is the builder-style form of an annotation record: an
+// ordered list of clauses, each guarded by an option predicate, giving
+// the parallelizability class and I/O shape of matching invocations.
+// The first matching clause wins; invocations matching no clause fall
+// back to the conservative side-effectful default.
+type Annotation struct {
+	valueOpts []string
+	clauses   []annotClause
+}
+
+type annotClause struct {
+	pred    Pred
+	class   Class
+	in, out []IO
+}
+
+// NewAnnotation returns an empty annotation builder.
+func NewAnnotation() *Annotation { return &Annotation{} }
+
+// StdinStdout is the common whole-command annotation: every invocation
+// has the given class, reads standard input, writes standard output —
+// the typed form of `cmd { | _ => (C, [stdin], [stdout]) }`.
+func StdinStdout(class Class) *Annotation {
+	return NewAnnotation().Otherwise(class, []IO{Stdin()}, []IO{Stdout()})
+}
+
+// ValueOpts declares options that consume the following argument as
+// their value (cut's -d, head's -n), so option parsing can separate
+// them from operands.
+func (a *Annotation) ValueOpts(opts ...string) *Annotation {
+	a.valueOpts = append(a.valueOpts, opts...)
+	return a
+}
+
+// When appends a guarded clause: invocations matching pred get the
+// class and I/O shape. Clauses are tried in the order added.
+func (a *Annotation) When(pred Pred, class Class, inputs, outputs []IO) *Annotation {
+	a.clauses = append(a.clauses, annotClause{pred: pred, class: class, in: inputs, out: outputs})
+	return a
+}
+
+// Otherwise appends an unguarded clause (the `_` arm): it matches every
+// invocation that reached it, so it should come last.
+func (a *Annotation) Otherwise(class Class, inputs, outputs []IO) *Annotation {
+	return a.When(Pred{}, class, inputs, outputs)
+}
+
+// record compiles the builder to an internal annotation record — the
+// typed construction path beside the DSL parser.
+func (a *Annotation) record(name string) (*annot.Record, error) {
+	if len(a.clauses) == 0 {
+		return nil, fmt.Errorf("pash: annotation for %q has no clauses", name)
+	}
+	rec := &annot.Record{Name: name, ValueOpts: map[string]bool{}}
+	for _, o := range a.valueOpts {
+		rec.ValueOpts[o] = true
+	}
+	for _, cl := range a.clauses {
+		ac := annot.Clause{Pred: cl.pred.p, Assign: annot.Assignment{Class: cl.class}}
+		for _, r := range cl.in {
+			ac.Assign.Inputs = append(ac.Assign.Inputs, r.ref)
+		}
+		for _, r := range cl.out {
+			ac.Assign.Outputs = append(ac.Assign.Outputs, r.ref)
+		}
+		rec.Clauses = append(rec.Clauses, ac)
+	}
+	return rec, nil
+}
+
+// Kernel is the per-block form of a stateless command: the contract
+// that lets it join fused chains and framed round-robin regions.
+//
+// Apply appends the transform of one input block to out and returns the
+// grown slice; it must not retain in. Blocks arrive in stream order but
+// are not newline-aligned — kernels operating on lines must carry
+// partial lines across calls. Finish appends any end-of-stream output
+// and resets the kernel to its initial state (one kernel value
+// processes a sequence of independent streams under the framed
+// protocol: one stream per chunk). Status reports the accumulated exit
+// status across all streams; nil means 0.
+type Kernel interface {
+	Apply(out, in []byte) []byte
+	Finish(out []byte) []byte
+	Status() error
+}
+
+// KernelFactory builds the kernel for one invocation of the command, or
+// reports false when this flag combination has no kernel form (the
+// command then runs unfused, which is always safe).
+type KernelFactory func(args []string) (Kernel, bool)
+
+// AggregatorFunc is an aggregate implementation: it merges the partial
+// outputs of parallel map instances back into the sequential command's
+// output. args carries the aggregate's configuration arguments (its
+// flags — stream operands are already stripped); inputs are the partial
+// result streams in original chunk order.
+type AggregatorFunc func(args []string, inputs []io.Reader, stdout io.Writer) error
+
+// AggregatorSpec supplies the (map, aggregate) pair that parallelizes a
+// pure command (§3.2 Custom Aggregators): running the map on every
+// input chunk and the aggregate over the map outputs must reproduce the
+// original command.
+type AggregatorSpec struct {
+	// Agg is the aggregate implementation, registered under AggName.
+	// Nil means AggName refers to a command that already exists in the
+	// session (e.g. the command aggregates itself with different flags,
+	// like sort / sort -m).
+	Agg AggregatorFunc
+	// AggName is the aggregate command's name (required).
+	AggName string
+	// AggArgs configures the aggregate; nil reuses the invocation's own
+	// flags (pass an empty non-nil slice for "no arguments").
+	AggArgs []string
+	// MapName is the per-chunk map command; "" means the command maps
+	// itself (each chunk runs the original invocation).
+	MapName string
+	// MapArgs configures the map; nil reuses the invocation's flags.
+	MapArgs []string
+	// Associative marks aggregates whose output can be re-aggregated:
+	// agg(agg(a)·agg(b)) == agg(a·b). Only associative aggregates are
+	// arranged into fan-in aggregation trees at high widths; the
+	// conservative default keeps the flat n-ary stage.
+	Associative bool
+	// StopsEarly marks prefix-takers (head-like commands) so the
+	// planner never plants a draining barrier split in front of them.
+	StopsEarly bool
+}
+
+// CommandSpec is a complete typed registration: implementation,
+// classification, and the optional hooks that admit the command to the
+// planner's fast paths. Zero hooks is always sound — the command runs,
+// classified by Annotation (or conservatively when nil).
+type CommandSpec struct {
+	// Name is the command name scripts invoke (required).
+	Name string
+	// Run is the implementation (required).
+	Run CommandFunc
+	// Annotation classifies invocations. Nil leaves the name
+	// unannotated: the conservative side-effectful default, never
+	// parallelized. Registering a builtin name with a nil Annotation
+	// also clears the builtin's annotation — user registrations shadow
+	// builtins completely (see Session.Register).
+	Annotation *Annotation
+	// Kernel, when set, gives stateless invocations a per-block form:
+	// they join fused chains and framed round-robin split regions.
+	Kernel KernelFactory
+	// Aggregator, when set, parallelizes pure invocations via
+	// map + aggregate (and aggregation trees when Associative).
+	Aggregator *AggregatorSpec
+}
+
+// Register installs a typed command spec into the session, making the
+// command a first-class citizen of the parallelizing compiler: it
+// classifies through Annotation, round-robin splits and fuses through
+// Kernel, and joins fan-in aggregation trees through Aggregator.
+//
+// Shadowing precedence: a user registration wins over a builtin of the
+// same name *completely* within this session. The builtin's
+// implementation, kernel, aggregator pair, and annotation record all
+// stop applying (they describe the replaced command, not the user's);
+// only what the spec itself supplies is used. Re-registration bumps the
+// session's registry generation, so every cached plan that mentioned
+// the old registration is invalidated.
+func (s *Session) Register(spec CommandSpec) error {
+	if spec.Name == "" {
+		return errors.New("pash: CommandSpec.Name is required")
+	}
+	if spec.Run == nil {
+		return errors.New("pash: CommandSpec.Run is required")
+	}
+	if spec.Aggregator != nil {
+		if spec.Aggregator.AggName == "" {
+			return errors.New("pash: AggregatorSpec.AggName is required")
+		}
+		if spec.Aggregator.Agg != nil && spec.Aggregator.AggName == spec.Name {
+			// Registering the aggregate implementation under the
+			// command's own name would overwrite Run. Self-aggregation
+			// (sort / sort -m style) is spelled with a nil Agg.
+			return errors.New("pash: AggregatorSpec.AggName must differ from CommandSpec.Name when Agg is supplied (use a nil Agg for self-aggregating commands)")
+		}
+	}
+	var rec *annot.Record
+	if spec.Annotation != nil {
+		r, err := spec.Annotation.record(spec.Name)
+		if err != nil {
+			return err
+		}
+		rec = r
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cc := *s.compiler
+	cc.Cmds = cc.Cmds.Clone()
+	cc.Cmds.Register(spec.Name, wrapCommand(spec.Run))
+	if spec.Kernel != nil {
+		f := spec.Kernel
+		cc.Cmds.RegisterKernel(spec.Name, func(args []string) (commands.Kernel, bool) {
+			k, ok := f(args)
+			if !ok || k == nil {
+				return nil, false
+			}
+			return k, true
+		})
+	}
+	if spec.Aggregator != nil {
+		ag := *spec.Aggregator
+		if ag.Agg != nil {
+			cc.Cmds.Register(ag.AggName, wrapAggregator(ag.Agg))
+		} else if _, ok := cc.Cmds.Lookup(ag.AggName); !ok {
+			// A nil Agg promises AggName already exists; surface the
+			// broken promise here rather than as command-not-found the
+			// first time a script parallelizes.
+			return fmt.Errorf("pash: AggregatorSpec.AggName %q names no registered command (supply Agg or register it first)", ag.AggName)
+		}
+		cc.Cmds.RegisterAgg(spec.Name, commands.AggSpec{
+			MapName:     ag.MapName,
+			MapArgs:     ag.MapArgs,
+			AggName:     ag.AggName,
+			AggArgs:     ag.AggArgs,
+			Associative: ag.Associative,
+			StopsEarly:  ag.StopsEarly,
+		})
+	}
+	if err := s.isolateAnnotLocked(&cc); err != nil {
+		return err
+	}
+	if rec != nil {
+		cc.Annot.Add(rec)
+		s.userAnnot[spec.Name] = true
+	} else if !s.userAnnot[spec.Name] {
+		// Shadowing a builtin name without supplying an annotation:
+		// drop the builtin's record rather than let its
+		// parallelizability claims apply to an arbitrary replacement.
+		cc.Annot.Remove(spec.Name)
+	}
+	if spec.Aggregator != nil && spec.Aggregator.Agg != nil && !s.userAnnot[spec.Aggregator.AggName] {
+		// The aggregate implementation shadows its name too: a builtin
+		// annotation must not keep classifying (and parallelizing) a
+		// name that now runs the user's aggregate wrapper.
+		cc.Annot.Remove(spec.Aggregator.AggName)
+	}
+	cc.Plans = core.NewPlanCache(0)
+	s.compiler = &cc
+	return nil
+}
+
+// wrapCommand adapts the public CommandFunc to the internal command
+// contract.
+func wrapCommand(fn CommandFunc) commands.Func {
+	return func(ctx *commands.Context) error {
+		return fn(ctx.Args, ctx.Stdin, ctx.Stdout)
+	}
+}
+
+// wrapAggregator adapts an AggregatorFunc: aggregate nodes receive
+// their configuration arguments followed by one operand per input
+// stream (in-process, those operands are virtual edge names); the
+// wrapper opens the streams and strips them from argv.
+func wrapAggregator(fn AggregatorFunc) commands.Func {
+	return func(ctx *commands.Context) error {
+		var flags, streams []string
+		for _, a := range ctx.Args {
+			if a == "-" || strings.HasPrefix(a, commands.VirtualStreamPrefix) {
+				streams = append(streams, a)
+			} else {
+				flags = append(flags, a)
+			}
+		}
+		readers, cleanup, err := ctx.OpenInputs(streams)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		return fn(flags, readers, ctx.Stdout)
+	}
+}

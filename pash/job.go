@@ -1,0 +1,263 @@
+package pash
+
+// The Job API: Session.Start launches a script and returns a handle
+// immediately, with streaming stdin/stdout, cancellation, and live
+// statistics. Run and RunStats are thin wrappers (Start + Wait). The
+// pash-serve daemon is built on Jobs: one Job per request, cancelled
+// with the request's context, surfaced live in /metrics.
+
+import (
+	"context"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unicode/utf8"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/shell"
+)
+
+// JobIO binds a job's standard streams. A nil Stdin reads as empty; nil
+// Stdout/Stderr discard. The job reads and writes these concurrently
+// with the caller — pipes and sockets stream end to end.
+type JobIO struct {
+	Stdin  io.Reader
+	Stdout io.Writer
+	Stderr io.Writer
+}
+
+// InterpStats re-exports the interpreter's region-level compilation
+// metrics (regions, node counts, plan-cache hits/misses).
+type InterpStats = core.InterpStats
+
+// StartOption customizes a single Start call without mutating the
+// session.
+type StartOption func(*startConfig)
+
+type startConfig struct {
+	opts *Options
+}
+
+// WithOptions overrides the session's planning options for this job
+// only (per-request width, split mode, fusion toggles). The plan cache
+// keys on these options, so per-job overrides share the cache safely.
+func WithOptions(o Options) StartOption {
+	return func(c *startConfig) { oc := o; c.opts = &oc }
+}
+
+// jobIDs hands out process-wide job identifiers (the Pid analog).
+var jobIDs atomic.Int64
+
+// Job is a handle on one started script: wait on it, cancel it, or
+// inspect it while it runs. All methods are safe for concurrent use.
+type Job struct {
+	id      int64
+	sess    *Session
+	src     string
+	parsed  *shell.List
+	cancel  context.CancelFunc
+	done    chan struct{}
+	started time.Time
+
+	mu       sync.Mutex
+	finished bool
+	code     int
+	err      error
+	wall     time.Duration
+	interp   core.InterpStats
+}
+
+// JobStats is a point-in-time view of a job, live while it runs and
+// frozen once it finishes.
+type JobStats struct {
+	ID     int64  `json:"id"`
+	Script string `json:"script"`
+	// Running reports whether the job is still executing; ExitCode and
+	// Err are meaningful only once it is false.
+	Running     bool      `json:"running"`
+	Start       time.Time `json:"start"`
+	WallSeconds float64   `json:"wall_seconds"`
+	ExitCode    int       `json:"exit_code"`
+	Err         string    `json:"error,omitempty"`
+	Interp      InterpStats
+}
+
+// Start parses and launches a script, returning a handle immediately.
+// The script's syntax is validated synchronously (a parse error returns
+// without starting anything); execution — including scheduler admission
+// when the session has one — happens in the job's own goroutine.
+// Cancelling ctx, or calling Job.Cancel, stops the script at the next
+// statement boundary with exit status 130.
+func (s *Session) Start(ctx context.Context, src string, stdio JobIO, opts ...StartOption) (*Job, error) {
+	list, err := shell.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var cfg startConfig
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	c := s.snapshot()
+	if cfg.opts != nil {
+		cc := *c
+		cc.Opts = *cfg.opts
+		c = &cc
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	jctx, cancel := context.WithCancel(ctx)
+	j := &Job{
+		id:      jobIDs.Add(1),
+		sess:    s,
+		src:     src,
+		parsed:  list,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		started: time.Now(),
+	}
+	s.trackJob(j)
+	go j.run(jctx, c, s.Dir, s.Vars, stdio)
+	return j, nil
+}
+
+func (j *Job) run(ctx context.Context, c *core.Compiler, dir string, vars map[string]string, stdio JobIO) {
+	defer j.cancel()
+	defer close(j.done)
+	defer j.sess.untrackJob(j)
+	if c.Sched != nil {
+		release, err := c.Sched.Admit(ctx)
+		if err != nil {
+			code := 1
+			if ctx.Err() != nil {
+				// Cancelled while queued for admission: same contract
+				// as cancellation mid-script.
+				code = 130
+			}
+			j.finish(code, err, core.InterpStats{})
+			return
+		}
+		defer release()
+	}
+	in := core.NewInterp(c, dir, vars,
+		runtime.StdIO{Stdin: stdio.Stdin, Stdout: stdio.Stdout, Stderr: stdio.Stderr})
+	// Reuse the list Start already parsed for validation.
+	code, err := in.RunParsed(ctx, j.parsed)
+	j.finish(code, err, in.Stats)
+}
+
+func (j *Job) finish(code int, err error, st core.InterpStats) {
+	j.mu.Lock()
+	j.finished = true
+	j.code = code
+	j.err = err
+	j.interp = st
+	j.wall = time.Since(j.started)
+	j.mu.Unlock()
+}
+
+// ID is the job's process-wide identifier (the Pid analog).
+func (j *Job) ID() int64 { return j.id }
+
+// Done returns a channel closed when the job finishes.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel stops the job: the script halts at its next statement boundary
+// with exit status 130. Cancel after completion is a no-op.
+func (j *Job) Cancel() { j.cancel() }
+
+// Running reports whether the job is still executing.
+func (j *Job) Running() bool {
+	select {
+	case <-j.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// Wait blocks until the job finishes and returns its exit status and
+// execution error (shell semantics: a non-zero status with a nil error
+// is a normal script outcome).
+func (j *Job) Wait() (int, error) {
+	<-j.done
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.code, j.err
+}
+
+// Stats snapshots the job: live wall time while running, final exit
+// status and interpreter metrics once done.
+func (j *Job) Stats() JobStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStats{
+		ID:     j.id,
+		Script: truncateScript(j.src),
+		Start:  j.started,
+	}
+	if j.finished {
+		st.WallSeconds = j.wall.Seconds()
+		st.ExitCode = j.code
+		if j.err != nil {
+			st.Err = j.err.Error()
+		}
+		st.Interp = j.interp
+	} else {
+		st.Running = true
+		st.WallSeconds = time.Since(j.started).Seconds()
+	}
+	return st
+}
+
+// truncateScript bounds the script text carried in stats rows, cutting
+// on a rune boundary so the JSON stays valid UTF-8.
+func truncateScript(src string) string {
+	const max = 120
+	if len(src) <= max {
+		return src
+	}
+	cut := max
+	for cut > 0 && !utf8.RuneStart(src[cut]) {
+		cut--
+	}
+	return src[:cut] + "…"
+}
+
+// trackJob registers a started job for Session.Jobs.
+func (s *Session) trackJob(j *Job) {
+	s.jobsMu.Lock()
+	if s.jobs == nil {
+		s.jobs = map[int64]*Job{}
+	}
+	s.jobs[j.id] = j
+	s.jobsMu.Unlock()
+}
+
+func (s *Session) untrackJob(j *Job) {
+	s.jobsMu.Lock()
+	delete(s.jobs, j.id)
+	s.jobsMu.Unlock()
+}
+
+// Jobs snapshots the session's currently-running jobs, ordered by ID —
+// the live per-job rows behind pash-serve's /metrics.
+func (s *Session) Jobs() []JobStats {
+	s.jobsMu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.jobsMu.Unlock()
+	out := make([]JobStats, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Stats())
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}

@@ -8,10 +8,28 @@
 //	code, err := s.Run(ctx, "cat big.txt | grep needle | sort | uniq -c",
 //	        os.Stdin, os.Stdout, os.Stderr)
 //
-// Command developers extend the system with annotation records (§3.2):
+// Long-running callers use the Job API instead of blocking Run: Start
+// returns a handle with streaming stdio, cancellation, and live stats:
 //
-//	s.RegisterAnnotation(`mycmd { | _ => (S, [stdin], [stdout]) }`)
-//	s.RegisterCommand("mycmd", myImpl)
+//	job, err := s.Start(ctx, script, pash.JobIO{Stdin: in, Stdout: out})
+//	code, err := job.Wait()
+//
+// Command developers extend the system through the typed extension API
+// (§3.2): a CommandSpec carries the implementation, a builder-style
+// annotation (class, option predicates, I/O shape), and the optional
+// kernel and aggregator hooks that make a user command parallelize
+// exactly like a builtin — round-robin splits, fused chains, fan-in
+// aggregation trees:
+//
+//	s.Register(pash.CommandSpec{
+//	        Name:       "mycmd",
+//	        Run:        myImpl,
+//	        Annotation: pash.StdinStdout(pash.ClassStateless),
+//	        Kernel:     myKernelFactory,
+//	})
+//
+// The string-DSL shims (RegisterAnnotation, RegisterCommand) remain as
+// thin wrappers over the same machinery.
 package pash
 
 import (
@@ -20,7 +38,6 @@ import (
 	"sync"
 
 	"repro/internal/annot"
-	"repro/internal/commands"
 	"repro/internal/core"
 	"repro/internal/dfg"
 	"repro/internal/runtime"
@@ -39,6 +56,13 @@ const (
 	EagerNone     = dfg.EagerNone
 	EagerBlocking = dfg.EagerBlocking
 	EagerFull     = dfg.EagerFull
+)
+
+// Split-mode constants for Options.SplitMode.
+const (
+	SplitAuto       = dfg.SplitAuto
+	SplitGeneral    = dfg.SplitGeneral
+	SplitRoundRobin = dfg.SplitRoundRobin
 )
 
 // DefaultOptions returns the paper's best configuration ("Par + Split")
@@ -80,12 +104,20 @@ type Session struct {
 	Vars map[string]string
 
 	isolatedAnnot bool
+	// userAnnot names the commands whose annotation the user supplied
+	// (via Register or RegisterAnnotation): shadowing a command never
+	// clears a user-supplied record, only inherited builtin ones.
+	userAnnot map[string]bool
+
+	// jobsMu/jobs track the session's running jobs (see job.go).
+	jobsMu sync.Mutex
+	jobs   map[int64]*Job
 }
 
 // NewSession builds a session with the standard command and annotation
 // libraries.
 func NewSession(opts Options) *Session {
-	return &Session{compiler: core.NewCompiler(opts)}
+	return &Session{compiler: core.NewCompiler(opts), userAnnot: map[string]bool{}}
 }
 
 // snapshot returns an immutable per-run view of the compiler: the
@@ -133,13 +165,10 @@ func (s *Session) PlanCacheStats() PlanCacheStats {
 	return c.Plans.Stats()
 }
 
-// RegisterAnnotation adds or replaces an annotation record in the
-// session's registry. The registry is cloned copy-on-write and the plan
-// cache reset, so cached plans never survive a classification change.
-func (s *Session) RegisterAnnotation(record string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cc := *s.compiler
+// isolateAnnotLocked gives the pending compiler snapshot a private,
+// mutable annotation registry: a fresh standard registry on first use,
+// a copy-on-write clone afterward. Callers hold s.mu.
+func (s *Session) isolateAnnotLocked(cc *core.Compiler) error {
 	if !s.isolatedAnnot {
 		reg, err := annot.NewStdRegistry()
 		if err != nil {
@@ -147,11 +176,30 @@ func (s *Session) RegisterAnnotation(record string) error {
 		}
 		cc.Annot = reg
 		s.isolatedAnnot = true
-	} else {
-		cc.Annot = cc.Annot.Clone()
+		return nil
 	}
-	if err := cc.Annot.Register(record); err != nil {
+	cc.Annot = cc.Annot.Clone()
+	return nil
+}
+
+// RegisterAnnotation adds or replaces annotation records in the
+// session's registry (the string-DSL shim over the typed construction
+// path — see Session.Register for the typed form). The registry is
+// cloned copy-on-write and the plan cache invalidated, so cached plans
+// never survive a classification change.
+func (s *Session) RegisterAnnotation(record string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cc := *s.compiler
+	if err := s.isolateAnnotLocked(&cc); err != nil {
 		return err
+	}
+	recs, err := cc.Annot.RegisterRecords(record)
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		s.userAnnot[rec.Name] = true
 	}
 	cc.Plans = core.NewPlanCache(0)
 	s.compiler = &cc
@@ -162,61 +210,56 @@ func (s *Session) RegisterAnnotation(record string) error {
 // writes stdout, and returns an error (nil = exit 0).
 type CommandFunc func(args []string, stdin io.Reader, stdout io.Writer) error
 
-// RegisterCommand installs a custom command under the given name,
-// making it usable from scripts run by this session. The command
-// registry is cloned copy-on-write and the plan cache reset (a name
-// that previously missed lookup may now resolve).
+// RegisterCommand installs a custom command under the given name — the
+// implementation-only shim over the typed Session.Register. The user
+// registration shadows any builtin of the same name completely
+// (implementation, kernel, aggregator, and — unless the session has its
+// own annotation for the name — the builtin's annotation record), and
+// the plan cache is invalidated. It panics on an empty name or nil fn
+// (programmer error; use Register for an error return).
 func (s *Session) RegisterCommand(name string, fn CommandFunc) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cc := *s.compiler
-	cc.Cmds = cc.Cmds.Clone()
-	cc.Cmds.Register(name, func(ctx *commands.Context) error {
-		return fn(ctx.Args, ctx.Stdin, ctx.Stdout)
-	})
-	cc.Plans = core.NewPlanCache(0)
-	s.compiler = &cc
+	if err := s.Register(CommandSpec{Name: name, Run: fn}); err != nil {
+		panic("pash: RegisterCommand: " + err.Error())
+	}
 }
 
 // Run parses and executes a script with PaSh's parallelizing
-// interpreter, returning the script's exit status. When a scheduler is
-// attached, the call blocks in admission until the machine has a free
-// script slot.
+// interpreter, returning the script's exit status. It is Start + Wait:
+// when a scheduler is attached, the call blocks in admission until the
+// machine has a free script slot.
 func (s *Session) Run(ctx context.Context, src string, stdin io.Reader, stdout, stderr io.Writer) (int, error) {
-	c := s.snapshot()
-	if c.Sched != nil {
-		release, err := c.Sched.Admit(ctx)
-		if err != nil {
-			return 1, err
-		}
-		defer release()
+	j, err := s.Start(ctx, src, JobIO{Stdin: stdin, Stdout: stdout, Stderr: stderr})
+	if err != nil {
+		return 127, err
 	}
-	return core.Run(ctx, c, src, s.Dir, s.Vars,
-		runtime.StdIO{Stdin: stdin, Stdout: stdout, Stderr: stderr})
+	return j.Wait()
 }
 
 // RunStats executes like Run but also returns region compilation
 // statistics (regions found, node counts, plan-cache hits/misses —
 // Tab. 2's metrics).
 func (s *Session) RunStats(ctx context.Context, src string, stdin io.Reader, stdout, stderr io.Writer) (int, core.InterpStats, error) {
-	c := s.snapshot()
-	if c.Sched != nil {
-		release, err := c.Sched.Admit(ctx)
-		if err != nil {
-			return 1, core.InterpStats{}, err
-		}
-		defer release()
+	j, err := s.Start(ctx, src, JobIO{Stdin: stdin, Stdout: stdout, Stderr: stderr})
+	if err != nil {
+		return 127, core.InterpStats{}, err
 	}
-	in := core.NewInterp(c, s.Dir, s.Vars,
-		runtime.StdIO{Stdin: stdin, Stdout: stdout, Stderr: stderr})
-	code, err := in.RunScript(ctx, src)
-	return code, in.Stats, err
+	code, rerr := j.Wait()
+	return code, j.Stats().Interp, rerr
 }
 
-// Compile builds an ahead-of-time plan; static regions are parallelized,
+// Compile builds an ahead-of-time plan for emission; static regions are
+// parallelized under emission constraints (barrier splits, no fusion),
 // dynamic ones preserved verbatim.
 func (s *Session) Compile(src string) (*Plan, error) {
 	return s.snapshot().Plan(src)
+}
+
+// CompileExec builds the in-process execution view of a script: regions
+// are optimized exactly as the interpreter would run them (stage
+// fusion, streaming splits, aggregation trees). The result cannot be
+// emitted as a shell script; inspect it with Plan.Dot.
+func (s *Session) CompileExec(src string) (*Plan, error) {
+	return s.snapshot().PlanExec(src)
 }
 
 // Table1 re-exports the parallelizability study (§3.1).
