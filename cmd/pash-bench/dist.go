@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/dist"
+	"repro/pash"
+)
+
+// runDist measures the distributed worker data plane against local
+// execution: the same pipelines at the same width, once in-process and
+// once sharded across two local `pash-serve -worker`-equivalent
+// processes over unix sockets — the transport's worst case, since the
+// workers add no extra cores here. The interesting number is the
+// coordinator overhead (wire framing, HTTP, re-assembly), reported as
+// a percentage over local.
+func runDist(scale int) {
+	dir := tmpdir()
+	defer os.RemoveAll(dir)
+
+	input := distInput(400_000 * scale)
+	if err := os.WriteFile(filepath.Join(dir, "in.txt"), input, 0o644); err != nil {
+		die(err)
+	}
+
+	pool, cleanup := startLocalWorkers(dir, 2)
+	defer cleanup()
+
+	scripts := []struct {
+		name   string
+		script string
+	}{
+		{"dist-grep", `cat in.txt | tr A-Z a-z | grep -E '(the|of|and).*(water|people|number)'`},
+		{"dist-wf", `cat in.txt | tr -cs A-Za-z '\n' | tr A-Z a-z | grep -v '^$' | sort | uniq -c | sort -rn`},
+	}
+	const width = 8
+	fmt.Printf("%-12s %10s %12s %12s %9s %9s\n", "bench", "local", "dist-framed", "dist-range", "ovh-fr%", "ovh-rg%")
+	for _, s := range scripts {
+		local, out0 := distTime(s.script, dir, width, nil)
+		pool.SetSharedFS(false)
+		framed, out1 := distTime(s.script, dir, width, pool)
+		pool.SetSharedFS(true)
+		ranged, out2 := distTime(s.script, dir, width, pool)
+		if !bytes.Equal(out0, out1) || !bytes.Equal(out0, out2) {
+			die(fmt.Errorf("dist: %s output diverged from local", s.name))
+		}
+		ovhF := 100 * (framed.Seconds()/local.Seconds() - 1)
+		ovhR := 100 * (ranged.Seconds()/local.Seconds() - 1)
+		fmt.Printf("%-12s %9.0fms %11.0fms %11.0fms %8.1f%% %8.1f%%\n",
+			s.name, local.Seconds()*1e3, framed.Seconds()*1e3, ranged.Seconds()*1e3, ovhF, ovhR)
+		record(benchRecord{Bench: s.name, Config: "local", Width: width, Metric: "wall_ms", Value: local.Seconds() * 1e3})
+		record(benchRecord{Bench: s.name, Config: "dist-framed", Width: width, Metric: "wall_ms", Value: framed.Seconds() * 1e3})
+		record(benchRecord{Bench: s.name, Config: "dist-range", Width: width, Metric: "wall_ms", Value: ranged.Seconds() * 1e3})
+		record(benchRecord{Bench: s.name, Config: "dist-framed", Width: width, Metric: "overhead_pct", Value: ovhF})
+		record(benchRecord{Bench: s.name, Config: "dist-range", Width: width, Metric: "overhead_pct", Value: ovhR})
+	}
+	var shipped, received int64
+	for _, st := range pool.Stats() {
+		shipped += st.BytesOut
+		received += st.BytesIn
+	}
+	record(benchRecord{Bench: "dist", Metric: "bytes_shipped", Value: float64(shipped)})
+	record(benchRecord{Bench: "dist", Metric: "bytes_received", Value: float64(received)})
+	fmt.Printf("pool traffic: %d bytes shipped, %d received\n", shipped, received)
+}
+
+// distTime runs a script once (after one warm-up for plan caching) and
+// returns the wall time and output.
+func distTime(script, dir string, width int, pool *pash.WorkerPool) (time.Duration, []byte) {
+	sess := pash.NewSession(pash.DefaultOptions(width))
+	sess.Dir = dir
+	if pool != nil {
+		sess.UseWorkers(pool)
+	}
+	run := func() ([]byte, time.Duration) {
+		var out bytes.Buffer
+		start := time.Now()
+		if _, err := sess.Run(context.Background(), script, strings.NewReader(""), &out, os.Stderr); err != nil {
+			die(err)
+		}
+		return out.Bytes(), time.Since(start)
+	}
+	run() // warm-up: plan cache + pool connections
+	out, d := run()
+	return d, out
+}
+
+// startLocalWorkers launches n dist workers over unix sockets in dir.
+func startLocalWorkers(dir string, n int) (*pash.WorkerPool, func()) {
+	pool := pash.NewWorkerPool()
+	var closers []func()
+	for i := 0; i < n; i++ {
+		sock := filepath.Join(dir, fmt.Sprintf("w%d.sock", i))
+		ln, err := net.Listen("unix", sock)
+		if err != nil {
+			die(err)
+		}
+		srv := &http.Server{Handler: dist.NewWorker(nil, dir).Handler()}
+		go srv.Serve(ln)
+		closers = append(closers, func() { srv.Close() })
+		pool.Add("unix:" + sock)
+	}
+	return pool, func() {
+		for _, c := range closers {
+			c()
+		}
+	}
+}
+
+// distInput synthesizes ~n bytes of word text.
+func distInput(n int) []byte {
+	rng := rand.New(rand.NewSource(7))
+	words := []string{"the", "of", "and", "water", "People", "number", "X", "time", "day", "zebra"}
+	var b bytes.Buffer
+	for b.Len() < n {
+		k := 1 + rng.Intn(9)
+		for j := 0; j < k; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(words[rng.Intn(len(words))])
+		}
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}

@@ -90,11 +90,14 @@ func main() {
 		bench   = flag.String("bench", "", "restrict -fig 7 to one benchmark")
 		jsonOut = flag.String("out", "", "also write results as JSON to this file (e.g. BENCH_fig7.json)")
 		control = flag.Bool("control", false, "measure the control plane: plan cache + pash-serve throughput")
+		distFlg = flag.Bool("dist", false, "measure the distributed data plane: coordinator overhead vs local")
 	)
 	flag.Parse()
 	switch {
 	case *control:
 		runControl(*scale)
+	case *distFlg:
+		runDist(*scale)
 	case *table == 1:
 		pash.WriteTable1(os.Stdout)
 	case *table == 2:

@@ -18,16 +18,36 @@
 // request runs as one pash Job: disconnecting cancels the script, and
 // /metrics lists a live row per in-flight job. Invalid per-request
 // options and unparsable scripts are rejected with 400.
+//
+// # Distributed mode
+//
+// The same binary is both halves of the distributed data plane:
+//
+//	# data-plane worker: executes shipped stage chains, nothing else
+//	pash-serve -worker -listen :8722 -dir /data
+//	# coordinator: shards every request across the workers
+//	pash-serve -listen :8721 -workers http://w1:8722,http://w2:8722 -shared-fs
+//	# a worker can also register itself with a running coordinator:
+//	pash-serve -worker -listen :8722 -join http://coord:8721 -advertise http://w1:8722
+//
+// -shared-fs declares that workers see the coordinator's files at the
+// same paths (NFS, same host), enabling file-range shards that ship no
+// input bytes at all. The coordinator's /metrics gains per-worker rows,
+// GET /workers lists live membership, and POST /workers/register adds a
+// member at runtime.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"strings"
 
+	"repro/internal/dist"
 	"repro/internal/serve"
 	"repro/pash"
 )
@@ -35,12 +55,46 @@ import (
 func main() {
 	listen := flag.String("listen", ":8721", "listen address: host:port, or unix:/path/to.sock")
 	width := flag.Int("width", 8, "parallelism width requested per region")
-	workers := flag.Int("workers", 0, "scheduler worker tokens (0 = number of CPUs)")
-	scripts := flag.Int("scripts", 0, "max concurrently admitted scripts (0 = same as workers)")
+	workerTokens := flag.Int("worker-tokens", 0, "scheduler worker tokens (0 = number of CPUs)")
+	scripts := flag.Int("scripts", 0, "max concurrently admitted scripts (0 = same as tokens)")
 	dir := flag.String("dir", "", "working directory for script file access")
+	workerMode := flag.Bool("worker", false, "run as a data-plane worker (serve /exec only)")
+	workers := flag.String("workers", "", "comma-separated worker addresses to coordinate")
+	sharedFS := flag.Bool("shared-fs", false, "workers share this filesystem (enables file-range shards)")
+	join := flag.String("join", "", "worker mode: coordinator URL to register with")
+	advertise := flag.String("advertise", "", "worker mode: address to register as (default http://<listen>)")
 	flag.Parse()
 
-	sched := pash.NewScheduler(*workers)
+	ln, err := listenOn(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pash-serve:", err)
+		os.Exit(1)
+	}
+
+	if *workerMode {
+		w := dist.NewWorker(nil, *dir)
+		fmt.Fprintf(os.Stderr, "pash-serve: worker listening on %s\n", ln.Addr())
+		if *join != "" {
+			// Register concurrently with serving: the coordinator probes
+			// this worker's /healthz before admitting it, so registering
+			// before Serve starts would deadlock the handshake.
+			joinURL, self := *join, advertised(*advertise, *listen, ln)
+			go func() {
+				if err := register(joinURL, self); err != nil {
+					fmt.Fprintln(os.Stderr, "pash-serve: join:", err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "pash-serve: registered with %s as %s\n", joinURL, self)
+			}()
+		}
+		if err := http.Serve(ln, w.Handler()); err != nil {
+			fmt.Fprintln(os.Stderr, "pash-serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sched := pash.NewScheduler(*workerTokens)
 	if *scripts > 0 {
 		sched.SetMaxScripts(*scripts)
 	}
@@ -48,21 +102,63 @@ func main() {
 	sess.Dir = *dir
 	srv := serve.New(sess, sched)
 
-	var ln net.Listener
-	var err error
-	if path, ok := strings.CutPrefix(*listen, "unix:"); ok {
-		os.Remove(path)
-		ln, err = net.Listen("unix", path)
-	} else {
-		ln, err = net.Listen("tcp", *listen)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pash-serve:", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "pash-serve: listening on %s (width %d)\n", ln.Addr(), *width)
+	// Pool.Add normalizes and skips empty pieces, so the raw split is
+	// safe. Attach even when empty: workers can register themselves
+	// later.
+	pool := pash.NewWorkerPool(strings.Split(*workers, ",")...)
+	pool.SetSharedFS(*sharedFS)
+	srv.AttachWorkers(pool)
+
+	fmt.Fprintf(os.Stderr, "pash-serve: listening on %s (width %d, %d workers)\n",
+		ln.Addr(), *width, len(pool.WorkerNames()))
 	if err := http.Serve(ln, srv.Handler()); err != nil {
 		fmt.Fprintln(os.Stderr, "pash-serve:", err)
 		os.Exit(1)
 	}
+}
+
+func listenOn(addr string) (net.Listener, error) {
+	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
+		os.Remove(path)
+		return net.Listen("unix", path)
+	}
+	return net.Listen("tcp", addr)
+}
+
+// advertised picks the address other machines should dial this worker
+// at: the explicit -advertise value, a unix listen address verbatim, or
+// http://<actual listen address>.
+func advertised(advertise, listen string, ln net.Listener) string {
+	if advertise != "" {
+		return advertise
+	}
+	if strings.HasPrefix(listen, "unix:") {
+		return listen
+	}
+	return "http://" + ln.Addr().String()
+}
+
+// register announces this worker to a coordinator, over TCP or the
+// coordinator's unix socket (`-join unix:/path/to/coord.sock`).
+func register(coordinator, self string) error {
+	client := http.DefaultClient
+	target := strings.TrimSuffix(coordinator, "/") + "/workers/register"
+	if path, ok := strings.CutPrefix(coordinator, "unix:"); ok {
+		client = &http.Client{Transport: &http.Transport{
+			DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, "unix", path)
+			},
+		}}
+		target = "http://pash-serve/workers/register"
+	}
+	resp, err := client.PostForm(target, url.Values{"url": {self}})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("coordinator answered %s", resp.Status)
+	}
+	return nil
 }

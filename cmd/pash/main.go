@@ -8,6 +8,13 @@
 //	pash -emit script.sh     # print the Fig. 3-style parallel script
 //	pash -graph -c '...'     # print the optimized DFG as Graphviz dot
 //	pash -stats -c '...'     # report region/node statistics
+//
+// With -workers, stateless chains execute on `pash-serve -worker`
+// processes instead of locally (add -shared-fs when the workers see
+// this machine's files, enabling zero-input-shipping file-range
+// shards):
+//
+//	pash -workers http://w1:8722,http://w2:8722 -c 'cat f | tr A-Z a-z | grep x'
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/dfg"
 	"repro/pash"
@@ -31,6 +39,8 @@ func main() {
 		stats    = flag.Bool("stats", false, "print region statistics to stderr")
 		curlRoot = flag.String("curl-root", os.Getenv("PASH_CURL_ROOT"), "offline root for the curl simulation")
 		dir      = flag.String("dir", "", "working directory for file access")
+		workers  = flag.String("workers", "", "comma-separated worker addresses for distributed execution")
+		sharedFS = flag.Bool("shared-fs", false, "workers share this filesystem (enables file-range shards)")
 	)
 	flag.Parse()
 
@@ -69,6 +79,12 @@ func main() {
 	s.Dir = *dir
 	if *curlRoot != "" {
 		s.Vars = map[string]string{"PASH_CURL_ROOT": *curlRoot}
+	}
+	if *workers != "" {
+		// Pool.Add normalizes and skips empty pieces of the raw split.
+		pool := pash.NewWorkerPool(strings.Split(*workers, ",")...)
+		pool.SetSharedFS(*sharedFS)
+		s.UseWorkers(pool)
 	}
 
 	if *graph {

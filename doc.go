@@ -123,8 +123,33 @@
 // pash.Plan.Dot render the planned graphs (fused stages, split
 // strategies, aggregation-tree shape) as Graphviz dot.
 //
+// # Distributed execution
+//
+// A session with a worker pool attached (pash.NewWorkerPool +
+// Session.UseWorkers, per-job WithWorkers, `pash -workers`, or
+// `pash-serve -workers`) stretches the data plane across machines.
+// Planning partitions each parallel region (dfg.Distribute): the
+// stateless interior — framed chains between a round-robin split and
+// its order-restoring merge — collapses into KindRemote nodes executed
+// on `pash-serve -worker` processes over a framed HTTP wire protocol,
+// while splits, merges, and aggregation trees stay on the coordinator.
+// When the pool shares the coordinator's filesystem (SetSharedFS),
+// splits over seekable input files vanish entirely: workers self-source
+// newline-aligned byte ranges and the coordinator ships no input at
+// all.
+//
+// The frame discipline doubles as an acknowledgement protocol — output
+// frame k acknowledges input chunk k — so the coordinator retains only
+// a bounded window of unacknowledged chunks (backpressure) and, when a
+// worker dies mid-stream, re-dispatches exactly that window locally and
+// finishes the stream itself: byte-identical output, no corruption,
+// one membership epoch re-planned (the plan cache keys on the pool
+// fingerprint). Per-worker meters ride the coordinator's /metrics;
+// workers register at runtime via POST /workers/register.
+//
 // internal/runtime/README.md documents the ownership contract, the
 // framing protocol, the fusion contract, the tree layout, the
-// scheduler's admission rules, and how the blocked-time meters feed the
-// multicore simulator.
+// scheduler's admission rules, the distributed wire format and failover
+// contract, and how the blocked-time meters feed the multicore
+// simulator.
 package repro

@@ -152,7 +152,10 @@ func aggWc(ctx *commands.Context) error {
 		return lw.Flush()
 	}
 	var sb strings.Builder
-	for _, s := range sums {
+	for i, s := range sums {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
 		fmt.Fprintf(&sb, "%7d", s)
 	}
 	if err := lw.WriteString(sb.String() + "\n"); err != nil {

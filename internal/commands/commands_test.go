@@ -259,7 +259,8 @@ func TestWc(t *testing.T) {
 	if got := run(t, "wc", []string{"-c"}, in); got != "14\n" {
 		t.Errorf("wc -c = %q", got)
 	}
-	if got := run(t, "wc", nil, in); got != "      2      3     14\n" {
+	// GNU wc joins its 7-wide columns with one space.
+	if got := run(t, "wc", nil, in); got != "      2       3      14\n" {
 		t.Errorf("wc = %q", got)
 	}
 }

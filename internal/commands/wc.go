@@ -67,7 +67,9 @@ func wc(ctx *Context) error {
 		if showBytes {
 			cols = append(cols, fmt.Sprintf("%7d", c.bytes))
 		}
-		row := strings.Join(cols, "")
+		// GNU wc: 7-wide right-aligned columns joined by one space; a
+		// single-column result prints the bare number.
+		row := strings.Join(cols, " ")
 		if len(cols) == 1 {
 			row = strings.TrimLeft(row, " ")
 		}

@@ -77,6 +77,27 @@ type Compiler struct {
 	// shared worker-token pool at instantiation time instead of
 	// unconditionally claiming Opts.Width replicas.
 	Sched *runtime.Scheduler
+
+	// Workers, when set, stretches the data plane across machines:
+	// planned regions are partitioned (dfg.Distribute) so stateless
+	// chains execute on pool workers, and the plan cache key embeds the
+	// pool fingerprint so membership changes re-plan by construction.
+	Workers WorkerPool
+}
+
+// WorkerPool is the distributed data plane's attachment point: the
+// compiler consults membership while planning, the plan cache keys on
+// the fingerprint, and the runtime ships KindRemote nodes through the
+// embedded executor. internal/dist.Pool is the implementation.
+type WorkerPool interface {
+	runtime.RemoteExecutor
+	// WorkerNames lists the healthy workers in dispatch order.
+	WorkerNames() []string
+	// SharedFS reports whether workers can open the coordinator's files
+	// by the same paths (enables file-range shards).
+	SharedFS() bool
+	// Fingerprint canonically identifies the current membership epoch.
+	Fingerprint() string
 }
 
 // NewCompiler builds a compiler over the standard annotation and command

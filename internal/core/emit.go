@@ -156,6 +156,9 @@ func (c *Compiler) tryCompileStatic(simples []*shell.Simple, env *shell.Env, emi
 		c.OptimizeForEmission(g)
 	} else {
 		c.Optimize(g)
+		// The execution view distributes exactly as the interpreter
+		// would, so Plan.Dot shows the shard map.
+		c.distribute(g, c.Opts.Width)
 	}
 	return g, true
 }

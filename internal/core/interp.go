@@ -583,6 +583,9 @@ func (in *Interp) runPipeline(ctx context.Context, simples []*shell.Simple) (int
 		Dir:             in.dir,
 		Env:             in.envSnapshot(),
 	}
+	if in.c.Workers != nil {
+		rcfg.Remote = in.c.Workers
+	}
 	if in.c.Opts.SplitMode == dfg.SplitGeneral {
 		// Forcing the barrier strategy applies at execution too, not
 		// just planning.

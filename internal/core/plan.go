@@ -86,6 +86,13 @@ func (c *Compiler) planKey(region string, width int) string {
 	b = strconv.AppendInt(b, int64(o.BlockingEagerBytes), 10)
 	b = appendBool(b, o.DisableFusion)
 	b = strconv.AppendInt(b, int64(o.AggFanIn), 10)
+	if c.Workers != nil {
+		// Distributed plans embed worker assignments; key them to the
+		// membership epoch so a pool change re-plans instead of
+		// dispatching to a vanished worker.
+		b = append(b, 'W')
+		b = append(b, c.Workers.Fingerprint()...)
+	}
 	b = append(b, '|')
 	b = append(b, region...)
 	return string(b)
@@ -275,6 +282,7 @@ func (c *Compiler) planRegion(stages []Stage, region string, width int) (g *dfg.
 			return nil, false, err
 		}
 		c.optimizeAt(g, width)
+		c.distribute(g, width)
 		return g, false, nil
 	}
 	key := c.planKey(region, width)
@@ -286,6 +294,25 @@ func (c *Compiler) planRegion(stages []Stage, region string, width int) (g *dfg.
 		return nil, false, err
 	}
 	c.optimizeAt(g, width)
+	c.distribute(g, width)
 	c.Plans.insert(key, g.Clone(), width)
 	return g, false, nil
+}
+
+// distribute partitions a freshly planned region across the attached
+// worker pool (no-op without one). Custom user commands never ship:
+// they exist only in the coordinator's registry.
+func (c *Compiler) distribute(g *dfg.Graph, width int) {
+	if c.Workers == nil || width < 2 {
+		return
+	}
+	names := c.Workers.WorkerNames()
+	if len(names) == 0 {
+		return
+	}
+	dfg.Distribute(g, dfg.DistOptions{
+		Workers:    names,
+		FileRanges: c.Workers.SharedFS(),
+		Shippable:  func(name string) bool { return !c.Cmds.IsCustom(name) },
+	})
 }

@@ -46,6 +46,7 @@ func (g *Graph) Clone() *Graph {
 		// replicas; the executor only reads both), so clones share them.
 		nn.Agg = n.Agg
 		nn.Stages = n.Stages
+		nn.Remote = n.Remote
 		nodes[n.ID] = nn
 		ng.Nodes = append(ng.Nodes, nn)
 	}

@@ -69,6 +69,20 @@ func nodeDotLabel(n *Node) string {
 		}
 		return label
 	}
+	if n.Kind == KindRemote {
+		parts := make([]string, 0, len(n.Remote.Stages)+2)
+		parts = append(parts, "remote @ "+n.Remote.Worker)
+		for _, st := range n.Remote.Stages {
+			parts = append(parts, strings.TrimSpace(st.Name+" "+strings.Join(st.Args, " ")))
+		}
+		switch {
+		case n.Remote.Path != "":
+			parts = append(parts, fmt.Sprintf("[range %d/%d of %s]", n.Remote.Slice, n.Remote.Of, n.Remote.Path))
+		case n.Remote.Framed:
+			parts = append(parts, "[framed]")
+		}
+		return strings.Join(parts, "\n")
+	}
 	var args []string
 	for _, a := range n.Args {
 		if a.InputIdx >= 0 {
@@ -95,7 +109,7 @@ func nodeDotShape(n *Node) string {
 		return "trapezium"
 	case KindAgg:
 		return "hexagon"
-	case KindFused:
+	case KindFused, KindRemote:
 		return "box3d"
 	case KindRelay:
 		return "cds"
@@ -109,6 +123,8 @@ func nodeDotStyle(n *Node) string {
 		return ", style=filled, fillcolor=\"#fdebd0\""
 	case KindFused:
 		return ", style=filled, fillcolor=\"#d6eaf8\""
+	case KindRemote:
+		return ", style=filled, fillcolor=\"#d5f5e3\""
 	case KindSplit, KindCat, KindMerge:
 		return ", style=filled, fillcolor=\"#eeeeee\""
 	}

@@ -29,6 +29,7 @@ const (
 	KindAgg              // aggregate stage of a P command
 	KindMerge            // order-restoring round-robin merge (inverse of a RR split)
 	KindFused            // a collapsed chain of kernel-capable stateless commands
+	KindRemote           // a worker-shipped chain (distributed data plane)
 )
 
 func (k NodeKind) String() string {
@@ -49,6 +50,8 @@ func (k NodeKind) String() string {
 		return "merge"
 	case KindFused:
 		return "fused"
+	case KindRemote:
+		return "remote"
 	}
 	return "?"
 }
@@ -113,6 +116,12 @@ type Node struct {
 	// built from framed replicas is itself Framed and keeps the
 	// one-chunk-in/one-chunk-out discipline.
 	Stages []FusedStage
+
+	// Remote carries a KindRemote node's shipped work: the stage chain,
+	// the assigned worker, and (for the file-range shape) the
+	// self-sourced input slice. Immutable once planning finishes;
+	// clones share it. See remote.go.
+	Remote *RemoteSpec
 }
 
 // FusedStage is one command invocation inside a fused chain. Args are

@@ -1,0 +1,326 @@
+package dfg
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/annot"
+)
+
+// This file implements the distributed data plane's planning side:
+// partitioning an optimized graph into coordinator-resident structure
+// (splits, merges, aggregation trees) and worker-shippable subgraphs
+// (linear chains of stateless stages), each collapsed into a single
+// KindRemote node carrying a serializable RemoteSpec.
+//
+// Two shard shapes exist, mirroring the two streaming split strategies:
+//
+//   - Framed relays: a round-robin split's framed consumer chain becomes
+//     a remote node fed by the split's chunk stream. The coordinator
+//     ships each 64 KiB newline-aligned chunk to the worker and receives
+//     exactly one output chunk per input chunk, so the downstream
+//     pash-rr-merge restores order exactly as it does locally.
+//
+//   - File ranges: when the split's input is a seekable graph-input file
+//     and the worker pool shares the coordinator's filesystem, the split
+//     is deleted outright. Each branch becomes a self-sourcing remote
+//     node that tells the worker "open Path yourself and process
+//     newline-aligned slice i of n" — the coordinator ships no input
+//     bytes at all. Branch outputs are contiguous, so a round-robin
+//     merge downgrades to a plain cat.
+//
+// Both shapes preserve the local execution's bytes: framed relays keep
+// the rotation the merge inverts, and file ranges keep contiguous
+// line-partition semantics, which stateless chains and the (map, agg)
+// contract are already partition-agnostic over.
+
+// RemoteSpec describes the work one KindRemote node ships to a worker:
+// a linear chain of stateless stages plus, for the file-range shape,
+// the self-sourced input slice. The struct is the wire plan format —
+// EncodePlan/DecodePlan round-trip it as JSON — and is immutable once
+// planning finishes, so graph clones share it like AggSpec.
+type RemoteSpec struct {
+	// Worker names the assigned pool member (its URL). Assignment
+	// happens at planning time so the plan cache key, extended with the
+	// pool fingerprint, pins plans to a membership epoch.
+	Worker string `json:"worker,omitempty"`
+	// Stages is the shipped chain in pipeline order; every stage is a
+	// plain literal invocation reading the previous stage's stdout.
+	Stages []FusedStage `json:"stages"`
+	// Framed marks the chunk-relay shape: the worker must emit exactly
+	// one output frame per input frame (empty frames included).
+	Framed bool `json:"framed,omitempty"`
+	// Path/Slice/Of describe the file-range shape: the worker opens
+	// Path (resolved against its own working directory — the shared-fs
+	// contract) and processes the Slice-th of Of newline-aligned byte
+	// ranges. Path == "" means the chunk-relay shape.
+	Path  string `json:"path,omitempty"`
+	Slice int    `json:"slice,omitempty"`
+	Of    int    `json:"of,omitempty"`
+	// Env is the command environment the stages run under. It is NEVER
+	// set by planning — cached plan templates must stay run-independent
+	// — and is injected per request by the transport (internal/dist)
+	// from the run's environment snapshot, so env-dependent stateless
+	// stages (curl's PASH_CURL_ROOT) behave identically on a worker.
+	Env map[string]string `json:"env,omitempty"`
+}
+
+// EncodePlan serializes a remote spec for the wire.
+func EncodePlan(spec *RemoteSpec) ([]byte, error) { return json.Marshal(spec) }
+
+// DecodePlan parses and validates a wire plan.
+func DecodePlan(data []byte) (*RemoteSpec, error) {
+	var spec RemoteSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("dfg: bad remote plan: %w", err)
+	}
+	if len(spec.Stages) == 0 {
+		return nil, fmt.Errorf("dfg: remote plan has no stages")
+	}
+	for _, st := range spec.Stages {
+		if st.Name == "" {
+			return nil, fmt.Errorf("dfg: remote plan stage with empty name")
+		}
+	}
+	if spec.Path != "" {
+		if spec.Of < 1 || spec.Slice < 0 || spec.Slice >= spec.Of {
+			return nil, fmt.Errorf("dfg: remote plan range %d/%d invalid", spec.Slice, spec.Of)
+		}
+		if spec.Framed {
+			return nil, fmt.Errorf("dfg: remote plan cannot be both framed and file-range")
+		}
+	}
+	return &spec, nil
+}
+
+// DistOptions configures the partitioning pass.
+type DistOptions struct {
+	// Workers lists the pool members in dispatch order; remote nodes are
+	// assigned round-robin. Empty disables the pass.
+	Workers []string
+	// FileRanges enables the file-range shape (requires the pool to
+	// share the coordinator's filesystem).
+	FileRanges bool
+	// Shippable reports whether a command name may execute on a worker
+	// (user-registered custom commands exist only in the coordinator's
+	// registry). Nil means every name ships.
+	Shippable func(name string) bool
+}
+
+// shippableStages reports whether every stage of a candidate chain may
+// leave the coordinator.
+func (o DistOptions) shippableStages(stages []FusedStage) bool {
+	if o.Shippable == nil {
+		return true
+	}
+	for _, st := range stages {
+		if !o.Shippable(st.Name) {
+			return false
+		}
+	}
+	return true
+}
+
+// Distribute partitions an optimized graph across the worker pool,
+// in place: every rr-split consumer chain (and, with FileRanges, every
+// branch of a split over a seekable graph-input file) collapses into a
+// KindRemote node. Structure the coordinator must keep — splits over
+// non-seekable inputs, merges, aggregation trees, barrier splits fed by
+// internal edges — stays local. Returns the number of remote nodes
+// created.
+func Distribute(g *Graph, opts DistOptions) int {
+	if len(opts.Workers) == 0 {
+		return 0
+	}
+	var remotes []*Node
+	for _, split := range snapshot(g.Nodes) {
+		if split.Kind != KindSplit || len(split.In) != 1 || len(split.Out) < 2 {
+			continue
+		}
+		in := split.In[0]
+		fileInput := in.From == nil && in.Source.Kind == BindFile
+		if opts.FileRanges && fileInput {
+			remotes = append(remotes, distributeFileRanges(g, split, opts)...)
+			continue
+		}
+		if split.RoundRobin {
+			remotes = append(remotes, distributeFramedChains(g, split, opts)...)
+		}
+	}
+	for i, n := range remotes {
+		n.Remote.Worker = opts.Workers[i%len(opts.Workers)]
+	}
+	return len(remotes)
+}
+
+// remotableChain walks the linear chain of shippable nodes starting at
+// the consumer of e: single stdin input, single output, literal argv,
+// stateless semantics (KindCommand with a stateless class, KindMap, or
+// KindFused). It returns the chain's nodes and the edge leaving the
+// last one; an empty chain means the consumer is not shippable.
+func remotableChain(e *Edge) ([]*Node, *Edge) {
+	var chain []*Node
+	for {
+		n := e.To
+		if n == nil || !remotableNode(n) {
+			return chain, e
+		}
+		chain = append(chain, n)
+		e = n.Out[0]
+	}
+}
+
+func remotableNode(n *Node) bool {
+	if len(n.In) != 1 || len(n.Out) != 1 || n.StdinInput != 0 {
+		return false
+	}
+	switch n.Kind {
+	case KindFused:
+		return true
+	case KindCommand:
+	case KindMap:
+		// Map instances of pure commands are stateless invocations over
+		// their chunk by the (map, agg) contract.
+	default:
+		return false
+	}
+	if n.Kind == KindCommand && n.Class != annot.Stateless {
+		return false
+	}
+	for _, a := range n.Args {
+		if a.InputIdx >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// chainStages flattens a remotable chain into wire stages.
+func chainStages(chain []*Node) []FusedStage {
+	var out []FusedStage
+	for _, n := range chain {
+		if n.Kind == KindFused {
+			out = append(out, n.Stages...)
+			continue
+		}
+		args := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = a.Text
+		}
+		out = append(out, FusedStage{Name: n.Name, Args: args})
+	}
+	return out
+}
+
+// collapseRemote replaces the chain nodes between head edge e and the
+// chain's outgoing edge with one KindRemote node carrying spec.
+func collapseRemote(g *Graph, chain []*Node, in, out *Edge, spec *RemoteSpec) *Node {
+	r := g.AddNode(NewNode(KindRemote, "pash-remote", nil, annot.Stateless))
+	r.Remote = spec
+	r.Framed = spec.Framed
+	if in != nil {
+		in.To = r
+		r.In = []*Edge{in}
+		r.StdinInput = 0
+	}
+	out.From = r
+	r.Out = []*Edge{out}
+	for i, n := range chain {
+		if i > 0 {
+			// The edge feeding this node is interior to the chain.
+			g.removeEdge(n.In[0])
+		}
+		n.In, n.Out = nil, nil
+		g.removeNode(n)
+	}
+	return r
+}
+
+// distributeFramedChains rewrites every framed consumer chain of a
+// round-robin split into a framed remote node. The split and the
+// order-restoring merge stay on the coordinator.
+func distributeFramedChains(g *Graph, split *Node, opts DistOptions) []*Node {
+	var remotes []*Node
+	for _, e := range snapshotEdges(split.Out) {
+		chain, last := remotableChain(e)
+		if len(chain) == 0 {
+			continue
+		}
+		framed := true
+		for _, n := range chain {
+			if !n.Framed {
+				framed = false
+				break
+			}
+		}
+		// The chain must end at the order-restoring merge, still framed:
+		// that is the invariant the one-frame-in/one-frame-out wire
+		// protocol preserves.
+		if !framed || last.To == nil || last.To.Kind != KindMerge {
+			continue
+		}
+		stages := chainStages(chain)
+		if !opts.shippableStages(stages) {
+			continue
+		}
+		spec := &RemoteSpec{Stages: stages, Framed: true}
+		remotes = append(remotes, collapseRemote(g, chain, e, last, spec))
+	}
+	return remotes
+}
+
+// distributeFileRanges rewrites a split over a seekable graph-input file
+// into self-sourcing file-range remote nodes, one per branch, deleting
+// the split. Every branch must be shippable and end at a shared
+// multi-input collector (cat, merge, or an aggregate); a round-robin
+// merge downgrades to a plain cat because ranges are contiguous.
+func distributeFileRanges(g *Graph, split *Node, opts DistOptions) []*Node {
+	path := split.In[0].Source.Path
+	outs := snapshotEdges(split.Out)
+	type branch struct {
+		chain []*Node
+		head  *Edge
+		last  *Edge
+	}
+	branches := make([]branch, 0, len(outs))
+	for _, e := range outs {
+		chain, last := remotableChain(e)
+		if len(chain) == 0 || last.To == nil {
+			return nil
+		}
+		switch last.To.Kind {
+		case KindCat, KindMerge, KindAgg:
+		default:
+			return nil
+		}
+		if !opts.shippableStages(chainStages(chain)) {
+			return nil
+		}
+		branches = append(branches, branch{chain: chain, head: e, last: last})
+	}
+	n := len(branches)
+	remotes := make([]*Node, 0, n)
+	for i, br := range branches {
+		spec := &RemoteSpec{
+			Stages: chainStages(br.chain),
+			Path:   path, Slice: i, Of: n,
+		}
+		r := collapseRemote(g, br.chain, nil, br.last, spec)
+		// The split's feed edge into this branch is gone with the split.
+		br.head.To = nil
+		g.removeEdge(br.head)
+		remotes = append(remotes, r)
+		if br.last.To.Kind == KindMerge {
+			// Contiguous ranges concatenate in order; no rotation to undo.
+			br.last.To.Kind = KindCat
+			br.last.To.Name = "cat"
+		}
+	}
+	// Remove the split and its input edge: workers self-source.
+	in := split.In[0]
+	in.To = nil
+	g.removeEdge(in)
+	split.In, split.Out = nil, nil
+	g.removeNode(split)
+	return remotes
+}

@@ -78,6 +78,9 @@ func (g *Graph) Validate() error {
 		if err := validateFused(n); err != nil {
 			return err
 		}
+		if err := validateRemote(n); err != nil {
+			return err
+		}
 	}
 	return g.checkAcyclic()
 }
@@ -106,6 +109,38 @@ func validateFused(n *Node) error {
 		if st.Name == "" {
 			return fmt.Errorf("dfg: fused node %s has a stage with no command name", n)
 		}
+	}
+	return nil
+}
+
+// validateRemote checks the KindRemote invariants: only remote nodes
+// carry a RemoteSpec; a remote node has exactly one output and either
+// one stdin input (the framed chunk-relay shape) or none at all (the
+// self-sourcing file-range shape, which must name a path and slice).
+func validateRemote(n *Node) error {
+	if n.Kind != KindRemote {
+		if n.Remote != nil {
+			return fmt.Errorf("dfg: non-remote node %s carries a remote spec", n)
+		}
+		return nil
+	}
+	if n.Remote == nil || len(n.Remote.Stages) == 0 {
+		return fmt.Errorf("dfg: remote node %s has no shipped stages", n)
+	}
+	if len(n.Out) != 1 {
+		return fmt.Errorf("dfg: remote node %s must have exactly one output", n)
+	}
+	if n.Remote.Path != "" {
+		if len(n.In) != 0 {
+			return fmt.Errorf("dfg: file-range remote node %s must self-source", n)
+		}
+		if n.Remote.Of < 1 || n.Remote.Slice < 0 || n.Remote.Slice >= n.Remote.Of {
+			return fmt.Errorf("dfg: remote node %s range %d/%d invalid", n, n.Remote.Slice, n.Remote.Of)
+		}
+		return nil
+	}
+	if len(n.In) != 1 || n.StdinInput != 0 {
+		return fmt.Errorf("dfg: chunk-relay remote node %s must consume one stdin input", n)
 	}
 	return nil
 }

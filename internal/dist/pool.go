@@ -1,0 +1,720 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/commands"
+	"repro/internal/dfg"
+	"repro/internal/runtime"
+)
+
+// defaultWindow bounds the unacknowledged in-flight chunks per remote
+// stream. The window is simultaneously the backpressure mechanism (the
+// sender blocks when it fills) and the failover budget (everything in
+// it can be re-dispatched, because nothing past it has been sent).
+const defaultWindow = 32
+
+// Pool is the coordinator's view of the worker fleet: membership,
+// health, per-worker meters, and the ExecRemote client the runtime
+// calls for every KindRemote node. All methods are safe for concurrent
+// use. It implements core.WorkerPool.
+type Pool struct {
+	mu      sync.Mutex
+	workers []*poolWorker
+
+	// sharedFS declares that workers can open the coordinator's files
+	// by the same paths, enabling file-range shards (see dfg.Distribute).
+	sharedFS bool
+	// window overrides defaultWindow when > 0.
+	window int
+
+	// fp caches the membership fingerprint: planKey consults it on
+	// every region (cache hits included), so it must not re-sort and
+	// re-build a string per lookup. Membership mutations clear it.
+	fp      string
+	fpValid bool
+
+	dialTimeout time.Duration
+}
+
+// poolWorker is one member plus its lifetime meters.
+type poolWorker struct {
+	name    string
+	healthy bool
+	stats   WorkerStats
+}
+
+// WorkerStats is one worker's coordinator-side meter row, surfaced in
+// pash-serve's /metrics.
+type WorkerStats struct {
+	Name     string `json:"name"`
+	Healthy  bool   `json:"healthy"`
+	Requests int64  `json:"requests"`
+	Failures int64  `json:"failures"`
+	// ChunksOut/BytesOut count traffic shipped to the worker;
+	// ChunksIn/BytesIn count results received from it.
+	ChunksOut int64 `json:"chunks_out"`
+	BytesOut  int64 `json:"bytes_out"`
+	ChunksIn  int64 `json:"chunks_in"`
+	BytesIn   int64 `json:"bytes_in"`
+	// Redispatched counts chunks (or file ranges) re-run locally after
+	// the worker died mid-stream.
+	Redispatched int64 `json:"redispatched"`
+}
+
+// NewPool builds a pool over the given worker addresses. An address is
+// "host:port", "http://host:port", or "unix:/path/to.sock".
+func NewPool(workers ...string) *Pool {
+	p := &Pool{dialTimeout: 5 * time.Second}
+	for _, w := range workers {
+		p.Add(w)
+	}
+	return p
+}
+
+// SetSharedFS declares (or revokes) the shared-filesystem contract that
+// enables file-range shards.
+func (p *Pool) SetSharedFS(shared bool) {
+	p.mu.Lock()
+	p.sharedFS = shared
+	p.fpValid = false
+	p.mu.Unlock()
+}
+
+// SetWindow overrides the per-stream in-flight chunk window.
+func (p *Pool) SetWindow(n int) {
+	p.mu.Lock()
+	p.window = n
+	p.mu.Unlock()
+}
+
+// Add registers a worker (idempotent); new workers start healthy.
+// Addresses are normalized (surrounding whitespace and a trailing slash
+// stripped), and an empty address is ignored, so callers can feed Add
+// the raw pieces of a comma-separated flag directly.
+func (p *Pool) Add(name string) {
+	name = strings.TrimSuffix(strings.TrimSpace(name), "/")
+	if name == "" {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fpValid = false
+	for _, w := range p.workers {
+		if w.name == name {
+			w.healthy = true
+			return
+		}
+	}
+	p.workers = append(p.workers, &poolWorker{name: name, healthy: true})
+}
+
+// Remove drops a worker from the pool entirely.
+func (p *Pool) Remove(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fpValid = false
+	for i, w := range p.workers {
+		if w.name == name {
+			p.workers = append(p.workers[:i], p.workers[i+1:]...)
+			return
+		}
+	}
+}
+
+// markDown flags a worker unhealthy after a transport failure; future
+// plans avoid it (the fingerprint changes) and in-flight plans fall
+// back locally per node.
+func (p *Pool) markDown(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range p.workers {
+		if w.name == name {
+			if w.healthy {
+				w.healthy = false
+				p.fpValid = false
+			}
+			return
+		}
+	}
+}
+
+// WorkerNames lists the healthy workers in registration order — the
+// dispatch order dfg.Distribute assigns shards in.
+func (p *Pool) WorkerNames() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for _, w := range p.workers {
+		if w.healthy {
+			out = append(out, w.name)
+		}
+	}
+	return out
+}
+
+// SharedFS reports whether file-range shards are enabled.
+func (p *Pool) SharedFS() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sharedFS
+}
+
+// Fingerprint canonically identifies the membership epoch plans were
+// built against; the plan cache key embeds it, so membership changes
+// invalidate cached distributed plans by construction. The string is
+// computed under one lock (an atomic snapshot of names + sharedFS) and
+// cached until the next membership mutation — planKey calls this on
+// every region, hits included.
+func (p *Pool) Fingerprint() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fpValid {
+		return p.fp
+	}
+	var sorted []string
+	for _, w := range p.workers {
+		if w.healthy {
+			sorted = append(sorted, w.name)
+		}
+	}
+	sort.Strings(sorted)
+	var b strings.Builder
+	if p.sharedFS {
+		b.WriteString("fs|")
+	}
+	for _, n := range sorted {
+		fmt.Fprintf(&b, "%d:%s|", len(n), n)
+	}
+	p.fp = b.String()
+	p.fpValid = true
+	return p.fp
+}
+
+// Stats snapshots the per-worker meter rows.
+func (p *Pool) Stats() []WorkerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]WorkerStats, 0, len(p.workers))
+	for _, w := range p.workers {
+		st := w.stats
+		st.Name = w.name
+		st.Healthy = w.healthy
+		out = append(out, st)
+	}
+	return out
+}
+
+// note applies a meter update to one worker's row.
+func (p *Pool) note(name string, fn func(*WorkerStats)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range p.workers {
+		if w.name == name {
+			fn(&w.stats)
+			return
+		}
+	}
+}
+
+// CheckHealth probes every member's /healthz, reviving workers that
+// answer and marking down those that do not. It returns the healthy
+// count.
+func (p *Pool) CheckHealth(ctx context.Context) int {
+	p.mu.Lock()
+	names := make([]string, len(p.workers))
+	for i, w := range p.workers {
+		names[i] = w.name
+	}
+	p.mu.Unlock()
+	healthy := 0
+	for _, name := range names {
+		ok := p.probe(ctx, name)
+		p.mu.Lock()
+		for _, w := range p.workers {
+			if w.name == name && w.healthy != ok {
+				w.healthy = ok
+				p.fpValid = false
+			}
+		}
+		p.mu.Unlock()
+		if ok {
+			healthy++
+		}
+	}
+	return healthy
+}
+
+func (p *Pool) probe(ctx context.Context, name string) bool {
+	conn, err := p.dial(ctx, name)
+	if err != nil {
+		return false
+	}
+	defer conn.Close()
+	// A worker that accepts but never answers (wedged, or mid-startup)
+	// must fail the probe, not hang it: bound the whole exchange.
+	deadline := time.Now().Add(p.dialTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	conn.SetDeadline(deadline)
+	fmt.Fprintf(conn, "GET /healthz HTTP/1.1\r\nHost: pash-worker\r\nConnection: close\r\n\r\n")
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// dial opens a raw connection to a worker address.
+func (p *Pool) dial(ctx context.Context, name string) (net.Conn, error) {
+	d := net.Dialer{Timeout: p.dialTimeout}
+	if path, ok := strings.CutPrefix(name, "unix:"); ok {
+		return d.DialContext(ctx, "unix", path)
+	}
+	addr := strings.TrimPrefix(name, "http://")
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// hardError marks failures that must NOT trigger failover: the
+// downstream consumer hung up (SIGPIPE analog) or the run was
+// cancelled. Everything else on the wire is a worker/transport death
+// and re-dispatches.
+func hardError(err error) bool {
+	return errors.Is(err, runtime.ErrDownstreamClosed) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// ExecRemote ships one remote node's work to its assigned worker,
+// failing over to local execution — re-dispatching every
+// unacknowledged chunk — when the worker dies mid-stream. It
+// implements runtime.RemoteExecutor.
+func (p *Pool) ExecRemote(ctx context.Context, req *runtime.RemoteRequest) error {
+	name := req.Spec.Worker
+	if name == "" || !p.isHealthy(name) {
+		p.note(name, func(st *WorkerStats) { st.Redispatched++ })
+		return runtime.ExecRemoteLocal(ctx, req)
+	}
+	p.note(name, func(st *WorkerStats) { st.Requests++ })
+	var err error
+	if req.Spec.Path != "" {
+		err = p.execRange(ctx, name, req)
+	} else {
+		err = p.execFramed(ctx, name, req)
+	}
+	return err
+}
+
+func (p *Pool) isHealthy(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range p.workers {
+		if w.name == name {
+			return w.healthy
+		}
+	}
+	return false
+}
+
+// execConn opens the /exec request and sends the plan frame, returning
+// the connection and its chunked body writer. The wire plan is the
+// cached spec plus this run's environment snapshot (cached templates
+// are run-independent; env binds per request).
+func (p *Pool) execConn(ctx context.Context, name string, req *runtime.RemoteRequest) (net.Conn, *bufio.Writer, io.WriteCloser, error) {
+	wireSpec := *req.Spec
+	wireSpec.Env = req.Env
+	plan, err := dfg.EncodePlan(&wireSpec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	conn, err := p.dial(ctx, name)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	bw := bufio.NewWriter(conn)
+	fmt.Fprintf(bw, "POST /exec HTTP/1.1\r\nHost: pash-worker\r\n"+
+		"Content-Type: application/x-pash-frames\r\n"+
+		"Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n")
+	cw := httputil.NewChunkedWriter(bw)
+	if err := writeFrame(cw, plan); err != nil {
+		conn.Close()
+		return nil, nil, nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return nil, nil, nil, err
+	}
+	return conn, bw, cw, nil
+}
+
+// pendingChunk is one shipped-but-unacknowledged input chunk: the
+// coordinator retains ownership until the matching output frame
+// arrives, so a dead worker's window can be re-run locally.
+type pendingChunk struct {
+	b       []byte
+	release func()
+}
+
+func (pc pendingChunk) drop() {
+	if pc.release != nil {
+		pc.release()
+	} else {
+		commands.PutBlock(pc.b)
+	}
+}
+
+// execFramed runs a chunk-relay plan over the wire. The sender
+// goroutine moves input chunks conn-ward, parking each in the bounded
+// pending window; the receiver forwards output frames downstream and
+// acknowledges window slots. On worker death the window's chunks plus
+// the unread input re-dispatch through the local chain.
+func (p *Pool) execFramed(ctx context.Context, name string, req *runtime.RemoteRequest) error {
+	conn, bw, cw, err := p.execConn(ctx, name, req)
+	if err != nil {
+		p.failover(name, err)
+		return p.failoverFramed(ctx, name, req, nil)
+	}
+	defer conn.Close()
+
+	pending := make(chan pendingChunk, p.windowSize())
+	abort := make(chan struct{})
+
+	// Sender: input chunks -> pending window -> wire.
+	type sendResult struct {
+		err      error         // transport error (nil on clean input EOF)
+		inErr    error         // input-side error (propagates, no failover)
+		leftover *pendingChunk // chunk read but never parked
+	}
+	sendc := make(chan sendResult, 1)
+	go func() {
+		for {
+			b, release, err := req.In.ReadChunk()
+			if err == io.EOF {
+				// End of input: finish the chunked body so the worker
+				// sees EOF and the response can complete.
+				if cerr := cw.Close(); cerr == nil {
+					if _, cerr = io.WriteString(bw, "\r\n"); cerr == nil {
+						cerr = bw.Flush()
+					}
+					if cerr != nil {
+						sendc <- sendResult{err: cerr}
+						return
+					}
+				} else {
+					sendc <- sendResult{err: cerr}
+					return
+				}
+				sendc <- sendResult{}
+				return
+			}
+			if err != nil {
+				sendc <- sendResult{inErr: err}
+				return
+			}
+			pc := pendingChunk{b: b, release: release}
+			select {
+			case pending <- pc:
+			case <-abort:
+				sendc <- sendResult{leftover: &pc}
+				return
+			case <-ctx.Done():
+				pc.drop()
+				sendc <- sendResult{inErr: ctx.Err()}
+				return
+			}
+			p.note(name, func(st *WorkerStats) { st.ChunksOut++; st.BytesOut += int64(len(b)) })
+			if werr := writeFrame(cw, b); werr == nil {
+				werr = bw.Flush()
+				if werr != nil {
+					sendc <- sendResult{err: werr}
+					return
+				}
+			} else {
+				sendc <- sendResult{err: werr}
+				return
+			}
+		}
+	}()
+
+	// Receiver: response frames -> downstream, acknowledging the window.
+	recvErr := func() error {
+		resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+		if err != nil {
+			return fmt.Errorf("dist: worker %s: %w", name, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return fmt.Errorf("dist: worker %s: %s: %s", name, resp.Status, strings.TrimSpace(string(msg)))
+		}
+		for {
+			fr, err := readFrame(resp.Body)
+			if err == io.EOF {
+				if msg := resp.Trailer.Get("X-Pash-Error"); msg != "" {
+					return fmt.Errorf("dist: worker %s: %s", name, msg)
+				}
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("dist: worker %s: %w", name, err)
+			}
+			select {
+			case pc := <-pending:
+				pc.drop()
+			default:
+				commands.PutBlock(fr)
+				return fmt.Errorf("dist: worker %s sent more frames than it was given", name)
+			}
+			p.note(name, func(st *WorkerStats) { st.ChunksIn++; st.BytesIn += int64(len(fr)) })
+			if werr := req.Out.WriteChunk(fr); werr != nil {
+				return fmt.Errorf("downstream: %w", werr)
+			}
+		}
+	}()
+	close(abort)
+	// Unblock a sender stuck writing to a dead or abandoned connection
+	// before waiting for it (its flush errors are classified below).
+	conn.Close()
+	sres := <-sendc
+
+	if sres.inErr != nil {
+		drainPending(pending, sres.leftover)
+		return sres.inErr
+	}
+	if recvErr == nil && sres.err == nil {
+		// Clean completion: the worker acknowledged every chunk, or the
+		// stream ended with frames it legitimately never answered?
+		// One-frame-per-frame means pending must be empty here.
+		if pcs, ok := takePending(pending, sres.leftover); ok {
+			// The worker closed cleanly without answering everything:
+			// protocol violation — treat as death and re-dispatch.
+			p.failover(name, errors.New("dist: worker closed with unacknowledged chunks"))
+			return p.failoverFramed(ctx, name, req, pcs)
+		}
+		return nil
+	}
+	if recvErr != nil && (hardError(recvErr) || strings.HasPrefix(recvErr.Error(), "downstream: ")) {
+		drainPending(pending, sres.leftover)
+		if errors.Is(recvErr, runtime.ErrDownstreamClosed) {
+			return runtime.ErrDownstreamClosed
+		}
+		return recvErr
+	}
+	// Worker/transport death: re-dispatch the window and the rest of
+	// the input locally.
+	err = recvErr
+	if err == nil {
+		err = sres.err
+	}
+	p.failover(name, err)
+	window, _ := takePending(pending, sres.leftover)
+	return p.failoverFramed(ctx, name, req, window)
+}
+
+// takePending drains the window (plus the sender's leftover chunk, if
+// any) in order, reporting whether anything was outstanding.
+func takePending(pending chan pendingChunk, leftover *pendingChunk) ([]pendingChunk, bool) {
+	var out []pendingChunk
+	for {
+		select {
+		case pc := <-pending:
+			out = append(out, pc)
+		default:
+			if leftover != nil {
+				out = append(out, *leftover)
+			}
+			return out, len(out) > 0
+		}
+	}
+}
+
+func drainPending(pending chan pendingChunk, leftover *pendingChunk) {
+	pcs, _ := takePending(pending, leftover)
+	for _, pc := range pcs {
+		pc.drop()
+	}
+}
+
+// failover marks the worker down after a mid-stream death.
+func (p *Pool) failover(name string, err error) {
+	p.markDown(name)
+	p.note(name, func(st *WorkerStats) { st.Failures++ })
+	_ = err
+}
+
+// failoverFramed re-dispatches the unacknowledged window locally, then
+// keeps draining the input through the local chain — the stream
+// continues without corruption, one output chunk per input chunk.
+func (p *Pool) failoverFramed(ctx context.Context, name string, req *runtime.RemoteRequest, window []pendingChunk) error {
+	chain, err := runtime.NewStageChain(req.Reg, req.Spec.Stages, req.Dir, req.Env, req.Stderr)
+	if err != nil {
+		for _, pc := range window {
+			pc.drop()
+		}
+		return err
+	}
+	for _, pc := range window {
+		p.note(name, func(st *WorkerStats) { st.Redispatched++ })
+		out, aerr := chain.ApplyChunk(pc.b)
+		pc.drop()
+		if aerr != nil {
+			return aerr
+		}
+		if werr := req.Out.WriteChunk(out); werr != nil {
+			return werr
+		}
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		b, release, err := req.In.ReadChunk()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		p.note(name, func(st *WorkerStats) { st.Redispatched++ })
+		out, aerr := chain.ApplyChunk(b)
+		release()
+		if aerr != nil {
+			return aerr
+		}
+		if werr := req.Out.WriteChunk(out); werr != nil {
+			return werr
+		}
+	}
+}
+
+// execRange runs a file-range plan: plan frame out, transformed range
+// back. On worker death it re-runs the range locally, skipping the
+// prefix already delivered downstream (deterministic stages produce an
+// identical prefix).
+func (p *Pool) execRange(ctx context.Context, name string, req *runtime.RemoteRequest) error {
+	var delivered int64
+	conn, bw, cw, err := p.execConn(ctx, name, req)
+	if err == nil {
+		defer conn.Close()
+		// The request body is just the plan frame.
+		if cerr := cw.Close(); cerr == nil {
+			if _, cerr = io.WriteString(bw, "\r\n"); cerr == nil {
+				cerr = bw.Flush()
+			}
+			err = cerr
+		} else {
+			err = cerr
+		}
+	}
+	if err == nil {
+		err = func() error {
+			resp, rerr := http.ReadResponse(bufio.NewReader(conn), nil)
+			if rerr != nil {
+				return rerr
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+				return fmt.Errorf("dist: worker %s: %s: %s", name, resp.Status, strings.TrimSpace(string(msg)))
+			}
+			for {
+				fr, ferr := readFrame(resp.Body)
+				if ferr == io.EOF {
+					if msg := resp.Trailer.Get("X-Pash-Error"); msg != "" {
+						return fmt.Errorf("dist: worker %s: %s", name, msg)
+					}
+					return nil
+				}
+				if ferr != nil {
+					return ferr
+				}
+				p.note(name, func(st *WorkerStats) { st.ChunksIn++; st.BytesIn += int64(len(fr)) })
+				n := int64(len(fr))
+				if werr := req.Out.WriteChunk(fr); werr != nil {
+					return fmt.Errorf("downstream: %w", werr)
+				}
+				delivered += n
+			}
+		}()
+	}
+	if err == nil {
+		return nil
+	}
+	if hardError(err) || strings.HasPrefix(err.Error(), "downstream: ") {
+		if errors.Is(err, runtime.ErrDownstreamClosed) {
+			return runtime.ErrDownstreamClosed
+		}
+		return err
+	}
+	p.failover(name, err)
+	p.note(name, func(st *WorkerStats) { st.Redispatched++ })
+	return p.failoverRange(req, delivered)
+}
+
+// failoverRange re-runs the whole range locally and forwards only the
+// bytes past the already-delivered prefix.
+func (p *Pool) failoverRange(req *runtime.RemoteRequest, skip int64) error {
+	chain, err := runtime.NewStageChain(req.Reg, req.Spec.Stages, req.Dir, req.Env, req.Stderr)
+	if err != nil {
+		return err
+	}
+	r, err := runtime.OpenRange(req.Dir, req.Spec.Path, req.Spec.Slice, req.Spec.Of)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	return chain.Stream(r, &skipWriter{out: req.Out, skip: skip})
+}
+
+// skipWriter discards the first skip bytes, then forwards the rest as
+// chunks.
+type skipWriter struct {
+	out  commands.ChunkWriter
+	skip int64
+}
+
+func (s *skipWriter) Write(p []byte) (int, error) {
+	total := len(p)
+	if s.skip > 0 {
+		if int64(total) <= s.skip {
+			s.skip -= int64(total)
+			return total, nil
+		}
+		p = p[s.skip:]
+		s.skip = 0
+	}
+	blk := append(commands.GetBlock(), p...)
+	if err := s.out.WriteChunk(blk); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+func (s *skipWriter) WriteChunk(b []byte) error {
+	_, err := s.Write(b)
+	commands.PutBlock(b)
+	return err
+}
+
+func (p *Pool) windowSize() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.window > 0 {
+		return p.window
+	}
+	return defaultWindow
+}

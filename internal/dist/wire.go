@@ -1,0 +1,80 @@
+// Package dist is the transport of the distributed worker data plane:
+// a coordinator-side Pool that ships KindRemote nodes to pash-serve
+// workers, and the worker-side /exec handler that runs them. Planning
+// (which subgraphs ship) lives in dfg.Distribute; local interpretation
+// (the failover path) lives in runtime.ExecRemoteLocal. This package
+// only moves plans and framed chunks over HTTP.
+//
+// # Wire format
+//
+// One /exec request executes one remote node. The request body is a
+// sequence of frames, each a 4-byte big-endian payload length followed
+// by the payload:
+//
+//	frame 0:  the JSON-encoded dfg.RemoteSpec (the plan)
+//	frame 1…: input chunks (chunk-relay plans only; zero-length frames
+//	          are legal and meaningful — they are rotation tokens)
+//
+// The response body is the same frame format carrying output chunks.
+// For framed (chunk-relay) plans the worker emits exactly one output
+// frame per input frame, in order — frame k of the response
+// acknowledges frame k of the request, which is what makes bounded
+// re-dispatch buffers possible. For file-range plans the request
+// carries only the plan frame and the response frames carry the
+// transformed range in order. The exit status and any execution error
+// arrive in HTTP trailers (X-Pash-Exit-Code, X-Pash-Error).
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/commands"
+)
+
+// maxFrame bounds a single frame payload; input chunks are ~64 KiB
+// blocks and output chunks are one chunk's transformed bytes, so
+// anything near this limit is a corrupt stream, not a big pipeline.
+const maxFrame = 16 << 20
+
+// writeFrame emits one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame into an owned block (pooled when it fits).
+// io.EOF means a clean end of stream at a frame boundary.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("dist: truncated frame header")
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("dist: frame of %d bytes exceeds limit", n)
+	}
+	var buf []byte
+	if n <= commands.BlockSize {
+		buf = commands.GetBlock()[:n]
+	} else {
+		buf = make([]byte, n)
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
+		commands.PutBlock(buf)
+		return nil, fmt.Errorf("dist: truncated frame payload: %w", err)
+	}
+	return buf, nil
+}

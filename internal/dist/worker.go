@@ -1,0 +1,221 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/commands"
+	"repro/internal/dfg"
+	"repro/internal/runtime"
+)
+
+// Worker executes shipped remote plans: the data-plane half of
+// `pash-serve -worker`. It is deliberately session-less — no shell, no
+// plan cache, no scheduler — just a command registry and a working
+// directory, because a worker only ever sees straight-line stateless
+// stage chains.
+type Worker struct {
+	reg   *commands.Registry
+	dir   string
+	start time.Time
+
+	requests atomic.Int64
+	active   atomic.Int64
+	failures atomic.Int64
+	chunksIn atomic.Int64
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+}
+
+// NewWorker builds a worker over the standard command registry (with
+// aggregators installed) rooted at dir. A nil registry selects the
+// standard one.
+func NewWorker(reg *commands.Registry, dir string) *Worker {
+	if reg == nil {
+		reg = commands.NewStd()
+		agg.Install(reg)
+	}
+	return &Worker{reg: reg, dir: dir, start: time.Now()}
+}
+
+// Handler returns the worker's HTTP handler: POST /exec runs one
+// remote plan over the framed wire protocol; GET /healthz and
+// GET /metrics serve liveness and counters.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/exec", w.handleExec)
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(rw, "ok")
+	})
+	mux.HandleFunc("/metrics", w.handleMetrics)
+	return mux
+}
+
+func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.requests.Add(1)
+	w.active.Add(1)
+	defer w.active.Add(-1)
+
+	// Frame 0 is the plan; reject it before the response commits.
+	planFrame, err := readFrame(r.Body)
+	if err != nil {
+		w.failures.Add(1)
+		http.Error(rw, fmt.Sprintf("reading plan: %v", err), http.StatusBadRequest)
+		return
+	}
+	spec, err := dfg.DecodePlan(planFrame)
+	commands.PutBlock(planFrame)
+	if err != nil {
+		w.failures.Add(1)
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	chain, err := runtime.NewStageChain(w.reg, spec.Stages, w.dir, spec.Env, io.Discard)
+	if err != nil {
+		w.failures.Add(1)
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// The worker streams output frames while still reading input
+	// frames: full duplex, which HTTP/1 handlers must opt into.
+	http.NewResponseController(rw).EnableFullDuplex()
+	flusher, _ := rw.(http.Flusher)
+	rw.Header().Set("Trailer", "X-Pash-Exit-Code, X-Pash-Error")
+	rw.Header().Set("Content-Type", "application/x-pash-frames")
+	rw.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		// Commit the response as chunked now: trailers only travel on
+		// chunked responses, and acks must flow before input ends.
+		flusher.Flush()
+	}
+
+	var execErr error
+	if spec.Path != "" {
+		execErr = w.execRange(rw, flusher, chain, spec)
+	} else {
+		execErr = w.execFramed(rw, flusher, chain, r.Body)
+	}
+	code := 0
+	if execErr != nil {
+		w.failures.Add(1)
+		code = 1
+		rw.Header().Set("X-Pash-Error", execErr.Error())
+	}
+	rw.Header().Set("X-Pash-Exit-Code", fmt.Sprintf("%d", code))
+}
+
+// execFramed is the chunk-relay loop: one output frame per input
+// frame, flushed eagerly so the coordinator's acknowledgement window
+// keeps moving.
+func (w *Worker) execFramed(rw io.Writer, flusher http.Flusher, chain *runtime.StageChain, body io.Reader) error {
+	for {
+		in, err := readFrame(body)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		w.chunksIn.Add(1)
+		w.bytesIn.Add(int64(len(in)))
+		out, err := chain.ApplyChunk(in)
+		commands.PutBlock(in)
+		if err != nil {
+			return err
+		}
+		w.bytesOut.Add(int64(len(out)))
+		werr := writeFrame(rw, out)
+		commands.PutBlock(out)
+		if werr != nil {
+			return werr
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// execRange self-sources the plan's file slice and streams the
+// transformed bytes back as frames.
+func (w *Worker) execRange(rw io.Writer, flusher http.Flusher, chain *runtime.StageChain, spec *dfg.RemoteSpec) error {
+	r, err := runtime.OpenRange(w.dir, spec.Path, spec.Slice, spec.Of)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	fw := &frameStreamWriter{w: rw, flusher: flusher, bytesOut: &w.bytesOut}
+	return chain.Stream(r, fw)
+}
+
+// frameStreamWriter frames a plain output stream for the wire,
+// adopting whole chunks when the producer hands them over.
+type frameStreamWriter struct {
+	w        io.Writer
+	flusher  http.Flusher
+	bytesOut *atomic.Int64
+}
+
+func (f *frameStreamWriter) Write(p []byte) (int, error) {
+	if err := f.emit(p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (f *frameStreamWriter) WriteChunk(b []byte) error {
+	err := f.emit(b)
+	commands.PutBlock(b)
+	return err
+}
+
+func (f *frameStreamWriter) emit(p []byte) error {
+	if len(p) == 0 {
+		// A zero-length frame is a framing token on the wire; plain
+		// streams have no tokens to convey.
+		return nil
+	}
+	f.bytesOut.Add(int64(len(p)))
+	if err := writeFrame(f.w, p); err != nil {
+		return err
+	}
+	if f.flusher != nil {
+		f.flusher.Flush()
+	}
+	return nil
+}
+
+// WorkerMetrics is the worker's /metrics JSON document.
+type WorkerMetrics struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      int64   `json:"requests"`
+	Active        int64   `json:"active"`
+	Failures      int64   `json:"failures"`
+	ChunksIn      int64   `json:"chunks_in"`
+	BytesIn       int64   `json:"bytes_in"`
+	BytesOut      int64   `json:"bytes_out"`
+}
+
+func (w *Worker) handleMetrics(rw http.ResponseWriter, r *http.Request) {
+	rw.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	enc.Encode(WorkerMetrics{
+		UptimeSeconds: time.Since(w.start).Seconds(),
+		Requests:      w.requests.Load(),
+		Active:        w.active.Load(),
+		Failures:      w.failures.Load(),
+		ChunksIn:      w.chunksIn.Load(),
+		BytesIn:       w.bytesIn.Load(),
+		BytesOut:      w.bytesOut.Load(),
+	})
+}

@@ -54,6 +54,9 @@ type Config struct {
 	Dir string
 	// Env is the command environment.
 	Env map[string]string
+	// Remote executes KindRemote nodes on a worker pool; nil runs them
+	// locally through ExecRemoteLocal (same bytes, no network).
+	Remote RemoteExecutor
 }
 
 // StdIO binds the graph's boundary streams.
@@ -381,6 +384,9 @@ func (ex *executor) runNode(ctx context.Context, n *dfg.Node, overlay *overlayFS
 	}
 	if n.Kind == dfg.KindFused {
 		return ex.runFused(n, overlay)
+	}
+	if n.Kind == dfg.KindRemote {
+		return ex.runRemote(ctx, n)
 	}
 	if n.Framed {
 		if err, ok := ex.runFramed(n, overlay); ok {

@@ -1,0 +1,190 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/serve"
+	"repro/pash"
+)
+
+// This file is the multi-machine smoke test run by CI: a coordinator
+// daemon plus two data-plane workers, all over unix sockets — the
+// full pash-serve deployment shape on one box.
+
+// startUnixWorker launches a dist worker over a unix socket.
+func startUnixWorker(t *testing.T, dir, name string) string {
+	t.Helper()
+	sock := filepath.Join(dir, name)
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: dist.NewWorker(nil, dir).Handler()}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return "unix:" + sock
+}
+
+// unixClient returns an HTTP client that dials the given unix socket.
+func unixClient(sock string) *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "unix", sock)
+		},
+	}}
+}
+
+// TestServeDistUnixSocketE2E: a coordinator with two unix-socket
+// workers serves /run requests whose stateless chains execute on the
+// workers, byte-identical to a local session, with per-worker rows in
+// /metrics and runtime registration on /workers/register.
+func TestServeDistUnixSocketE2E(t *testing.T) {
+	dir := t.TempDir()
+	input := strings.Repeat("the Water people X\nnumber of days\nzebra TIME waltz\n", 4000)
+	if err := os.WriteFile(filepath.Join(dir, "in.txt"), []byte(input), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	w1 := startUnixWorker(t, dir, "w1.sock")
+	w2 := startUnixWorker(t, dir, "w2.sock")
+	pool := pash.NewWorkerPool(w1, w2)
+	pool.SetSharedFS(true)
+
+	sess := pash.NewSession(pash.DefaultOptions(8))
+	sess.Dir = dir
+	// No scheduler: on a small CI box it would degrade regions toward
+	// sequential width, and this test asserts the shard fan-out.
+	srv := serve.New(sess, nil)
+	srv.AttachWorkers(pool)
+
+	coordSock := filepath.Join(dir, "coord.sock")
+	ln, err := net.Listen("unix", coordSock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsrv := &http.Server{Handler: srv.Handler()}
+	go hsrv.Serve(ln)
+	t.Cleanup(func() { hsrv.Close() })
+
+	client := unixClient(coordSock)
+	script := `cat in.txt | tr A-Z a-z | grep the | sort | uniq -c`
+
+	// Local ground truth.
+	local := func() string {
+		ls := pash.NewSession(pash.DefaultOptions(8))
+		ls.Dir = dir
+		var out bytes.Buffer
+		if _, err := ls.Run(context.Background(), script, strings.NewReader(""), &out, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}()
+
+	resp, err := client.Post("http://pash/run", "text/plain", strings.NewReader(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/run status %d: %s", resp.StatusCode, body)
+	}
+	if string(body) != local {
+		t.Fatalf("coordinator output diverged from local (%d vs %d bytes)", len(body), len(local))
+	}
+	if code := resp.Trailer.Get("X-Pash-Exit-Code"); code != "0" {
+		t.Fatalf("exit code trailer = %q, want 0", code)
+	}
+
+	// The pool must have carried real traffic.
+	var m serve.Metrics
+	mresp, err := client.Get("http://pash/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if len(m.Workers) != 2 {
+		t.Fatalf("metrics workers rows = %d, want 2", len(m.Workers))
+	}
+	var requests int64
+	for _, w := range m.Workers {
+		if !w.Healthy {
+			t.Errorf("worker %s unhealthy in metrics: %+v", w.Name, w)
+		}
+		requests += w.Requests
+	}
+	if requests == 0 {
+		t.Fatalf("no requests reached the workers: %+v", m.Workers)
+	}
+
+	// Runtime registration: a third worker joins and receives work; a
+	// bogus address is rejected.
+	w3 := startUnixWorker(t, dir, "w3.sock")
+	rresp, err := client.PostForm("http://pash/workers/register", url.Values{"url": {w3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, rresp.Body)
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("register %s: status %d", w3, rresp.StatusCode)
+	}
+	bad, err := client.PostForm("http://pash/workers/register",
+		url.Values{"url": {"unix:" + filepath.Join(dir, "nope.sock")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, bad.Body)
+	bad.Body.Close()
+	if bad.StatusCode == http.StatusOK {
+		t.Fatal("bogus worker registration accepted")
+	}
+
+	wresp, err := client.Get("http://pash/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []pash.WorkerStats
+	if err := json.NewDecoder(wresp.Body).Decode(&rows); err != nil {
+		t.Fatal(err)
+	}
+	wresp.Body.Close()
+	if len(rows) != 3 {
+		t.Fatalf("worker rows after registration = %d, want 3", len(rows))
+	}
+
+	// The expanded pool actually shards across all three workers.
+	resp2, err := client.Post("http://pash/run", "text/plain", strings.NewReader(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if string(body2) != local {
+		t.Fatalf("post-registration output diverged (%d vs %d bytes)", len(body2), len(local))
+	}
+	found := false
+	for _, st := range pool.Stats() {
+		if st.Name == w3 && st.Requests > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("registered worker %s never received work: %+v", w3, pool.Stats())
+	}
+}

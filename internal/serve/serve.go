@@ -36,14 +36,24 @@
 //
 // GET /metrics returns a JSON snapshot of plan-cache, scheduler,
 // throughput, and per-job counters; GET /healthz returns 200 "ok".
+//
+// A daemon with an attached worker pool (AttachWorkers; `pash-serve
+// -workers`) is a distribution coordinator: every request's stateless
+// chains shard across the pool's `pash-serve -worker` processes, and
+// two more endpoints appear — GET /workers (per-worker meter rows,
+// health re-probed) and POST /workers/register?url=ADDR (runtime
+// membership; the worker is probed before admission). The same rows
+// ride /metrics as "workers".
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -54,6 +64,7 @@ import (
 type Server struct {
 	sess  *pash.Session
 	sched *pash.Scheduler
+	pool  *pash.WorkerPool
 	start time.Time
 
 	requests  atomic.Int64
@@ -76,15 +87,80 @@ func New(sess *pash.Session, sched *pash.Scheduler) *Server {
 // Session exposes the shared session (test hook).
 func (s *Server) Session() *pash.Session { return s.sess }
 
+// AttachWorkers turns the daemon into a distribution coordinator: the
+// pool is attached to the shared session (every request's stateless
+// chains shard across it), /metrics grows per-worker rows, and the
+// /workers endpoints manage membership at runtime.
+func (s *Server) AttachWorkers(pool *pash.WorkerPool) {
+	s.pool = pool
+	s.sess.UseWorkers(pool)
+}
+
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/workers", s.handleWorkers)
+	mux.HandleFunc("/workers/register", s.handleRegisterWorker)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// handleWorkers lists the pool's per-worker meter rows, re-probing
+// health first so operators see live membership.
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	if s.pool == nil {
+		http.Error(w, "no worker pool attached", http.StatusNotFound)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	defer cancel()
+	s.pool.CheckHealth(ctx)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.pool.Stats())
+}
+
+// handleRegisterWorker adds a worker to the pool: POST with url=<addr>
+// (form or query). The worker is probed before admission, so a typo'd
+// address is rejected instead of poisoning future plans.
+func (s *Server) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.pool == nil {
+		http.Error(w, "no worker pool attached", http.StatusNotFound)
+		return
+	}
+	url := strings.TrimSuffix(r.FormValue("url"), "/")
+	if url == "" {
+		http.Error(w, "missing url", http.StatusBadRequest)
+		return
+	}
+	s.pool.Add(url)
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	defer cancel()
+	s.pool.CheckHealth(ctx)
+	if !workerHealthy(s.pool, url) {
+		s.pool.Remove(url)
+		http.Error(w, fmt.Sprintf("worker %s failed its health probe", url), http.StatusBadGateway)
+		return
+	}
+	fmt.Fprintf(w, "registered %s\n", url)
+}
+
+func workerHealthy(pool *pash.WorkerPool, url string) bool {
+	for _, st := range pool.Stats() {
+		if st.Name == url && st.Healthy {
+			return true
+		}
+	}
+	return false
 }
 
 // countingWriter streams stdout to the client, flushing eagerly so
@@ -260,6 +336,9 @@ type Metrics struct {
 	Scheduler     *pash.SchedulerStats `json:"scheduler,omitempty"`
 	// Jobs lists the in-flight jobs, one live row each.
 	Jobs []pash.JobStats `json:"jobs,omitempty"`
+	// Workers lists the distribution pool's per-worker meter rows (only
+	// when the daemon coordinates a pool).
+	Workers []pash.WorkerStats `json:"workers,omitempty"`
 }
 
 // Snapshot gathers the current metrics.
@@ -281,6 +360,9 @@ func (s *Server) Snapshot() Metrics {
 	if s.sched != nil {
 		st := s.sched.Stats()
 		m.Scheduler = &st
+	}
+	if s.pool != nil {
+		m.Workers = s.pool.Stats()
 	}
 	return m
 }

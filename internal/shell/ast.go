@@ -28,6 +28,12 @@ type Command interface {
 // then juxtapose into one field (before field splitting).
 type Word struct {
 	Parts []WordPart
+	// Bare marks a word the lexer scanned as a single literal with no
+	// quoting, escapes, or substitutions. Reserved words ("if", "done",
+	// "{", …) are recognized only in bare form, matching POSIX: '{' or
+	// \{ is an ordinary argument, { opens a brace group. Synthetic
+	// words built outside the lexer may leave it false.
+	Bare bool
 }
 
 func (*Word) node() {}

@@ -251,6 +251,7 @@ func (l *lexer) next() (token, error) {
 func (l *lexer) lexWord() (*Word, error) {
 	var parts []WordPart
 	var lit strings.Builder
+	quoted := false // any escape or quoting seen: the word is not bare
 	flush := func() {
 		if lit.Len() > 0 {
 			parts = append(parts, &Lit{Text: lit.String()})
@@ -264,6 +265,7 @@ func (l *lexer) lexWord() (*Word, error) {
 		}
 		switch c {
 		case '\\':
+			quoted = true
 			l.pos++
 			if l.pos >= len(l.src) {
 				lit.WriteByte('\\')
@@ -328,7 +330,13 @@ func (l *lexer) lexWord() (*Word, error) {
 	if len(parts) == 0 {
 		return nil, l.errf("empty word")
 	}
-	return &Word{Parts: parts}, nil
+	w := &Word{Parts: parts}
+	if !quoted && len(parts) == 1 {
+		if _, ok := parts[0].(*Lit); ok {
+			w.Bare = true
+		}
+	}
+	return w, nil
 }
 
 func (l *lexer) lexDoubleQuoted() (WordPart, error) {
@@ -415,24 +423,17 @@ func (l *lexer) lexDollar() (WordPart, error) {
 		l.pos += end + 1
 		return &Param{Name: name, Braced: true}, nil
 	case c == '(':
-		// $( ... ) with nesting.
-		depth := 0
-		i := l.pos
-		for ; i < len(l.src); i++ {
-			switch l.src[i] {
-			case '(':
-				depth++
-			case ')':
-				depth--
-				if depth == 0 {
-					src := l.src[l.pos+1 : i]
-					l.line += strings.Count(src, "\n")
-					l.pos = i + 1
-					return &CmdSub{Src: src}, nil
-				}
-			}
+		// $( ... ) with nesting, quote-aware: parens inside single or
+		// double quotes (or backslash-escaped) do not count, matching
+		// how the body will be re-lexed at expansion time.
+		end := matchParen(l.src[l.pos:])
+		if end < 0 {
+			return nil, l.errf("unterminated $(")
 		}
-		return nil, l.errf("unterminated $(")
+		src := l.src[l.pos+1 : l.pos+end]
+		l.line += strings.Count(src, "\n")
+		l.pos += end + 1
+		return &CmdSub{Src: src}, nil
 	case isNameByte(c, true):
 		j := l.pos
 		for j < len(l.src) && isNameByte(l.src[j], j > l.pos) {
@@ -464,6 +465,12 @@ func scanBrace(s string) (WordPart, int, bool) {
 	if body == "" {
 		return nil, 0, false
 	}
+	// A real shell's word ends at unquoted whitespace or an operator, so
+	// a "brace" spanning one is not a brace expansion at all; quoting and
+	// escape characters inside stay literal words too.
+	if strings.ContainsAny(body, " \t\n|&;<>(){}$`'\"\\") {
+		return nil, 0, false
+	}
 	// Range: {int..int}
 	if i := strings.Index(body, ".."); i > 0 {
 		lo, ok1 := atoiOK(body[:i])
@@ -473,7 +480,7 @@ func scanBrace(s string) (WordPart, int, bool) {
 		}
 	}
 	// List: {a,b,c} — only simple literal items, no nesting.
-	if strings.ContainsRune(body, ',') && !strings.ContainsAny(body, "{}$`'\"") {
+	if strings.ContainsRune(body, ',') {
 		items := strings.Split(body, ",")
 		ws := make([]*Word, len(items))
 		for i, it := range items {
@@ -482,6 +489,50 @@ func scanBrace(s string) (WordPart, int, bool) {
 		return &BraceList{Items: ws}, end + 1, true
 	}
 	return nil, 0, false
+}
+
+// matchParen walks s — whose first byte must be an opening parenthesis
+// — to the matching close, honoring single quotes, double quotes, and
+// backslash escapes the way the body's expansion-time re-parse will.
+// It returns the index of the matching ')' or -1.
+func matchParen(s string) int {
+	depth := 0
+	inSQ, inDQ, esc := false, false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case esc:
+			esc = false
+		case inSQ:
+			if c == '\'' {
+				inSQ = false
+			}
+		case inDQ:
+			switch c {
+			case '\\':
+				esc = true
+			case '"':
+				inDQ = false
+			}
+		default:
+			switch c {
+			case '\\':
+				esc = true
+			case '\'':
+				inSQ = true
+			case '"':
+				inDQ = true
+			case '(':
+				depth++
+			case ')':
+				depth--
+				if depth == 0 {
+					return i
+				}
+			}
+		}
+	}
+	return -1
 }
 
 func atoiOK(s string) (int, bool) {

@@ -18,7 +18,127 @@ func Parse(src string) (*List, error) {
 	if p.tok.kind != tokEOF {
 		return nil, p.errf("unexpected %s", p.tok.kind)
 	}
+	if err := validateCmdSubs(list); err != nil {
+		return nil, err
+	}
 	return list, nil
+}
+
+// validateCmdSubs recursively parses every command substitution body:
+// a substitution that cannot parse could never execute (expansion
+// re-parses it), so rejecting it up front turns a guaranteed runtime
+// failure into a parse error — and guarantees the printer can always
+// re-embed the body as $(...). The body must also scan cleanly under
+// the $( paren matcher (quote-aware, see lexer.matchParen): a body
+// reachable only through backquotes whose re-embedding $(body) would
+// terminate early or never (an unquoted stray paren) cannot be printed
+// faithfully, so it is rejected where a quoted paren is accepted.
+func validateCmdSub(src string) error {
+	if matchParen("("+src+")") != len(src)+1 {
+		return &SyntaxError{Line: 1, Msg: fmt.Sprintf("unbalanced parens in command substitution `%s`", src)}
+	}
+	if _, err := Parse(src); err != nil {
+		return &SyntaxError{Line: 1, Msg: fmt.Sprintf("bad command substitution $(%s): %v", src, err)}
+	}
+	return nil
+}
+
+func validateCmdSubs(n Node) error {
+	switch n := n.(type) {
+	case nil:
+		return nil
+	case *Word:
+		if n == nil {
+			return nil
+		}
+		for _, p := range n.Parts {
+			switch p := p.(type) {
+			case *CmdSub:
+				if err := validateCmdSub(p.Src); err != nil {
+					return err
+				}
+			case *DblQuoted:
+				for _, ip := range p.Parts {
+					if cs, ok := ip.(*CmdSub); ok {
+						if err := validateCmdSub(cs.Src); err != nil {
+							return err
+						}
+					}
+				}
+			case *BraceList:
+				for _, it := range p.Items {
+					if err := validateCmdSubs(it); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	case *List:
+		if n == nil {
+			return nil
+		}
+		for _, it := range n.Items {
+			if err := validateCmdSubs(it.Cmd); err != nil {
+				return err
+			}
+		}
+	case *Simple:
+		for _, a := range n.Assigns {
+			if err := validateCmdSubs(a.Value); err != nil {
+				return err
+			}
+		}
+		for _, w := range n.Args {
+			if err := validateCmdSubs(w); err != nil {
+				return err
+			}
+		}
+		for _, r := range n.Redirs {
+			if err := validateCmdSubs(r.Target); err != nil {
+				return err
+			}
+		}
+	case *Pipeline:
+		for _, c := range n.Cmds {
+			if err := validateCmdSubs(c); err != nil {
+				return err
+			}
+		}
+	case *AndOr:
+		if err := validateCmdSubs(n.First); err != nil {
+			return err
+		}
+		for _, p := range n.Rest {
+			if err := validateCmdSubs(p.Cmd); err != nil {
+				return err
+			}
+		}
+	case *For:
+		for _, w := range n.Items {
+			if err := validateCmdSubs(w); err != nil {
+				return err
+			}
+		}
+		return validateCmdSubs(n.Body)
+	case *If:
+		if err := validateCmdSubs(n.Cond); err != nil {
+			return err
+		}
+		if err := validateCmdSubs(n.Then); err != nil {
+			return err
+		}
+		return validateCmdSubs(n.Else)
+	case *While:
+		if err := validateCmdSubs(n.Cond); err != nil {
+			return err
+		}
+		return validateCmdSubs(n.Body)
+	case *Subshell:
+		return validateCmdSubs(n.Body)
+	case *Brace:
+		return validateCmdSubs(n.Body)
+	}
+	return nil
 }
 
 // ParseCommand parses source that must contain exactly one command.
@@ -66,8 +186,7 @@ func (p *parser) wordIs(s string) bool {
 	if p.tok.kind != tokWord {
 		return false
 	}
-	lit, ok := p.tok.word.Literal()
-	return ok && lit == s
+	return wordLitEq(p.tok.word, s)
 }
 
 // reserved words that terminate an inner list.
@@ -181,13 +300,28 @@ func (p *parser) parsePipeline() (Command, error) {
 	return pl, nil
 }
 
+// parseBody parses the command list of a compound construct and
+// rejects an empty one: the POSIX grammar requires non-empty compound
+// lists ("while do done" is a syntax error in real shells), and the
+// printer has no rendering for an empty body.
+func (p *parser) parseBody(what string, stop func(token) bool) (*List, error) {
+	list, err := p.parseList(stop)
+	if err != nil {
+		return nil, err
+	}
+	if len(list.Items) == 0 {
+		return nil, p.errf("empty %s", what)
+	}
+	return list, nil
+}
+
 func (p *parser) parseCommand() (Command, error) {
 	switch p.tok.kind {
 	case tokLParen:
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
-		body, err := p.parseList(func(t token) bool { return t.kind == tokRParen })
+		body, err := p.parseBody("subshell body", func(t token) bool { return t.kind == tokRParen })
 		if err != nil {
 			return nil, err
 		}
@@ -210,7 +344,7 @@ func (p *parser) parseCommand() (Command, error) {
 			if err := p.advance(); err != nil {
 				return nil, err
 			}
-			body, err := p.parseList(func(t token) bool {
+			body, err := p.parseBody("brace group body", func(t token) bool {
 				return t.kind == tokWord && wordLitEq(t.word, "}")
 			})
 			if err != nil {
@@ -231,7 +365,13 @@ func (p *parser) parseCommand() (Command, error) {
 	return nil, p.errf("unexpected %s at start of command", p.tok.kind)
 }
 
+// wordLitEq reports whether w is the reserved word s: only bare words
+// (unquoted, unescaped single literals) are recognized, so '{', \{ or
+// "done" stay ordinary arguments, per POSIX.
 func wordLitEq(w *Word, s string) bool {
+	if !w.Bare {
+		return false
+	}
 	lit, ok := w.Literal()
 	return ok && lit == s
 }
@@ -293,7 +433,7 @@ func (p *parser) parseFor() (Command, error) {
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
-	body, err := p.parseList(func(t token) bool {
+	body, err := p.parseBody("for-loop body", func(t token) bool {
 		return t.kind == tokWord && wordLitEq(t.word, "done")
 	})
 	if err != nil {
@@ -312,7 +452,7 @@ func (p *parser) parseIf() (Command, error) {
 	if err := p.advance(); err != nil { // consume "if"/"elif"
 		return nil, err
 	}
-	cond, err := p.parseList(func(t token) bool {
+	cond, err := p.parseBody("if condition", func(t token) bool {
 		return t.kind == tokWord && wordLitEq(t.word, "then")
 	})
 	if err != nil {
@@ -324,7 +464,7 @@ func (p *parser) parseIf() (Command, error) {
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
-	thenList, err := p.parseList(func(t token) bool {
+	thenList, err := p.parseBody("then branch", func(t token) bool {
 		return t.kind == tokWord && (wordLitEq(t.word, "elif") || wordLitEq(t.word, "else") || wordLitEq(t.word, "fi"))
 	})
 	if err != nil {
@@ -343,7 +483,7 @@ func (p *parser) parseIf() (Command, error) {
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
-		elseList, err := p.parseList(func(t token) bool {
+		elseList, err := p.parseBody("else branch", func(t token) bool {
 			return t.kind == tokWord && wordLitEq(t.word, "fi")
 		})
 		if err != nil {
@@ -365,7 +505,7 @@ func (p *parser) parseWhile() (Command, error) {
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
-	cond, err := p.parseList(func(t token) bool {
+	cond, err := p.parseBody("loop condition", func(t token) bool {
 		return t.kind == tokWord && wordLitEq(t.word, "do")
 	})
 	if err != nil {
@@ -377,7 +517,7 @@ func (p *parser) parseWhile() (Command, error) {
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
-	body, err := p.parseList(func(t token) bool {
+	body, err := p.parseBody("loop body", func(t token) bool {
 		return t.kind == tokWord && wordLitEq(t.word, "done")
 	})
 	if err != nil {

@@ -375,3 +375,49 @@ func TestLineNumbersInErrors(t *testing.T) {
 		t.Errorf("error line = %d, want >= 3", se.Line)
 	}
 }
+
+// Regression tests for review findings: quote-aware $( scanning and
+// reserved-word handling.
+func TestCmdSubQuotedParens(t *testing.T) {
+	// Quoted parens inside substitutions are legal (bash: prints "(").
+	for _, src := range []string{
+		"echo `echo '('`",
+		`echo $(echo '(')`,
+		`echo $(echo "(")`,
+		`echo $(echo \()`,
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q) = %v, want ok", src, err)
+		}
+	}
+	// Unquoted stray parens in backquote bodies cannot re-embed as $().
+	for _, src := range []string{"echo `(`", "echo `)x`"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted an unprintable substitution", src)
+		}
+	}
+}
+
+func TestEscapedReservedWords(t *testing.T) {
+	// \done parses as a command named "done", and printing round-trips.
+	for _, src := range []string{
+		`while a; do \done; done`,
+		`for x in \do b; do echo $x; done`,
+		`echo \done`,
+	} {
+		list, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q) = %v", src, err)
+		}
+		printed := Print(list)
+		if _, err := Parse(printed); err != nil {
+			t.Errorf("Print(%q) = %q does not re-parse: %v", src, printed, err)
+		}
+	}
+	// Empty compound bodies are syntax errors, per POSIX.
+	for _, src := range []string{"while do done", "if then fi", "{ }", "( )", "for x in a; do done"} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted an empty compound body", src)
+		}
+	}
+}

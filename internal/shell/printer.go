@@ -6,130 +6,214 @@ import (
 )
 
 // Print renders an AST node back to shell source. The output is valid
-// input for Parse and preserves quoting structure.
+// input for Parse and preserves quoting structure. Printing is a fixed
+// point after one round trip: Parse(Print(n)) prints to the same text.
 func Print(n Node) string {
-	var sb strings.Builder
-	printNode(&sb, n)
-	return sb.String()
+	pr := &printer{}
+	pr.node(n)
+	pr.flushHeredocs()
+	return pr.sb.String()
 }
 
-func printNode(sb *strings.Builder, n Node) {
+// printer carries the printing state: heredoc bodies attach after the
+// current command line (that is where the shell grammar puts them), so
+// they are collected while a line prints and flushed at separators.
+type printer struct {
+	sb strings.Builder
+	// heredocs holds the redirections whose bodies are pending for the
+	// current line, in operator order.
+	heredocs []*Redir
+	// atLineStart is true right after a heredoc flush: the output sits
+	// at the start of a fresh line, and no ";" separator is needed (or
+	// legal) before the next word.
+	atLineStart bool
+}
+
+// flushHeredocs emits the pending heredoc bodies, leaving the output at
+// the start of a fresh line.
+func (pr *printer) flushHeredocs() {
+	if len(pr.heredocs) == 0 {
+		return
+	}
+	pending := pr.heredocs
+	pr.heredocs = nil
+	for _, r := range pending {
+		delim, _ := r.Target.Literal()
+		pr.sb.WriteString("\n")
+		pr.sb.WriteString(r.Heredoc)
+		pr.sb.WriteString(delim)
+	}
+	pr.sb.WriteString("\n")
+	pr.atLineStart = true
+}
+
+// sep writes an inter-command separator: a flush of pending heredocs
+// already separates (the newline after the delimiter), otherwise the
+// given punctuation does.
+func (pr *printer) sep(punct string) {
+	if len(pr.heredocs) > 0 {
+		pr.flushHeredocs()
+		return
+	}
+	pr.sb.WriteString(punct)
+	pr.atLineStart = false
+}
+
+func (pr *printer) node(n Node) {
 	switch n := n.(type) {
 	case *Word:
-		printWord(sb, n)
+		pr.word(n)
 	case *Simple:
-		printSimple(sb, n)
+		pr.simple(n)
 	case *Pipeline:
 		if n.Negated {
-			sb.WriteString("! ")
+			pr.sb.WriteString("! ")
 		}
 		for i, c := range n.Cmds {
 			if i > 0 {
-				sb.WriteString(" | ")
+				pr.sb.WriteString(" | ")
 			}
-			printNode(sb, c)
+			pr.node(c)
 		}
 	case *AndOr:
-		printNode(sb, n.First)
+		pr.node(n.First)
 		for _, part := range n.Rest {
-			fmt.Fprintf(sb, " %s ", part.Op)
-			printNode(sb, part.Cmd)
+			fmt.Fprintf(&pr.sb, " %s ", part.Op)
+			pr.node(part.Cmd)
 		}
 	case *List:
 		for i, it := range n.Items {
-			if i > 0 {
-				sb.WriteString(" ")
+			if i > 0 && !pr.atLineStart {
+				pr.sb.WriteString(" ")
 			}
-			printNode(sb, it.Cmd)
+			pr.atLineStart = false
+			pr.node(it.Cmd)
 			if it.Background {
-				sb.WriteString(" &")
+				pr.sb.WriteString(" &")
+				pr.flushHeredocs()
 			} else if i < len(n.Items)-1 {
-				sb.WriteString(";")
+				pr.sep(";")
+			} else {
+				pr.flushHeredocs()
 			}
 		}
 	case *For:
-		fmt.Fprintf(sb, "for %s in", n.Var)
+		fmt.Fprintf(&pr.sb, "for %s in", n.Var)
 		for _, w := range n.Items {
-			sb.WriteString(" ")
-			printWord(sb, w)
+			pr.sb.WriteString(" ")
+			if keywordText(w) == "do" {
+				// A literal "do" item (parsed from \do or 'do') printed
+				// bare would terminate the item list on re-parse.
+				pr.sb.WriteString("'do'")
+				continue
+			}
+			pr.word(w)
 		}
-		sb.WriteString("; do ")
-		printNode(sb, n.Body)
-		sb.WriteString("; done")
+		pr.sb.WriteString("; do ")
+		pr.node(n.Body)
+		pr.close(n.Body, "done")
 	case *If:
-		sb.WriteString("if ")
-		printNode(sb, n.Cond)
-		sb.WriteString("; then ")
-		printNode(sb, n.Then)
+		pr.sb.WriteString("if ")
+		pr.node(n.Cond)
+		pr.close(n.Cond, "then ")
+		pr.node(n.Then)
 		if n.Else != nil {
-			sb.WriteString("; else ")
-			printNode(sb, n.Else)
+			pr.close(n.Then, "else ")
+			pr.node(n.Else)
+			pr.close(n.Else, "fi")
+		} else {
+			pr.close(n.Then, "fi")
 		}
-		sb.WriteString("; fi")
 	case *While:
 		if n.Until {
-			sb.WriteString("until ")
+			pr.sb.WriteString("until ")
 		} else {
-			sb.WriteString("while ")
+			pr.sb.WriteString("while ")
 		}
-		printNode(sb, n.Cond)
-		sb.WriteString("; do ")
-		printNode(sb, n.Body)
-		sb.WriteString("; done")
+		pr.node(n.Cond)
+		pr.close(n.Cond, "do ")
+		pr.node(n.Body)
+		pr.close(n.Body, "done")
 	case *Subshell:
-		sb.WriteString("( ")
-		printNode(sb, n.Body)
-		sb.WriteString(" )")
+		pr.sb.WriteString("( ")
+		pr.node(n.Body)
+		if pr.atLineStart {
+			pr.sb.WriteString(")")
+		} else {
+			pr.sb.WriteString(" )")
+		}
+		pr.atLineStart = false
 	case *Brace:
-		sb.WriteString("{ ")
-		printNode(sb, n.Body)
-		sb.WriteString("; }")
+		pr.sb.WriteString("{ ")
+		pr.node(n.Body)
+		pr.close(n.Body, "}")
 	default:
 		panic(fmt.Sprintf("shell: Print: unknown node %T", n))
 	}
 }
 
-func printSimple(sb *strings.Builder, n *Simple) {
+// close writes the separator between a printed compound body and its
+// closing keyword. A body whose last line ended with a heredoc flush
+// (or a trailing " &", itself a separator) must not get a ";".
+func (pr *printer) close(l *List, keyword string) {
+	switch {
+	case pr.atLineStart:
+		// Fresh line after a heredoc body: the keyword stands alone.
+	case len(l.Items) > 0 && l.Items[len(l.Items)-1].Background:
+		pr.sb.WriteString(" ")
+	default:
+		pr.sb.WriteString("; ")
+	}
+	pr.sb.WriteString(keyword)
+	pr.atLineStart = false
+}
+
+func (pr *printer) simple(n *Simple) {
 	first := true
 	sep := func() {
 		if !first {
-			sb.WriteString(" ")
+			pr.sb.WriteString(" ")
 		}
 		first = false
 	}
 	for _, a := range n.Assigns {
 		sep()
-		sb.WriteString(a.Name)
-		sb.WriteString("=")
+		pr.sb.WriteString(a.Name)
+		pr.sb.WriteString("=")
 		if a.Value != nil {
-			printWord(sb, a.Value)
+			pr.word(a.Value)
 		}
 	}
-	for _, w := range n.Args {
+	for i, w := range n.Args {
+		cmdPos := first && i == 0
 		sep()
-		printWord(sb, w)
+		if cmdPos && keywordText(w) != "" {
+			// A word like \done or !\<newline> parses to a plain literal,
+			// but printed bare in command position it would re-read as
+			// the reserved word. Quoting keeps it an ordinary argument
+			// (the parser recognizes keywords only in bare form).
+			pr.sb.WriteString("'" + keywordText(w) + "'")
+			continue
+		}
+		pr.word(w)
 	}
 	for _, r := range n.Redirs {
 		sep()
 		if r.N >= 0 {
-			fmt.Fprintf(sb, "%d", r.N)
+			fmt.Fprintf(&pr.sb, "%d", r.N)
 		}
-		sb.WriteString(r.Op.String())
-		printWord(sb, r.Target)
+		pr.sb.WriteString(r.Op.String())
+		pr.word(r.Target)
 		if r.Op == RedirHeredoc {
-			// Heredocs cannot be printed inline; re-emit as a quoted echo
-			// pipeline would change semantics, so emit the POSIX form on
-			// the following lines.
-			delim, _ := r.Target.Literal()
-			sb.WriteString("\n")
-			sb.WriteString(r.Heredoc)
-			sb.WriteString(delim)
-			sb.WriteString("\n")
+			// The body belongs after this command line's newline; the
+			// printer flushes it at the next separator.
+			pr.heredocs = append(pr.heredocs, r)
 		}
 	}
 }
 
-func printWord(sb *strings.Builder, w *Word) {
+func (pr *printer) word(w *Word) {
+	sb := &pr.sb
 	for i, p := range w.Parts {
 		// An unbraced $name followed by a part starting with a name
 		// character would swallow it on reparse; force braces there.
@@ -177,13 +261,37 @@ func printWord(sb *strings.Builder, w *Word) {
 				if i > 0 {
 					sb.WriteString(",")
 				}
-				printWord(sb, it)
+				// The lexer scans brace bodies verbatim (no escape
+				// processing), so items print verbatim too: escaping
+				// here would not survive a re-parse.
+				if lit, ok := it.Literal(); ok {
+					sb.WriteString(lit)
+				} else {
+					pr.word(it)
+				}
 			}
 			sb.WriteString("}")
 		default:
 			panic(fmt.Sprintf("shell: Print: unknown word part %T", p))
 		}
 	}
+}
+
+// keywordText returns the word's literal text when printing it bare
+// would re-parse as a reserved word ("" otherwise). Only words whose
+// printed form has no escapes qualify — \{ already prints escaped and
+// re-reads as non-bare.
+func keywordText(w *Word) string {
+	lit, ok := w.Literal()
+	if !ok || lit != quoteLit(lit) {
+		return ""
+	}
+	switch lit {
+	case "if", "then", "elif", "else", "fi", "for", "while", "until",
+		"do", "done", "!":
+		return lit
+	}
+	return ""
 }
 
 // startsWithNameByte reports whether the part's leading character could

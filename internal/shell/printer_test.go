@@ -76,8 +76,9 @@ func randCommand(rng *rand.Rand, depth int) Command {
 	}
 }
 
-// normalizeBraced clears the purely syntactic Param.Braced flag so the
-// round-trip comparison is semantic ($x and ${x} are the same word).
+// normalizeBraced clears the purely syntactic Param.Braced and
+// Word.Bare flags so the round-trip comparison is semantic ($x and
+// ${x} are the same word; bareness only matters during parsing).
 func normalizeBraced(n Node) {
 	switch n := n.(type) {
 	case *List:
@@ -124,6 +125,7 @@ func normalizeBraced(n Node) {
 	case *Brace:
 		normalizeBraced(n.Body)
 	case *Word:
+		n.Bare = false
 		for _, p := range n.Parts {
 			switch p := p.(type) {
 			case *Param:

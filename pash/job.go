@@ -39,6 +39,9 @@ type StartOption func(*startConfig)
 
 type startConfig struct {
 	opts *Options
+	pool *WorkerPool
+	// setPool distinguishes "no override" from WithWorkers(nil).
+	setPool bool
 }
 
 // WithOptions overrides the session's planning options for this job
@@ -46,6 +49,14 @@ type startConfig struct {
 // keys on these options, so per-job overrides share the cache safely.
 func WithOptions(o Options) StartOption {
 	return func(c *startConfig) { oc := o; c.opts = &oc }
+}
+
+// WithWorkers overrides the session's worker pool for this job only:
+// a non-nil pool distributes the job's regions across it, nil forces
+// purely local execution. The plan cache keys on the pool fingerprint,
+// so per-job overrides share the cache safely.
+func WithWorkers(pool *WorkerPool) StartOption {
+	return func(c *startConfig) { c.pool = pool; c.setPool = true }
 }
 
 // jobIDs hands out process-wide job identifiers (the Pid analog).
@@ -103,9 +114,18 @@ func (s *Session) Start(ctx context.Context, src string, stdio JobIO, opts ...St
 		}
 	}
 	c := s.snapshot()
-	if cfg.opts != nil {
+	if cfg.opts != nil || cfg.setPool {
 		cc := *c
-		cc.Opts = *cfg.opts
+		if cfg.opts != nil {
+			cc.Opts = *cfg.opts
+		}
+		if cfg.setPool {
+			if cfg.pool == nil {
+				cc.Workers = nil
+			} else {
+				cc.Workers = cfg.pool
+			}
+		}
 		c = &cc
 	}
 	if ctx == nil {

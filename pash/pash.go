@@ -40,6 +40,7 @@ import (
 	"repro/internal/annot"
 	"repro/internal/core"
 	"repro/internal/dfg"
+	"repro/internal/dist"
 	"repro/internal/runtime"
 )
 
@@ -154,6 +155,49 @@ func (s *Session) SetOptions(opts Options) {
 // from the scheduler's token pool. Pass nil to detach.
 func (s *Session) UseScheduler(sched *Scheduler) {
 	s.mutate(func(c *core.Compiler) { c.Sched = sched })
+}
+
+// WorkerPool is the distributed data plane: a set of `pash-serve
+// -worker` processes the session's plans shard across. Build one with
+// NewWorkerPool and attach it with UseWorkers (or per-job with
+// WithWorkers).
+type WorkerPool = dist.Pool
+
+// WorkerStats re-exports a worker's coordinator-side meter row.
+type WorkerStats = dist.WorkerStats
+
+// NewWorkerPool builds a pool over the given worker addresses
+// ("host:port", "http://host:port", or "unix:/path/to.sock").
+func NewWorkerPool(workers ...string) *WorkerPool { return dist.NewPool(workers...) }
+
+// UseWorkers attaches a worker pool: parallelizable stateless chains in
+// every subsequent run are shipped to pool workers as framed chunk
+// streams (or file-range shards when the pool shares the session's
+// filesystem), with automatic local failover when a worker dies
+// mid-stream. Pass nil to detach. The plan cache keys on the pool's
+// membership fingerprint, so attaching, detaching, or losing workers
+// re-plans affected regions instead of serving stale shard maps.
+func (s *Session) UseWorkers(pool *WorkerPool) {
+	s.mutate(func(c *core.Compiler) {
+		if pool == nil {
+			c.Workers = nil
+			return
+		}
+		c.Workers = pool
+	})
+}
+
+// WorkerStats snapshots the attached pool's per-worker meter rows (nil
+// without a pool).
+func (s *Session) WorkerStats() []WorkerStats {
+	c := s.snapshot()
+	if c.Workers == nil {
+		return nil
+	}
+	if p, ok := c.Workers.(*dist.Pool); ok {
+		return p.Stats()
+	}
+	return nil
 }
 
 // PlanCacheStats snapshots the session's plan-cache counters.
