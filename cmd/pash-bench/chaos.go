@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/dist"
+	"repro/pash"
+)
+
+// runChaos measures the cost of surviving each fault class: the same
+// pipeline runs clean and then with one injected fault, against two
+// local workers at width 8. The recovery latency — faulted wall time
+// minus clean wall time — is what a worker death (or partition, or
+// corrupted stream) costs the pipeline end to end, retry/backoff and
+// re-dispatch included. Correctness is asserted on every run: a chaos
+// record is only emitted for byte-identical output.
+func runChaos(scale int) {
+	dir := tmpdir()
+	defer os.RemoveAll(dir)
+
+	input := distInput(200_000 * scale)
+	if err := os.WriteFile(filepath.Join(dir, "in.txt"), input, 0o644); err != nil {
+		die(err)
+	}
+	script := `cat in.txt | tr A-Z a-z | grep -E '(the|of|and).*(water|people|number)' | sort`
+	const width = 8
+
+	names, cleanup := startLocalWorkerSocks(dir, 2)
+	defer cleanup()
+
+	localDur, localOut := distTime(script, dir, width, nil)
+	fmt.Printf("local reference: %.0fms\n", localDur.Seconds()*1e3)
+
+	cases := []struct {
+		name string
+		spec dist.FaultSpec
+	}{
+		{"refuse", dist.FaultSpec{Kind: dist.FaultRefuse, Times: 2}},
+		{"partition-dial", dist.FaultSpec{Kind: dist.FaultPartition, Times: 1}},
+		{"kill", dist.FaultSpec{Kind: dist.FaultKill, AfterBytes: 20_000, Times: 1}},
+		{"partition-stream", dist.FaultSpec{Kind: dist.FaultPartition, AfterBytes: 20_000, Times: 1}},
+		{"truncate", dist.FaultSpec{Kind: dist.FaultTruncate, AfterBytes: 20_000, Times: 1}},
+		{"corrupt", dist.FaultSpec{Kind: dist.FaultCorrupt, AfterBytes: 20_000, Times: 1}},
+		{"slow", dist.FaultSpec{Kind: dist.FaultSlow, Latency: 2 * time.Millisecond}},
+	}
+
+	fmt.Printf("%-18s %10s %11s %11s %8s %8s\n", "fault", "clean", "faulted", "recovery", "redisp", "retries")
+	for _, tc := range cases {
+		// Fresh pool per case: fresh health state, fresh meters, same
+		// worker processes.
+		pool := pash.NewWorkerPool(names...)
+		pool.SetDialTimeout(500 * time.Millisecond)
+		pool.SetChunkTimeout(500 * time.Millisecond)
+		pool.SetRetryPolicy(3, 10*time.Millisecond, 100*time.Millisecond)
+		inj := dist.NewInjector(1)
+		pool.SetFaultInjector(inj)
+
+		clean, out := distTime(script, dir, width, pool)
+		if !bytes.Equal(out, localOut) {
+			die(fmt.Errorf("chaos %s: clean distributed output diverged from local", tc.name))
+		}
+
+		inj.Set(pool.WorkerNames()[0], tc.spec)
+		start := time.Now()
+		faultedOut := distRunOnce(script, dir, width, pool)
+		faulted := time.Since(start)
+		if !bytes.Equal(faultedOut, localOut) {
+			die(fmt.Errorf("chaos %s: output diverged under fault — corruption", tc.name))
+		}
+
+		recovery := faulted - clean
+		if recovery < 0 {
+			recovery = 0
+		}
+		var redisp, retries int64
+		for _, st := range pool.Stats() {
+			redisp += st.RedispatchedRemote + st.Redispatched
+			retries += st.Retries
+		}
+		fmt.Printf("%-18s %9.0fms %10.0fms %10.0fms %8d %8d\n",
+			tc.name, clean.Seconds()*1e3, faulted.Seconds()*1e3, recovery.Seconds()*1e3, redisp, retries)
+		record(benchRecord{Bench: "chaos-" + tc.name, Config: "dist-chaos", Width: width, Metric: "clean_ms", Value: clean.Seconds() * 1e3})
+		record(benchRecord{Bench: "chaos-" + tc.name, Config: "dist-chaos", Width: width, Metric: "faulted_ms", Value: faulted.Seconds() * 1e3})
+		record(benchRecord{Bench: "chaos-" + tc.name, Config: "dist-chaos", Width: width, Metric: "recovery_ms", Value: recovery.Seconds() * 1e3})
+		record(benchRecord{Bench: "chaos-" + tc.name, Config: "dist-chaos", Width: width, Metric: "redispatched", Value: float64(redisp)})
+		record(benchRecord{Bench: "chaos-" + tc.name, Config: "dist-chaos", Width: width, Metric: "retries", Value: float64(retries)})
+	}
+}
+
+// distRunOnce runs a script once, cold, and returns its output (the
+// faulted run must not be averaged or warmed — the first encounter with
+// the fault is the measurement).
+func distRunOnce(script, dir string, width int, pool *pash.WorkerPool) []byte {
+	sess := pash.NewSession(pash.DefaultOptions(width))
+	sess.Dir = dir
+	if pool != nil {
+		sess.UseWorkers(pool)
+	}
+	var out bytes.Buffer
+	if _, err := sess.Run(context.Background(), script, strings.NewReader(""), &out, os.Stderr); err != nil {
+		die(err)
+	}
+	return out.Bytes()
+}

@@ -96,7 +96,15 @@ func distTime(script, dir string, width int, pool *pash.WorkerPool) (time.Durati
 
 // startLocalWorkers launches n dist workers over unix sockets in dir.
 func startLocalWorkers(dir string, n int) (*pash.WorkerPool, func()) {
-	pool := pash.NewWorkerPool()
+	names, cleanup := startLocalWorkerSocks(dir, n)
+	return pash.NewWorkerPool(names...), cleanup
+}
+
+// startLocalWorkerSocks launches n workers and returns their addresses,
+// so callers can build fresh pools (fresh health state, fresh meters)
+// over the same processes.
+func startLocalWorkerSocks(dir string, n int) ([]string, func()) {
+	var names []string
 	var closers []func()
 	for i := 0; i < n; i++ {
 		sock := filepath.Join(dir, fmt.Sprintf("w%d.sock", i))
@@ -107,9 +115,9 @@ func startLocalWorkers(dir string, n int) (*pash.WorkerPool, func()) {
 		srv := &http.Server{Handler: dist.NewWorker(nil, dir).Handler()}
 		go srv.Serve(ln)
 		closers = append(closers, func() { srv.Close() })
-		pool.Add("unix:" + sock)
+		names = append(names, "unix:"+sock)
 	}
-	return pool, func() {
+	return names, func() {
 		for _, c := range closers {
 			c()
 		}

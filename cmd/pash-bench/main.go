@@ -82,15 +82,16 @@ func writeJSON(path string, scale int) {
 
 func main() {
 	var (
-		table   = flag.Int("table", 0, "regenerate a table (1 or 2)")
-		fig     = flag.Int("fig", 0, "regenerate a figure (7 or 8)")
-		exp     = flag.String("exp", "", "use case: noaa|wikipedia|sort|gnuparallel")
-		scale   = flag.Int("scale", 4, "workload scale factor")
-		widths  = flag.String("widths", "2,4,8,16,32,64", "width sweep for -fig 7")
-		bench   = flag.String("bench", "", "restrict -fig 7 to one benchmark")
-		jsonOut = flag.String("out", "", "also write results as JSON to this file (e.g. BENCH_fig7.json)")
-		control = flag.Bool("control", false, "measure the control plane: plan cache + pash-serve throughput")
-		distFlg = flag.Bool("dist", false, "measure the distributed data plane: coordinator overhead vs local")
+		table    = flag.Int("table", 0, "regenerate a table (1 or 2)")
+		fig      = flag.Int("fig", 0, "regenerate a figure (7 or 8)")
+		exp      = flag.String("exp", "", "use case: noaa|wikipedia|sort|gnuparallel")
+		scale    = flag.Int("scale", 4, "workload scale factor")
+		widths   = flag.String("widths", "2,4,8,16,32,64", "width sweep for -fig 7")
+		bench    = flag.String("bench", "", "restrict -fig 7 to one benchmark")
+		jsonOut  = flag.String("out", "", "also write results as JSON to this file (e.g. BENCH_fig7.json)")
+		control  = flag.Bool("control", false, "measure the control plane: plan cache + pash-serve throughput")
+		distFlg  = flag.Bool("dist", false, "measure the distributed data plane: coordinator overhead vs local")
+		chaosFlg = flag.Bool("chaos", false, "measure fault-recovery latency per fault class (see BENCH_chaos.json)")
 	)
 	flag.Parse()
 	switch {
@@ -98,6 +99,8 @@ func main() {
 		runControl(*scale)
 	case *distFlg:
 		runDist(*scale)
+	case *chaosFlg:
+		runChaos(*scale)
 	case *table == 1:
 		pash.WriteTable1(os.Stdout)
 	case *table == 2:

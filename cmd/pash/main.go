@@ -85,6 +85,10 @@ func main() {
 		pool := pash.NewWorkerPool(strings.Split(*workers, ",")...)
 		pool.SetSharedFS(*sharedFS)
 		s.UseWorkers(pool)
+		// Background prober: a worker that dies mid-run drains out of
+		// planning, and one that comes back rejoins, without restarting.
+		stop := pool.StartProber(context.Background())
+		defer stop()
 	}
 
 	if *graph {

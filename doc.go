@@ -141,11 +141,26 @@
 // The frame discipline doubles as an acknowledgement protocol — output
 // frame k acknowledges input chunk k — so the coordinator retains only
 // a bounded window of unacknowledged chunks (backpressure) and, when a
-// worker dies mid-stream, re-dispatches exactly that window locally and
-// finishes the stream itself: byte-identical output, no corruption,
-// one membership epoch re-planned (the plan cache keys on the pool
-// fingerprint). Per-worker meters ride the coordinator's /metrics;
-// workers register at runtime via POST /workers/register.
+// worker dies mid-stream, re-dispatches exactly that window to a
+// surviving worker (falling back to local execution only when no peer
+// is alive): byte-identical output, no corruption, one membership
+// epoch re-planned (the plan cache keys on the pool fingerprint).
+//
+// The plane is self-healing. Frames carry CRC-32C checksums, so a
+// corrupted or truncated stream is a detected failure, never wrong
+// bytes downstream; pre-stream faults retry against the same worker
+// with capped exponential backoff; a handshake deadline and a
+// per-stream inactivity watchdog turn silent network partitions into
+// ordinary detected deaths; and a background prober walks each worker
+// through a healthy→degraded→down→rejoining state machine with
+// hysteresis — a dead worker drains out of planning, a restarted one
+// rejoins, and a slow one is steered away from, all without restarting
+// the coordinator. A fault-injection layer (dist.ParseFaultProfile,
+// `pash-serve -fault-profile`) and a chaos suite drive every fault
+// class through the real stack to hold the no-corruption guarantee.
+// Per-worker meters and state-transition counters ride the
+// coordinator's /metrics; workers register at runtime via POST
+// /workers/register, with bounded-retry -join on the worker side.
 //
 // internal/runtime/README.md documents the ownership contract, the
 // framing protocol, the fusion contract, the tree layout, the

@@ -73,8 +73,9 @@ func startPoolWithKiller(t *testing.T, healthy int, dir string, afterBytes int64
 }
 
 // TestWorkerDeathMidStream: a worker killed mid-pipeline does not
-// corrupt output — unacknowledged chunks re-dispatch locally and the
-// stream completes byte-identical to local execution.
+// corrupt output — and because a healthy peer exists, the
+// unacknowledged window re-dispatches to the SURVIVOR, not to the
+// coordinator. Local fallback with a live peer available is a bug.
 func TestWorkerDeathMidStream(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "in.txt"), []byte(makeInput(30000, 7)), 0o644); err != nil {
@@ -94,10 +95,11 @@ func TestWorkerDeathMidStream(t *testing.T) {
 			if !kh.killed.Load() {
 				t.Fatalf("sharedFS=%v kill@%d: killer worker never died (not exercised)", sharedFS, afterBytes)
 			}
-			var redispatched int64
+			var local64, remote64 int64
 			unhealthy := 0
 			for _, st := range pool.Stats() {
-				redispatched += st.Redispatched
+				local64 += st.Redispatched
+				remote64 += st.RedispatchedRemote
 				if !st.Healthy {
 					unhealthy++
 				}
@@ -105,9 +107,44 @@ func TestWorkerDeathMidStream(t *testing.T) {
 			if unhealthy != 1 {
 				t.Errorf("sharedFS=%v kill@%d: %d workers down, want exactly the killed one", sharedFS, afterBytes, unhealthy)
 			}
-			if redispatched == 0 {
-				t.Errorf("sharedFS=%v kill@%d: no chunks re-dispatched", sharedFS, afterBytes)
+			if remote64 == 0 {
+				t.Errorf("sharedFS=%v kill@%d: no work re-dispatched to the surviving worker", sharedFS, afterBytes)
 			}
+			if local64 != 0 {
+				t.Errorf("sharedFS=%v kill@%d: %d chunks ran on the coordinator while a healthy peer existed",
+					sharedFS, afterBytes, local64)
+			}
+		}
+	}
+}
+
+// TestWorkerDeathNoSurvivor: when the dying worker was the only one,
+// the recovery ladder bottoms out at the coordinator's local chain —
+// output still byte-identical, counted as local re-dispatch.
+func TestWorkerDeathNoSurvivor(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "in.txt"), []byte(makeInput(20000, 11)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, sharedFS := range []bool{false, true} {
+		pool, kh := startPoolWithKiller(t, 0, dir, 1)
+		pool.SetSharedFS(sharedFS)
+		script := `cat in.txt | tr A-Z a-z | grep the | sort`
+		local := runScript(t, script, dir, 8, nil)
+		got := runScript(t, script, dir, 8, pool)
+		if got != local {
+			t.Fatalf("sharedFS=%v: output corrupted after sole worker death (%d vs %d bytes)",
+				sharedFS, len(got), len(local))
+		}
+		if !kh.killed.Load() {
+			t.Fatalf("sharedFS=%v: killer worker never died (not exercised)", sharedFS)
+		}
+		var local64 int64
+		for _, st := range pool.Stats() {
+			local64 += st.Redispatched
+		}
+		if local64 == 0 {
+			t.Errorf("sharedFS=%v: no local re-dispatch recorded with an empty survivor set", sharedFS)
 		}
 	}
 }

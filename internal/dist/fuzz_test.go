@@ -1,0 +1,85 @@
+package dist
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzFrame exercises the frame codec three ways per input: a
+// write/read round-trip must be lossless; parsing the raw fuzz bytes as
+// a frame stream must never panic and must never report a clean EOF
+// unless the stream really ended at a frame boundary; and a valid frame
+// damaged by truncation or a single bit flip must be rejected — as
+// ErrTruncatedFrame or ErrCorruptFrame, never as io.EOF and never as a
+// successful parse of different bytes.
+func FuzzFrame(f *testing.F) {
+	f.Add([]byte(""), byte(0))
+	f.Add([]byte("hello frames"), byte(3))
+	f.Add([]byte{0, 0, 0, 4, 0, 0, 0, 0, 'a', 'b', 'c', 'd'}, byte(1))
+	f.Add(bytes.Repeat([]byte{0xff}, 64), byte(9))
+	f.Fuzz(func(t *testing.T, data []byte, mut byte) {
+		// Round trip: whatever bytes go in come back out.
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, data); err != nil {
+			t.Fatalf("writeFrame: %v", err)
+		}
+		encoded := append([]byte(nil), buf.Bytes()...)
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("readFrame(writeFrame(%d bytes)): %v", len(data), err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip mangled payload: %d bytes in, %d out", len(data), len(got))
+		}
+		if rest, err := readFrame(&buf); err != io.EOF {
+			t.Fatalf("trailing read: got (%d bytes, %v), want io.EOF", len(rest), err)
+		}
+
+		// Raw bytes as a stream: drain frames until an error. A clean
+		// io.EOF is only legal when the remaining stream is empty —
+		// anything else must classify as truncated or corrupt.
+		r := bytes.NewReader(data)
+		for i := 0; i < 1000; i++ {
+			before := r.Len()
+			_, err := readFrame(r)
+			if err == nil {
+				continue
+			}
+			if err == io.EOF {
+				if before != 0 {
+					t.Fatalf("clean EOF with %d unconsumed bytes in a torn frame", before)
+				}
+			} else if !errors.Is(err, ErrTruncatedFrame) && !errors.Is(err, ErrCorruptFrame) {
+				t.Fatalf("unclassified frame error: %v", err)
+			}
+			if errors.Is(err, io.EOF) && err != io.EOF {
+				t.Fatalf("frame error %v leaks io.EOF to errors.Is", err)
+			}
+			break
+		}
+
+		// Damage the valid encoding. Truncation anywhere inside must
+		// never parse and never look like clean stream end.
+		if cut := int(mut) % len(encoded); cut > 0 {
+			if _, err := readFrame(bytes.NewReader(encoded[:cut])); err == nil || err == io.EOF {
+				t.Fatalf("truncated at %d/%d bytes: got %v, want truncation error", cut, len(encoded), err)
+			}
+		}
+		// A flipped bit must fail the checksum (or the header sanity
+		// checks); it must never come back as a clean, different payload.
+		flipped := append([]byte(nil), encoded...)
+		pos := int(mut) % len(flipped)
+		flipped[pos] ^= 1 << (mut % 8)
+		if flipped[pos] != encoded[pos] {
+			got, err := readFrame(bytes.NewReader(flipped))
+			if err == nil && !bytes.Equal(got, data) {
+				t.Fatalf("bit flip at %d parsed cleanly into different bytes", pos)
+			}
+			if err == io.EOF {
+				t.Fatalf("bit flip at %d reported clean EOF", pos)
+			}
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/commands"
@@ -24,6 +25,53 @@ import (
 // sender blocks when it fills) and the failover budget (everything in
 // it can be re-dispatched, because nothing past it has been sent).
 const defaultWindow = 32
+
+// Dispatch-robustness defaults. Retry is capped exponential backoff
+// against the same worker for pre-stream (retryable) failures; the
+// chunk timeout arms the per-stream inactivity watchdog that turns a
+// silent partition into a detected mid-stream death.
+const (
+	defaultRetryAttempts = 3
+	defaultRetryBase     = 50 * time.Millisecond
+	defaultRetryMax      = 2 * time.Second
+	defaultChunkTimeout  = 60 * time.Second
+)
+
+// workerState is the per-worker position in the failover state
+// machine: healthy → (degraded ⇄) → down → rejoining → healthy.
+type workerState int
+
+const (
+	// stateHealthy: in the dispatch set, plans assign shards to it.
+	stateHealthy workerState = iota
+	// stateDegraded: alive but slow (per-chunk EWMA far above the pool
+	// median); new plans steer away, in-flight streams continue, and it
+	// still serves as a failover target of last resort.
+	stateDegraded
+	// stateDown: probes or a mid-stream death marked it dead; excluded
+	// from planning and failover until the prober rejoins it.
+	stateDown
+	// stateRejoining: a down worker answering probes again, waiting out
+	// the prober's consecutive-success threshold before readmission.
+	stateRejoining
+)
+
+func (s workerState) String() string {
+	switch s {
+	case stateHealthy:
+		return "healthy"
+	case stateDegraded:
+		return "degraded"
+	case stateDown:
+		return "down"
+	case stateRejoining:
+		return "rejoining"
+	}
+	return "unknown"
+}
+
+// alive reports whether the worker can carry traffic at all.
+func (s workerState) alive() bool { return s == stateHealthy || s == stateDegraded }
 
 // Pool is the coordinator's view of the worker fleet: membership,
 // health, per-worker meters, and the ExecRemote client the runtime
@@ -46,22 +94,60 @@ type Pool struct {
 	fpValid bool
 
 	dialTimeout time.Duration
+
+	// Retry/backoff policy for pre-stream dispatch failures and the
+	// inactivity watchdog threshold for live streams.
+	retryAttempts int
+	retryBase     time.Duration
+	retryMax      time.Duration
+	chunkTimeout  time.Duration
+
+	// faults is the injection layer (nil in production); consulted on
+	// every dial.
+	faults *Injector
+
+	// trans counts worker state transitions, surfaced in /metrics.
+	trans Transitions
+
+	// probing guards against double StartProber; proberCfg tunes the
+	// hysteresis and slow-worker thresholds (see prober.go).
+	probing      bool
+	proberCfg    ProberConfig
+	proberCfgSet bool
 }
 
-// poolWorker is one member plus its lifetime meters.
+// poolWorker is one member plus its lifetime meters and health-machine
+// position.
 type poolWorker struct {
-	name    string
-	healthy bool
-	stats   WorkerStats
+	name  string
+	state workerState
+	stats WorkerStats
+
+	// ewmaMs is the exponentially-weighted per-chunk service time in
+	// milliseconds; samples counts completed streams behind it.
+	ewmaMs  float64
+	samples int64
+
+	// Prober hysteresis streaks.
+	okStreak   int
+	failStreak int
+	slowStreak int
+	fastStreak int
 }
 
 // WorkerStats is one worker's coordinator-side meter row, surfaced in
 // pash-serve's /metrics.
 type WorkerStats struct {
-	Name     string `json:"name"`
+	Name string `json:"name"`
+	// Healthy means the worker can carry traffic (healthy or degraded);
+	// State is the precise failover-machine position.
 	Healthy  bool   `json:"healthy"`
+	State    string `json:"state"`
 	Requests int64  `json:"requests"`
 	Failures int64  `json:"failures"`
+	// Retries counts pre-stream dispatch attempts that were retried
+	// against the same worker after a transient error.
+	Retries int64 `json:"retries"`
 	// ChunksOut/BytesOut count traffic shipped to the worker;
 	// ChunksIn/BytesIn count results received from it.
 	ChunksOut int64 `json:"chunks_out"`
@@ -69,14 +155,37 @@ type WorkerStats struct {
 	ChunksIn  int64 `json:"chunks_in"`
 	BytesIn   int64 `json:"bytes_in"`
 	// Redispatched counts chunks (or file ranges) re-run locally after
-	// the worker died mid-stream.
+	// the worker died mid-stream with no surviving peer to take them.
 	Redispatched int64 `json:"redispatched"`
+	// RedispatchedRemote counts chunks (or streams) this worker failed
+	// mid-flight that were re-dispatched to a surviving worker instead
+	// of falling back to the coordinator.
+	RedispatchedRemote int64 `json:"redispatched_remote"`
+	// EWMAMs is the per-chunk service-time EWMA the slow-worker
+	// detector steers by.
+	EWMAMs float64 `json:"ewma_ms"`
+}
+
+// Transitions counts the pool's worker state transitions — the
+// prober's visible output. A healthy fleet holds them at zero; a
+// flapping worker moves them slowly (hysteresis), never per-probe.
+type Transitions struct {
+	Down     int64 `json:"down"`
+	Rejoined int64 `json:"rejoined"`
+	Degraded int64 `json:"degraded"`
+	Restored int64 `json:"restored"`
 }
 
 // NewPool builds a pool over the given worker addresses. An address is
 // "host:port", "http://host:port", or "unix:/path/to.sock".
 func NewPool(workers ...string) *Pool {
-	p := &Pool{dialTimeout: 5 * time.Second}
+	p := &Pool{
+		dialTimeout:   5 * time.Second,
+		retryAttempts: defaultRetryAttempts,
+		retryBase:     defaultRetryBase,
+		retryMax:      defaultRetryMax,
+		chunkTimeout:  defaultChunkTimeout,
+	}
 	for _, w := range workers {
 		p.Add(w)
 	}
@@ -99,6 +208,49 @@ func (p *Pool) SetWindow(n int) {
 	p.mu.Unlock()
 }
 
+// SetRetryPolicy overrides the pre-stream dispatch retry policy:
+// attempts tries per worker with capped exponential backoff from base
+// to max between tries.
+func (p *Pool) SetRetryPolicy(attempts int, base, max time.Duration) {
+	p.mu.Lock()
+	if attempts > 0 {
+		p.retryAttempts = attempts
+	}
+	if base > 0 {
+		p.retryBase = base
+	}
+	if max > 0 {
+		p.retryMax = max
+	}
+	p.mu.Unlock()
+}
+
+// SetChunkTimeout arms the per-stream inactivity watchdog: a live
+// stream that moves no frame in either direction for d is treated as a
+// mid-stream worker death (the partition shape). 0 disables.
+func (p *Pool) SetChunkTimeout(d time.Duration) {
+	p.mu.Lock()
+	p.chunkTimeout = d
+	p.mu.Unlock()
+}
+
+// SetDialTimeout bounds dialing and the plan-frame handshake.
+func (p *Pool) SetDialTimeout(d time.Duration) {
+	p.mu.Lock()
+	if d > 0 {
+		p.dialTimeout = d
+	}
+	p.mu.Unlock()
+}
+
+// SetFaultInjector installs (or, with nil, removes) the fault-injection
+// layer. Dev/test only: every subsequent dial consults the injector.
+func (p *Pool) SetFaultInjector(inj *Injector) {
+	p.mu.Lock()
+	p.faults = inj
+	p.mu.Unlock()
+}
+
 // Add registers a worker (idempotent); new workers start healthy.
 // Addresses are normalized (surrounding whitespace and a trailing slash
 // stripped), and an empty address is ignored, so callers can feed Add
@@ -110,14 +262,18 @@ func (p *Pool) Add(name string) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.fpValid = false
 	for _, w := range p.workers {
 		if w.name == name {
-			w.healthy = true
+			if w.state != stateHealthy {
+				w.state = stateHealthy
+				w.okStreak, w.failStreak = 0, 0
+				p.fpValid = false
+			}
 			return
 		}
 	}
-	p.workers = append(p.workers, &poolWorker{name: name, healthy: true})
+	p.fpValid = false
+	p.workers = append(p.workers, &poolWorker{name: name, state: stateHealthy})
 }
 
 // Remove drops a worker from the pool entirely.
@@ -133,35 +289,54 @@ func (p *Pool) Remove(name string) {
 	}
 }
 
-// markDown flags a worker unhealthy after a transport failure; future
-// plans avoid it (the fingerprint changes) and in-flight plans fall
-// back locally per node.
+// markDown flags a worker down after a transport failure; future plans
+// avoid it (the fingerprint changes) and in-flight dispatch re-routes
+// per stream. Mid-stream deaths bypass the prober's hysteresis: an
+// observed transport failure is definitive, unlike a missed probe.
 func (p *Pool) markDown(name string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, w := range p.workers {
 		if w.name == name {
-			if w.healthy {
-				w.healthy = false
-				p.fpValid = false
+			if w.state != stateDown {
+				if w.state.alive() {
+					p.fpValid = false
+				}
+				w.state = stateDown
+				w.okStreak, w.failStreak = 0, 0
+				p.trans.Down++
 			}
 			return
 		}
 	}
 }
 
-// WorkerNames lists the healthy workers in registration order — the
-// dispatch order dfg.Distribute assigns shards in.
+// eligibleLocked lists the workers new plans may target, in
+// registration order: the healthy set, or — when every alive worker is
+// degraded — the degraded set (slow beats none). Callers hold p.mu.
+func (p *Pool) eligibleLocked() []string {
+	var healthy, degraded []string
+	for _, w := range p.workers {
+		switch w.state {
+		case stateHealthy:
+			healthy = append(healthy, w.name)
+		case stateDegraded:
+			degraded = append(degraded, w.name)
+		}
+	}
+	if len(healthy) > 0 {
+		return healthy
+	}
+	return degraded
+}
+
+// WorkerNames lists the dispatch-eligible workers in registration
+// order — the order dfg.Distribute assigns shards in. Degraded (slow)
+// workers are steered away from unless nothing else is alive.
 func (p *Pool) WorkerNames() []string {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	var out []string
-	for _, w := range p.workers {
-		if w.healthy {
-			out = append(out, w.name)
-		}
-	}
-	return out
+	return p.eligibleLocked()
 }
 
 // SharedFS reports whether file-range shards are enabled.
@@ -175,20 +350,16 @@ func (p *Pool) SharedFS() bool {
 // built against; the plan cache key embeds it, so membership changes
 // invalidate cached distributed plans by construction. The string is
 // computed under one lock (an atomic snapshot of names + sharedFS) and
-// cached until the next membership mutation — planKey calls this on
-// every region, hits included.
+// cached until the next membership mutation or real state transition —
+// planKey calls this on every region, hits included, and probes that
+// confirm the status quo must not bump it.
 func (p *Pool) Fingerprint() string {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.fpValid {
 		return p.fp
 	}
-	var sorted []string
-	for _, w := range p.workers {
-		if w.healthy {
-			sorted = append(sorted, w.name)
-		}
-	}
+	sorted := append([]string(nil), p.eligibleLocked()...)
 	sort.Strings(sorted)
 	var b strings.Builder
 	if p.sharedFS {
@@ -210,10 +381,19 @@ func (p *Pool) Stats() []WorkerStats {
 	for _, w := range p.workers {
 		st := w.stats
 		st.Name = w.name
-		st.Healthy = w.healthy
+		st.Healthy = w.state.alive()
+		st.State = w.state.String()
+		st.EWMAMs = w.ewmaMs
 		out = append(out, st)
 	}
 	return out
+}
+
+// Transitions snapshots the worker state-transition counters.
+func (p *Pool) Transitions() Transitions {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.trans
 }
 
 // note applies a meter update to one worker's row.
@@ -228,9 +408,29 @@ func (p *Pool) note(name string, fn func(*WorkerStats)) {
 	}
 }
 
-// CheckHealth probes every member's /healthz, reviving workers that
-// answer and marking down those that do not. It returns the healthy
-// count.
+// noteService feeds one completed stream's per-chunk service time into
+// the worker's EWMA (the slow-worker detector's input).
+func (p *Pool) noteService(name string, perChunkMs float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range p.workers {
+		if w.name == name {
+			if w.samples == 0 {
+				w.ewmaMs = perChunkMs
+			} else {
+				w.ewmaMs = 0.3*perChunkMs + 0.7*w.ewmaMs
+			}
+			w.samples++
+			return
+		}
+	}
+}
+
+// CheckHealth probes every member once, reviving workers that answer
+// and marking down those that do not. It returns the healthy count.
+// This is the manual, hysteresis-free path behind /workers and
+// /workers/register; the background prober (StartProber) applies
+// consecutive-probe thresholds instead.
 func (p *Pool) CheckHealth(ctx context.Context) int {
 	p.mu.Lock()
 	names := make([]string, len(p.workers))
@@ -243,9 +443,21 @@ func (p *Pool) CheckHealth(ctx context.Context) int {
 		ok := p.probe(ctx, name)
 		p.mu.Lock()
 		for _, w := range p.workers {
-			if w.name == name && w.healthy != ok {
-				w.healthy = ok
+			if w.name != name {
+				continue
+			}
+			if ok && !w.state.alive() {
+				w.state = stateHealthy
+				w.okStreak, w.failStreak = 0, 0
+				p.trans.Rejoined++
 				p.fpValid = false
+			} else if !ok && w.state != stateDown {
+				if w.state.alive() {
+					p.fpValid = false
+				}
+				w.state = stateDown
+				w.okStreak, w.failStreak = 0, 0
+				p.trans.Down++
 			}
 		}
 		p.mu.Unlock()
@@ -264,7 +476,7 @@ func (p *Pool) probe(ctx context.Context, name string) bool {
 	defer conn.Close()
 	// A worker that accepts but never answers (wedged, or mid-startup)
 	// must fail the probe, not hang it: bound the whole exchange.
-	deadline := time.Now().Add(p.dialTimeout)
+	deadline := time.Now().Add(p.dialTimeoutVal())
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
@@ -279,9 +491,25 @@ func (p *Pool) probe(ctx context.Context, name string) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
-// dial opens a raw connection to a worker address.
+// dial opens a connection to a worker address, routing through the
+// fault injector when one is installed.
 func (p *Pool) dial(ctx context.Context, name string) (net.Conn, error) {
-	d := net.Dialer{Timeout: p.dialTimeout}
+	p.mu.Lock()
+	inj := p.faults
+	p.mu.Unlock()
+	if inj != nil {
+		conn, handled, err := inj.dial(name, func() (net.Conn, error) {
+			return p.rawDial(ctx, name)
+		})
+		if handled {
+			return conn, err
+		}
+	}
+	return p.rawDial(ctx, name)
+}
+
+func (p *Pool) rawDial(ctx context.Context, name string) (net.Conn, error) {
+	d := net.Dialer{Timeout: p.dialTimeoutVal()}
 	if path, ok := strings.CutPrefix(name, "unix:"); ok {
 		return d.DialContext(ctx, "unix", path)
 	}
@@ -289,62 +517,124 @@ func (p *Pool) dial(ctx context.Context, name string) (net.Conn, error) {
 	return d.DialContext(ctx, "tcp", addr)
 }
 
-// hardError marks failures that must NOT trigger failover: the
-// downstream consumer hung up (SIGPIPE analog) or the run was
-// cancelled. Everything else on the wire is a worker/transport death
-// and re-dispatches.
-func hardError(err error) bool {
-	return errors.Is(err, runtime.ErrDownstreamClosed) ||
-		errors.Is(err, context.Canceled) ||
-		errors.Is(err, context.DeadlineExceeded)
+func (p *Pool) dialTimeoutVal() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dialTimeout
 }
 
-// ExecRemote ships one remote node's work to its assigned worker,
-// failing over to local execution — re-dispatching every
-// unacknowledged chunk — when the worker dies mid-stream. It
-// implements runtime.RemoteExecutor.
-func (p *Pool) ExecRemote(ctx context.Context, req *runtime.RemoteRequest) error {
-	name := req.Spec.Worker
-	if name == "" || !p.isHealthy(name) {
-		p.note(name, func(st *WorkerStats) { st.Redispatched++ })
-		return runtime.ExecRemoteLocal(ctx, req)
-	}
-	p.note(name, func(st *WorkerStats) { st.Requests++ })
-	var err error
-	if req.Spec.Path != "" {
-		err = p.execRange(ctx, name, req)
-	} else {
-		err = p.execFramed(ctx, name, req)
-	}
-	return err
+func (p *Pool) retryPolicy() (int, time.Duration, time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.retryAttempts, p.retryBase, p.retryMax
 }
 
-func (p *Pool) isHealthy(name string) bool {
+func (p *Pool) chunkTimeoutVal() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.chunkTimeout
+}
+
+// backoffWait sleeps the capped exponential backoff for the given
+// attempt number, aborting early on context cancellation.
+func (p *Pool) backoffWait(ctx context.Context, attempt int) error {
+	_, base, max := p.retryPolicy()
+	d := base << attempt
+	if d > max || d <= 0 {
+		d = max
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// alive reports whether a worker can carry traffic.
+func (p *Pool) alive(name string) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, w := range p.workers {
 		if w.name == name {
-			return w.healthy
+			return w.state.alive()
 		}
 	}
 	return false
 }
 
-// execConn opens the /exec request and sends the plan frame, returning
-// the connection and its chunked body writer. The wire plan is the
-// cached spec plus this run's environment snapshot (cached templates
-// are run-independent; env binds per request).
-func (p *Pool) execConn(ctx context.Context, name string, req *runtime.RemoteRequest) (net.Conn, *bufio.Writer, io.WriteCloser, error) {
+// pickSurvivor chooses a re-dispatch target outside the tried set:
+// healthy first, degraded as last resort, "" when the alive set is
+// exhausted.
+func (p *Pool) pickSurvivor(tried map[string]bool) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	degraded := ""
+	for _, w := range p.workers {
+		if tried[w.name] {
+			continue
+		}
+		switch w.state {
+		case stateHealthy:
+			return w.name
+		case stateDegraded:
+			if degraded == "" {
+				degraded = w.name
+			}
+		}
+	}
+	return degraded
+}
+
+// ExecRemote ships one remote node's work to its assigned worker. The
+// recovery ladder, in order: transient pre-stream errors retry the
+// same worker with capped exponential backoff; a mid-stream death
+// re-dispatches the unacknowledged window to a surviving worker; only
+// when no alive peer remains does the coordinator run the remainder
+// locally. It implements runtime.RemoteExecutor.
+func (p *Pool) ExecRemote(ctx context.Context, req *runtime.RemoteRequest) error {
+	name := req.Spec.Worker
+	if name == "" {
+		return runtime.ExecRemoteLocal(ctx, req)
+	}
+	if !p.alive(name) {
+		// The assigned worker is gone; prefer a surviving peer over
+		// running the shard on the coordinator.
+		if next := p.pickSurvivor(map[string]bool{name: true}); next != "" {
+			p.note(name, func(st *WorkerStats) { st.RedispatchedRemote++ })
+			name = next
+		} else {
+			p.note(name, func(st *WorkerStats) { st.Redispatched++ })
+			return runtime.ExecRemoteLocal(ctx, req)
+		}
+	}
+	if req.Spec.Path != "" {
+		return p.execRange(ctx, name, req)
+	}
+	return p.execFramed(ctx, name, req)
+}
+
+// encodeWirePlan binds this run's environment snapshot into the cached
+// spec (cached templates are run-independent; env binds per request).
+func encodeWirePlan(req *runtime.RemoteRequest) ([]byte, error) {
 	wireSpec := *req.Spec
 	wireSpec.Env = req.Env
-	plan, err := dfg.EncodePlan(&wireSpec)
-	if err != nil {
-		return nil, nil, nil, err
-	}
+	return dfg.EncodePlan(&wireSpec)
+}
+
+// execConn opens the /exec request and sends the plan frame, returning
+// the connection and its chunked body writer. The whole handshake runs
+// under the dial timeout, so a partitioned worker fails fast instead
+// of hanging the dispatch; handshake failures come back marked
+// retryable (no output byte was consumed yet).
+func (p *Pool) execConn(ctx context.Context, name string, plan []byte) (net.Conn, *bufio.Writer, io.WriteCloser, error) {
 	conn, err := p.dial(ctx, name)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, runtime.MarkRetryable(err)
 	}
+	conn.SetDeadline(time.Now().Add(p.dialTimeoutVal()))
 	bw := bufio.NewWriter(conn)
 	fmt.Fprintf(bw, "POST /exec HTTP/1.1\r\nHost: pash-worker\r\n"+
 		"Content-Type: application/x-pash-frames\r\n"+
@@ -352,18 +642,40 @@ func (p *Pool) execConn(ctx context.Context, name string, req *runtime.RemoteReq
 	cw := httputil.NewChunkedWriter(bw)
 	if err := writeFrame(cw, plan); err != nil {
 		conn.Close()
-		return nil, nil, nil, err
+		return nil, nil, nil, runtime.MarkRetryable(err)
 	}
 	if err := bw.Flush(); err != nil {
 		conn.Close()
-		return nil, nil, nil, err
+		return nil, nil, nil, runtime.MarkRetryable(err)
 	}
+	conn.SetDeadline(time.Time{})
 	return conn, bw, cw, nil
+}
+
+// dispatchConn runs the retry-with-backoff loop around execConn:
+// transient handshake failures retry the same worker (bounded
+// attempts), anything else surfaces.
+func (p *Pool) dispatchConn(ctx context.Context, name string, plan []byte) (net.Conn, *bufio.Writer, io.WriteCloser, error) {
+	attempts, _, _ := p.retryPolicy()
+	for attempt := 0; ; attempt++ {
+		conn, bw, cw, err := p.execConn(ctx, name, plan)
+		if err == nil {
+			return conn, bw, cw, nil
+		}
+		if runtime.ClassifyRemoteError(err) != runtime.RemoteErrRetryable ||
+			attempt+1 >= attempts || ctx.Err() != nil {
+			return nil, nil, nil, err
+		}
+		p.note(name, func(st *WorkerStats) { st.Retries++ })
+		if berr := p.backoffWait(ctx, attempt); berr != nil {
+			return nil, nil, nil, err
+		}
+	}
 }
 
 // pendingChunk is one shipped-but-unacknowledged input chunk: the
 // coordinator retains ownership until the matching output frame
-// arrives, so a dead worker's window can be re-run locally.
+// arrives, so a dead worker's window can be re-dispatched.
 type pendingChunk struct {
 	b       []byte
 	release func()
@@ -377,30 +689,151 @@ func (pc pendingChunk) drop() {
 	}
 }
 
-// execFramed runs a chunk-relay plan over the wire. The sender
-// goroutine moves input chunks conn-ward, parking each in the bounded
-// pending window; the receiver forwards output frames downstream and
-// acknowledges window slots. On worker death the window's chunks plus
-// the unread input re-dispatch through the local chain.
+// streamWatch is the per-stream inactivity watchdog: when frames stop
+// moving in either direction for the chunk timeout while the stream
+// still owes work, it kills the connection — turning a silent
+// partition or wedged worker into an ordinary detected death the
+// failover path already handles.
+type streamWatch struct {
+	lastNano atomic.Int64
+	waiting  atomic.Int64 // outstanding acks (framed) or 1 while a range stream is live
+	done     chan struct{}
+}
+
+func newStreamWatch(timeout time.Duration, conn net.Conn) *streamWatch {
+	w := &streamWatch{done: make(chan struct{})}
+	w.touch()
+	if timeout <= 0 {
+		return w
+	}
+	go func() {
+		tick := timeout / 4
+		if tick < time.Millisecond {
+			tick = time.Millisecond
+		}
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.done:
+				return
+			case <-t.C:
+				idle := time.Since(time.Unix(0, w.lastNano.Load()))
+				if idle >= timeout && w.waiting.Load() > 0 {
+					conn.Close()
+					return
+				}
+			}
+		}
+	}()
+	return w
+}
+
+func (w *streamWatch) touch()     { w.lastNano.Store(time.Now().UnixNano()) }
+func (w *streamWatch) stop()      { close(w.done) }
+func (w *streamWatch) expect()    { w.waiting.Add(1) }
+func (w *streamWatch) fulfilled() { w.waiting.Add(-1) }
+
+// execFramed runs a chunk-relay plan over the wire, walking the
+// recovery ladder on failure: the unacknowledged window (plus the
+// unread input) re-dispatches to surviving workers one after another,
+// and falls back to the coordinator's local chain only when no alive
+// peer remains.
 func (p *Pool) execFramed(ctx context.Context, name string, req *runtime.RemoteRequest) error {
-	conn, bw, cw, err := p.execConn(ctx, name, req)
+	plan, err := encodeWirePlan(req)
 	if err != nil {
-		p.failover(name, err)
-		return p.failoverFramed(ctx, name, req, nil)
+		return err
+	}
+	var window []pendingChunk
+	tried := map[string]bool{}
+	cur := name
+	for {
+		tried[cur] = true
+		var death bool
+		window, death, err = p.execFramedOnce(ctx, cur, plan, req, window)
+		if !death {
+			return err
+		}
+		p.failover(cur, err)
+		if next := p.pickSurvivor(tried); next != "" {
+			moved := int64(len(window))
+			if moved == 0 {
+				moved = 1
+			}
+			p.note(cur, func(st *WorkerStats) { st.RedispatchedRemote += moved })
+			cur = next
+			continue
+		}
+		return p.failoverFramed(ctx, cur, req, window)
+	}
+}
+
+// execFramedOnce drives one worker attempt. The carried window replays
+// first (oldest unacknowledged chunks, in order), then the stream
+// continues from req.In. It returns the chunks still unacknowledged
+// when the attempt died (owned by the caller), whether the failure was
+// a worker death, and the error.
+func (p *Pool) execFramedOnce(ctx context.Context, name string, plan []byte, req *runtime.RemoteRequest, window []pendingChunk) ([]pendingChunk, bool, error) {
+	p.note(name, func(st *WorkerStats) { st.Requests++ })
+	conn, bw, cw, err := p.dispatchConn(ctx, name, plan)
+	if err != nil {
+		if runtime.ClassifyRemoteError(err) == runtime.RemoteErrFatal {
+			for _, pc := range window {
+				pc.drop()
+			}
+			return nil, false, err
+		}
+		return window, true, err
 	}
 	defer conn.Close()
 
-	pending := make(chan pendingChunk, p.windowSize())
+	watch := newStreamWatch(p.chunkTimeoutVal(), conn)
+	defer watch.stop()
+	start := time.Now()
+
+	size := p.windowSize()
+	if size < len(window) {
+		size = len(window)
+	}
+	pending := make(chan pendingChunk, size)
 	abort := make(chan struct{})
 
-	// Sender: input chunks -> pending window -> wire.
+	// Sender: carried window first, then input chunks -> pending
+	// window -> wire.
 	type sendResult struct {
-		err      error         // transport error (nil on clean input EOF)
-		inErr    error         // input-side error (propagates, no failover)
-		leftover *pendingChunk // chunk read but never parked
+		err      error          // transport error (nil on clean input EOF)
+		inErr    error          // input-side error (propagates, no failover)
+		leftover []pendingChunk // chunks owned but never parked
 	}
 	sendc := make(chan sendResult, 1)
 	go func() {
+		send := func(pc pendingChunk) (ok bool, res *sendResult) {
+			select {
+			case pending <- pc:
+			case <-abort:
+				return false, &sendResult{leftover: []pendingChunk{pc}}
+			case <-ctx.Done():
+				return false, &sendResult{inErr: ctx.Err(), leftover: []pendingChunk{pc}}
+			}
+			watch.expect()
+			p.note(name, func(st *WorkerStats) { st.ChunksOut++; st.BytesOut += int64(len(pc.b)) })
+			if werr := writeFrame(cw, pc.b); werr != nil {
+				return false, &sendResult{err: werr}
+			}
+			if werr := bw.Flush(); werr != nil {
+				return false, &sendResult{err: werr}
+			}
+			watch.touch()
+			return true, nil
+		}
+		for i, pc := range window {
+			if ok, res := send(pc); !ok {
+				// Chunks not yet parked stay owned by the caller.
+				res.leftover = append(res.leftover, window[i+1:]...)
+				sendc <- *res
+				return
+			}
+		}
 		for {
 			b, release, err := req.In.ReadChunk()
 			if err == io.EOF {
@@ -418,6 +851,11 @@ func (p *Pool) execFramed(ctx context.Context, name string, req *runtime.RemoteR
 					sendc <- sendResult{err: cerr}
 					return
 				}
+				// The body is complete, so the worker owes the rest of
+				// the response unconditionally now: arm the watchdog
+				// even when no chunk is outstanding, or a partition
+				// engaging here would hang the receiver forever.
+				watch.expect()
 				sendc <- sendResult{}
 				return
 			}
@@ -425,32 +863,15 @@ func (p *Pool) execFramed(ctx context.Context, name string, req *runtime.RemoteR
 				sendc <- sendResult{inErr: err}
 				return
 			}
-			pc := pendingChunk{b: b, release: release}
-			select {
-			case pending <- pc:
-			case <-abort:
-				sendc <- sendResult{leftover: &pc}
-				return
-			case <-ctx.Done():
-				pc.drop()
-				sendc <- sendResult{inErr: ctx.Err()}
-				return
-			}
-			p.note(name, func(st *WorkerStats) { st.ChunksOut++; st.BytesOut += int64(len(b)) })
-			if werr := writeFrame(cw, b); werr == nil {
-				werr = bw.Flush()
-				if werr != nil {
-					sendc <- sendResult{err: werr}
-					return
-				}
-			} else {
-				sendc <- sendResult{err: werr}
+			if ok, res := send(pendingChunk{b: b, release: release}); !ok {
+				sendc <- *res
 				return
 			}
 		}
 	}()
 
 	// Receiver: response frames -> downstream, acknowledging the window.
+	frames := 0
 	recvErr := func() error {
 		resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
 		if err != nil {
@@ -472,16 +893,19 @@ func (p *Pool) execFramed(ctx context.Context, name string, req *runtime.RemoteR
 			if err != nil {
 				return fmt.Errorf("dist: worker %s: %w", name, err)
 			}
+			watch.touch()
 			select {
 			case pc := <-pending:
 				pc.drop()
+				watch.fulfilled()
 			default:
 				commands.PutBlock(fr)
 				return fmt.Errorf("dist: worker %s sent more frames than it was given", name)
 			}
+			frames++
 			p.note(name, func(st *WorkerStats) { st.ChunksIn++; st.BytesIn += int64(len(fr)) })
 			if werr := req.Out.WriteChunk(fr); werr != nil {
-				return fmt.Errorf("downstream: %w", werr)
+				return runtime.MarkFatal(fmt.Errorf("downstream: %w", werr))
 			}
 		}
 	}()
@@ -492,57 +916,62 @@ func (p *Pool) execFramed(ctx context.Context, name string, req *runtime.RemoteR
 	sres := <-sendc
 
 	if sres.inErr != nil {
+		// Input-side errors propagate as-is: no worker failed, so
+		// neither retry nor failover applies.
 		drainPending(pending, sres.leftover)
-		return sres.inErr
+		return nil, false, sres.inErr
 	}
 	if recvErr == nil && sres.err == nil {
 		// Clean completion: the worker acknowledged every chunk, or the
 		// stream ended with frames it legitimately never answered?
 		// One-frame-per-frame means pending must be empty here.
 		if pcs, ok := takePending(pending, sres.leftover); ok {
-			// The worker closed cleanly without answering everything:
-			// protocol violation — treat as death and re-dispatch.
-			p.failover(name, errors.New("dist: worker closed with unacknowledged chunks"))
-			return p.failoverFramed(ctx, name, req, pcs)
+			return pcs, true, errors.New("dist: worker closed with unacknowledged chunks")
 		}
-		return nil
+		if frames > 0 {
+			ms := float64(time.Since(start).Milliseconds()) / float64(frames)
+			p.noteService(name, ms)
+		}
+		return nil, false, nil
 	}
-	if recvErr != nil && (hardError(recvErr) || strings.HasPrefix(recvErr.Error(), "downstream: ")) {
+	if sres.inErr != nil {
+		drainPending(pending, sres.leftover)
+		return nil, false, sres.inErr
+	}
+	if recvErr != nil && runtime.ClassifyRemoteError(recvErr) == runtime.RemoteErrFatal {
 		drainPending(pending, sres.leftover)
 		if errors.Is(recvErr, runtime.ErrDownstreamClosed) {
-			return runtime.ErrDownstreamClosed
+			return nil, false, runtime.ErrDownstreamClosed
 		}
-		return recvErr
+		return nil, false, recvErr
 	}
-	// Worker/transport death: re-dispatch the window and the rest of
-	// the input locally.
+	// Worker/transport death: hand the outstanding window back for
+	// re-dispatch.
 	err = recvErr
 	if err == nil {
 		err = sres.err
 	}
-	p.failover(name, err)
-	window, _ := takePending(pending, sres.leftover)
-	return p.failoverFramed(ctx, name, req, window)
+	pcs, _ := takePending(pending, sres.leftover)
+	return pcs, true, err
 }
 
-// takePending drains the window (plus the sender's leftover chunk, if
-// any) in order, reporting whether anything was outstanding.
-func takePending(pending chan pendingChunk, leftover *pendingChunk) ([]pendingChunk, bool) {
+// takePending drains the window (plus the sender's never-parked
+// leftovers, if any) in order, reporting whether anything was
+// outstanding.
+func takePending(pending chan pendingChunk, leftover []pendingChunk) ([]pendingChunk, bool) {
 	var out []pendingChunk
 	for {
 		select {
 		case pc := <-pending:
 			out = append(out, pc)
 		default:
-			if leftover != nil {
-				out = append(out, *leftover)
-			}
+			out = append(out, leftover...)
 			return out, len(out) > 0
 		}
 	}
 }
 
-func drainPending(pending chan pendingChunk, leftover *pendingChunk) {
+func drainPending(pending chan pendingChunk, leftover []pendingChunk) {
 	pcs, _ := takePending(pending, leftover)
 	for _, pc := range pcs {
 		pc.drop()
@@ -558,7 +987,9 @@ func (p *Pool) failover(name string, err error) {
 
 // failoverFramed re-dispatches the unacknowledged window locally, then
 // keeps draining the input through the local chain — the stream
-// continues without corruption, one output chunk per input chunk.
+// continues without corruption, one output chunk per input chunk. This
+// is the bottom of the recovery ladder, reached only when no surviving
+// worker remains.
 func (p *Pool) failoverFramed(ctx context.Context, name string, req *runtime.RemoteRequest, window []pendingChunk) error {
 	chain, err := runtime.NewStageChain(req.Reg, req.Spec.Stages, req.Dir, req.Env, req.Stderr)
 	if err != nil {
@@ -601,25 +1032,68 @@ func (p *Pool) failoverFramed(ctx context.Context, name string, req *runtime.Rem
 	}
 }
 
-// execRange runs a file-range plan: plan frame out, transformed range
-// back. On worker death it re-runs the range locally, skipping the
-// prefix already delivered downstream (deterministic stages produce an
-// identical prefix).
+// execRange runs a file-range plan, walking the same recovery ladder
+// as execFramed: surviving workers re-run the range (the coordinator
+// discards the prefix already delivered — deterministic stages
+// reproduce it byte-for-byte), and only an empty alive set sends the
+// range to the coordinator's local chain.
 func (p *Pool) execRange(ctx context.Context, name string, req *runtime.RemoteRequest) error {
-	var delivered int64
-	conn, bw, cw, err := p.execConn(ctx, name, req)
-	if err == nil {
-		defer conn.Close()
-		// The request body is just the plan frame.
-		if cerr := cw.Close(); cerr == nil {
-			if _, cerr = io.WriteString(bw, "\r\n"); cerr == nil {
-				cerr = bw.Flush()
-			}
-			err = cerr
-		} else {
-			err = cerr
-		}
+	plan, err := encodeWirePlan(req)
+	if err != nil {
+		return err
 	}
+	var delivered int64
+	tried := map[string]bool{}
+	cur := name
+	for {
+		tried[cur] = true
+		var death bool
+		delivered, death, err = p.execRangeOnce(ctx, cur, plan, req, delivered)
+		if !death {
+			return err
+		}
+		p.failover(cur, err)
+		if next := p.pickSurvivor(tried); next != "" {
+			p.note(cur, func(st *WorkerStats) { st.RedispatchedRemote++ })
+			cur = next
+			continue
+		}
+		p.note(cur, func(st *WorkerStats) { st.Redispatched++ })
+		return p.failoverRange(req, delivered)
+	}
+}
+
+// execRangeOnce asks one worker for the whole range and forwards only
+// the bytes past skip (the prefix already delivered downstream by a
+// previous attempt). It returns the new absolute delivered offset.
+func (p *Pool) execRangeOnce(ctx context.Context, name string, plan []byte, req *runtime.RemoteRequest, skip int64) (int64, bool, error) {
+	p.note(name, func(st *WorkerStats) { st.Requests++ })
+	delivered := skip
+	conn, bw, cw, err := p.dispatchConn(ctx, name, plan)
+	if err != nil {
+		if runtime.ClassifyRemoteError(err) == runtime.RemoteErrFatal {
+			return delivered, false, err
+		}
+		return delivered, true, err
+	}
+	defer conn.Close()
+
+	watch := newStreamWatch(p.chunkTimeoutVal(), conn)
+	defer watch.stop()
+	watch.expect() // a live range stream always owes bytes until EOF
+	start := time.Now()
+	frames := 0
+
+	// The request body is just the plan frame.
+	if cerr := cw.Close(); cerr == nil {
+		if _, cerr = io.WriteString(bw, "\r\n"); cerr == nil {
+			cerr = bw.Flush()
+		}
+		err = cerr
+	} else {
+		err = cerr
+	}
+	var pos int64
 	if err == nil {
 		err = func() error {
 			resp, rerr := http.ReadResponse(bufio.NewReader(conn), nil)
@@ -642,27 +1116,46 @@ func (p *Pool) execRange(ctx context.Context, name string, req *runtime.RemoteRe
 				if ferr != nil {
 					return ferr
 				}
+				watch.touch()
+				frames++
 				p.note(name, func(st *WorkerStats) { st.ChunksIn++; st.BytesIn += int64(len(fr)) })
-				n := int64(len(fr))
-				if werr := req.Out.WriteChunk(fr); werr != nil {
-					return fmt.Errorf("downstream: %w", werr)
+				end := pos + int64(len(fr))
+				switch {
+				case end <= skip:
+					// Entirely inside the already-delivered prefix.
+					commands.PutBlock(fr)
+				case pos >= skip:
+					if werr := req.Out.WriteChunk(fr); werr != nil {
+						return runtime.MarkFatal(fmt.Errorf("downstream: %w", werr))
+					}
+					delivered = end
+				default:
+					// Straddles the boundary: forward the unseen tail.
+					blk := append(commands.GetBlock(), fr[skip-pos:]...)
+					commands.PutBlock(fr)
+					if werr := req.Out.WriteChunk(blk); werr != nil {
+						return runtime.MarkFatal(fmt.Errorf("downstream: %w", werr))
+					}
+					delivered = end
 				}
-				delivered += n
+				pos = end
 			}
 		}()
 	}
 	if err == nil {
-		return nil
-	}
-	if hardError(err) || strings.HasPrefix(err.Error(), "downstream: ") {
-		if errors.Is(err, runtime.ErrDownstreamClosed) {
-			return runtime.ErrDownstreamClosed
+		if frames > 0 {
+			ms := float64(time.Since(start).Milliseconds()) / float64(frames)
+			p.noteService(name, ms)
 		}
-		return err
+		return delivered, false, nil
 	}
-	p.failover(name, err)
-	p.note(name, func(st *WorkerStats) { st.Redispatched++ })
-	return p.failoverRange(req, delivered)
+	if runtime.ClassifyRemoteError(err) == runtime.RemoteErrFatal {
+		if errors.Is(err, runtime.ErrDownstreamClosed) {
+			return delivered, false, runtime.ErrDownstreamClosed
+		}
+		return delivered, false, err
+	}
+	return delivered, true, err
 }
 
 // failoverRange re-runs the whole range locally and forwards only the

@@ -8,8 +8,9 @@
 // # Wire format
 //
 // One /exec request executes one remote node. The request body is a
-// sequence of frames, each a 4-byte big-endian payload length followed
-// by the payload:
+// sequence of frames, each an 8-byte header — a 4-byte big-endian
+// payload length followed by a 4-byte big-endian CRC-32C (Castagnoli)
+// of the payload — and then the payload:
 //
 //	frame 0:  the JSON-encoded dfg.RemoteSpec (the plan)
 //	frame 1…: input chunks (chunk-relay plans only; zero-length frames
@@ -23,11 +24,21 @@
 // carries only the plan frame and the response frames carry the
 // transformed range in order. The exit status and any execution error
 // arrive in HTTP trailers (X-Pash-Exit-Code, X-Pash-Error).
+//
+// The checksum is what makes the no-corruption guarantee hold against
+// a misbehaving transport, not just a dead one: a frame that arrives
+// bit-flipped fails its CRC and surfaces as ErrCorruptFrame — a fatal
+// stream error that triggers re-dispatch of the unacknowledged window
+// — instead of flowing downstream as silently wrong bytes. A stream
+// that ends inside a frame surfaces as ErrTruncatedFrame, never as a
+// clean EOF, so partial output cannot be mistaken for stream end.
 package dist
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"repro/internal/commands"
@@ -38,10 +49,26 @@ import (
 // anything near this limit is a corrupt stream, not a big pipeline.
 const maxFrame = 16 << 20
 
-// writeFrame emits one length-prefixed frame.
+// ErrTruncatedFrame marks a stream that ended (or short-read) inside a
+// frame — header or payload. It is always fatal for the stream: a
+// truncated frame means bytes are missing, and treating it as a clean
+// EOF would let partial output masquerade as complete output.
+var ErrTruncatedFrame = errors.New("dist: truncated frame")
+
+// ErrCorruptFrame marks a frame whose payload failed its CRC. Like
+// truncation it is always fatal for the stream; the unacknowledged
+// window re-dispatches, so a flipped bit on the wire costs a retry,
+// never a wrong byte downstream.
+var ErrCorruptFrame = errors.New("dist: corrupt frame")
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// writeFrame emits one length-prefixed, checksummed frame.
 func writeFrame(w io.Writer, payload []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -53,18 +80,25 @@ func writeFrame(w io.Writer, payload []byte) error {
 }
 
 // readFrame reads one frame into an owned block (pooled when it fits).
-// io.EOF means a clean end of stream at a frame boundary.
+// io.EOF means a clean end of stream at a frame boundary — and only
+// that; every partial read inside a frame comes back wrapping
+// ErrTruncatedFrame, and a checksum mismatch wraps ErrCorruptFrame.
 func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
+	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("dist: truncated frame header")
+		if err == io.EOF {
+			return nil, io.EOF
 		}
-		return nil, err
+		// Partial header: some frame bytes arrived, then the stream
+		// ended or errored. Never let the underlying io.EOF flavor leak
+		// through, or errors.Is(err, io.EOF) callers would mistake a
+		// torn frame for stream end.
+		return nil, fmt.Errorf("%w: header: %v", ErrTruncatedFrame, err)
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr[:4])
+	sum := binary.BigEndian.Uint32(hdr[4:])
 	if n > maxFrame {
-		return nil, fmt.Errorf("dist: frame of %d bytes exceeds limit", n)
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds limit", ErrCorruptFrame, n)
 	}
 	var buf []byte
 	if n <= commands.BlockSize {
@@ -74,7 +108,15 @@ func readFrame(r io.Reader) ([]byte, error) {
 	}
 	if _, err := io.ReadFull(r, buf); err != nil {
 		commands.PutBlock(buf)
-		return nil, fmt.Errorf("dist: truncated frame payload: %w", err)
+		// io.ReadFull reports io.EOF when zero payload bytes were
+		// available and io.ErrUnexpectedEOF on a short read; both mean
+		// the same thing here — the frame promised n bytes that never
+		// arrived.
+		return nil, fmt.Errorf("%w: payload: %v", ErrTruncatedFrame, err)
+	}
+	if crc32.Checksum(buf, castagnoli) != sum {
+		commands.PutBlock(buf)
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptFrame)
 	}
 	return buf, nil
 }

@@ -31,6 +31,74 @@ type RemoteExecutor interface {
 	ExecRemote(ctx context.Context, req *RemoteRequest) error
 }
 
+// RemoteErrorClass partitions the errors a RemoteExecutor can hit into
+// the three recovery behaviors. The runtime owns the taxonomy because
+// the guarantee it encodes — a remote node's stream contract survives
+// worker failure — is the runtime's, not the transport's; internal/dist
+// supplies the stream-position knowledge by marking errors as it
+// classifies them.
+type RemoteErrorClass int
+
+const (
+	// RemoteErrFatal aborts the node with no retry and no failover:
+	// the run was cancelled, the downstream consumer hung up (the
+	// SIGPIPE analog), or the input side failed. Re-dispatching after
+	// any of these would duplicate or fabricate work.
+	RemoteErrFatal RemoteErrorClass = iota
+	// RemoteErrRetryable is a transient dispatch failure — refused
+	// dial, a reset during the plan frame — hit before any output byte
+	// was consumed. The same worker may be retried with backoff;
+	// nothing needs re-dispatching because nothing was acknowledged.
+	RemoteErrRetryable
+	// RemoteErrMidStream is a worker or transport death after the
+	// stream was live: the unacknowledged window must re-dispatch (to a
+	// surviving worker, or locally) and the failed worker marks down.
+	RemoteErrMidStream
+)
+
+// markedError wraps an error with its remote classification.
+type markedError struct {
+	err   error
+	class RemoteErrorClass
+}
+
+func (m *markedError) Error() string { return m.err.Error() }
+func (m *markedError) Unwrap() error { return m.err }
+
+// MarkRetryable tags err as a transient pre-stream dispatch failure.
+func MarkRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &markedError{err: err, class: RemoteErrRetryable}
+}
+
+// MarkFatal tags err as non-recoverable for the remote node (input or
+// downstream failure): no retry, no failover.
+func MarkFatal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &markedError{err: err, class: RemoteErrFatal}
+}
+
+// ClassifyRemoteError maps an error from a remote dispatch onto its
+// recovery behavior. Explicit marks win; cancellation, deadline expiry,
+// and downstream hangup are fatal by construction; everything else on
+// a live stream is a worker/transport death and re-dispatches.
+func ClassifyRemoteError(err error) RemoteErrorClass {
+	var m *markedError
+	if errors.As(err, &m) {
+		return m.class
+	}
+	if errors.Is(err, ErrDownstreamClosed) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) {
+		return RemoteErrFatal
+	}
+	return RemoteErrMidStream
+}
+
 // RemoteRequest carries everything one remote node execution needs.
 type RemoteRequest struct {
 	Spec *dfg.RemoteSpec

@@ -96,6 +96,18 @@ func (s *Server) AttachWorkers(pool *pash.WorkerPool) {
 	s.sess.UseWorkers(pool)
 }
 
+// StartProber launches the attached pool's background health prober
+// (no-op without a pool) and returns its stop function. The prober is
+// what makes membership self-healing: a dead worker drains out of
+// planning after the hysteresis threshold and a restarted one rejoins,
+// with no daemon restart and no /workers poke.
+func (s *Server) StartProber(ctx context.Context) (stop func()) {
+	if s.pool == nil {
+		return func() {}
+	}
+	return s.pool.StartProber(ctx)
+}
+
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -339,6 +351,9 @@ type Metrics struct {
 	// Workers lists the distribution pool's per-worker meter rows (only
 	// when the daemon coordinates a pool).
 	Workers []pash.WorkerStats `json:"workers,omitempty"`
+	// WorkerTransitions counts worker state transitions (down /
+	// rejoined / degraded / restored) — the prober's visible output.
+	WorkerTransitions *pash.WorkerTransitions `json:"worker_transitions,omitempty"`
 }
 
 // Snapshot gathers the current metrics.
@@ -363,6 +378,8 @@ func (s *Server) Snapshot() Metrics {
 	}
 	if s.pool != nil {
 		m.Workers = s.pool.Stats()
+		t := s.pool.Transitions()
+		m.WorkerTransitions = &t
 	}
 	return m
 }

@@ -166,6 +166,17 @@ type WorkerPool = dist.Pool
 // WorkerStats re-exports a worker's coordinator-side meter row.
 type WorkerStats = dist.WorkerStats
 
+// WorkerTransitions re-exports the pool's worker state-transition
+// counters (down / rejoined / degraded / restored).
+type WorkerTransitions = dist.Transitions
+
+// ProberConfig re-exports the background health prober's tuning knobs.
+type ProberConfig = dist.ProberConfig
+
+// FaultInjector re-exports the dist fault-injection layer (dev/test
+// only; see dist.ParseFaultProfile).
+type FaultInjector = dist.Injector
+
 // NewWorkerPool builds a pool over the given worker addresses
 // ("host:port", "http://host:port", or "unix:/path/to.sock").
 func NewWorkerPool(workers ...string) *WorkerPool { return dist.NewPool(workers...) }
