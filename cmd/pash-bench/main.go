@@ -92,6 +92,7 @@ func main() {
 		control  = flag.Bool("control", false, "measure the control plane: plan cache + pash-serve throughput")
 		distFlg  = flag.Bool("dist", false, "measure the distributed data plane: coordinator overhead vs local")
 		chaosFlg = flag.Bool("chaos", false, "measure fault-recovery latency per fault class (see BENCH_chaos.json)")
+		overFlg  = flag.Bool("overload", false, "measure shed rate and latency under 4x oversubscription plus drain latency (see BENCH_overload.json)")
 	)
 	flag.Parse()
 	switch {
@@ -101,6 +102,8 @@ func main() {
 		runDist(*scale)
 	case *chaosFlg:
 		runChaos(*scale)
+	case *overFlg:
+		runOverload(*scale)
 	case *table == 1:
 		pash.WriteTable1(os.Stdout)
 	case *table == 2:

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/serve"
+	"repro/pash"
+)
+
+// runOverload measures the coordinator's overload behavior: shed rate
+// and accepted-request latency percentiles under 4x oversubscription,
+// then graceful-drain latency under live traffic. Records land in the
+// -out JSON (BENCH_overload.json) like every other bench.
+func runOverload(scale int) {
+	overloadShed(scale)
+	overloadDrain(scale)
+}
+
+// overloadBench is the request every overload client sends — the same
+// moderate pipeline the control-plane bench uses, so the two JSON files
+// are comparable.
+const overloadScript = "cut -d ' ' -f1 d.txt | sort | uniq -c | sort -rn | head -n 5"
+
+// overloadDir prepares the working directory and returns it along with
+// the script's sequential (reference) output.
+func overloadDir(scale int) (string, string) {
+	dir := tmpdir()
+	var sb strings.Builder
+	for i := 0; i < 2000*scale; i++ {
+		fmt.Fprintf(&sb, "w%d payload line %d\n", i%13, i)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "d.txt"), []byte(sb.String()), 0o644); err != nil {
+		die(err)
+	}
+	seq := pash.NewSession(pash.SequentialOptions())
+	seq.Dir = dir
+	var want strings.Builder
+	if _, err := seq.Run(context.Background(), overloadScript, strings.NewReader(""), &want, os.Stderr); err != nil {
+		die(err)
+	}
+	return dir, want.String()
+}
+
+// overloadShed drives a pash-serve with 4x more clients than the
+// scheduler admits (2 slots + 2 queued = capacity 4, 16 clients) for a
+// fixed window, and reports the shed rate and the latency distribution
+// of the requests that were accepted — which must stay byte-identical
+// to the sequential reference under the load.
+func overloadShed(scale int) {
+	dir, want := overloadDir(scale)
+	defer os.RemoveAll(dir)
+
+	sess := pash.NewSession(pash.DefaultOptions(8))
+	sess.Dir = dir
+	sch := runtime.NewScheduler(0)
+	sch.SetMaxScripts(2)
+	sch.SetAdmissionQueue(2, 100*time.Millisecond)
+	srv := serve.New(sess, sch)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	target := ts.URL + "/run?script=" + url.QueryEscape(overloadScript)
+
+	const clients = 16 // 4x the admission capacity of 4
+	window := time.Duration(scale) * time.Second
+	var (
+		mu        sync.Mutex
+		latencies []float64 // accepted-request wall ms
+		accepted  atomic.Int64
+		shed      atomic.Int64
+		wrong     atomic.Int64
+		noRetry   atomic.Int64
+	)
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				resp, err := http.Post(target, "application/octet-stream", strings.NewReader(""))
+				if err != nil {
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ms := float64(time.Since(start).Microseconds()) / 1e3
+					if string(body) != want || resp.Trailer.Get("X-Pash-Exit-Code") != "0" {
+						wrong.Add(1)
+					}
+					accepted.Add(1)
+					mu.Lock()
+					latencies = append(latencies, ms)
+					mu.Unlock()
+				case http.StatusServiceUnavailable:
+					shed.Add(1)
+					if resp.Header.Get("Retry-After") == "" {
+						noRetry.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := accepted.Load() + shed.Load()
+	shedRate := 0.0
+	if total > 0 {
+		shedRate = float64(shed.Load()) / float64(total)
+	}
+	sort.Float64s(latencies)
+	p50, p95, p99 := percentile(latencies, 0.50), percentile(latencies, 0.95), percentile(latencies, 0.99)
+	st := sch.Stats()
+	fmt.Printf("overload (%d clients vs capacity 4, %v window):\n", clients, window)
+	fmt.Printf("  accepted %6d   (all byte-identical: %v)\n", accepted.Load(), wrong.Load() == 0)
+	fmt.Printf("  shed     %6d   (rate %.0f%%, Retry-After on every 503: %v)\n",
+		shed.Load(), 100*shedRate, noRetry.Load() == 0)
+	fmt.Printf("  latency  p50 %.1fms  p95 %.1fms  p99 %.1fms\n", p50, p95, p99)
+	fmt.Printf("  scheduler: admitted %d, sheds %d, final queue depth %d\n",
+		st.Admitted, st.Sheds, st.QueueDepth)
+	if wrong.Load() > 0 {
+		die(fmt.Errorf("%d accepted responses diverged from the sequential reference", wrong.Load()))
+	}
+	record(benchRecord{Bench: "overload", Config: "shed", Metric: "shed_rate", Value: shedRate})
+	record(benchRecord{Bench: "overload", Config: "shed", Metric: "accepted_req", Value: float64(accepted.Load())})
+	record(benchRecord{Bench: "overload", Config: "shed", Metric: "p50_ms", Value: p50})
+	record(benchRecord{Bench: "overload", Config: "shed", Metric: "p95_ms", Value: p95})
+	record(benchRecord{Bench: "overload", Config: "shed", Metric: "p99_ms", Value: p99})
+}
+
+// overloadDrain measures the graceful-exit sequence: with jobs
+// in-flight, Drain must shed new work immediately while the in-flight
+// jobs run to byte-identical completion, and DrainAndShutdown must
+// return once they have.
+func overloadDrain(scale int) {
+	dir := tmpdir()
+	defer os.RemoveAll(dir)
+
+	// The drain jobs must still be running when the drain fires, so use
+	// a heavier pipeline than the shed bench's.
+	drainScript := fmt.Sprintf("seq %d | sort -rn | head -n 3", 200000*scale)
+	seq := pash.NewSession(pash.SequentialOptions())
+	seq.Dir = dir
+	var wantB strings.Builder
+	if _, err := seq.Run(context.Background(), drainScript, strings.NewReader(""), &wantB, os.Stderr); err != nil {
+		die(err)
+	}
+	want := wantB.String()
+
+	sess := pash.NewSession(pash.DefaultOptions(8))
+	sess.Dir = dir
+	sch := runtime.NewScheduler(0)
+	srv := serve.New(sess, sch)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	target := ts.URL + "/run?script=" + url.QueryEscape(drainScript)
+
+	// Launch in-flight traffic, then drain while it runs. The slot count
+	// is pinned so all jobs are concurrently live even on small hosts.
+	const inflight = 4
+	sch.SetMaxScripts(inflight)
+	type result struct {
+		body string
+		code string
+		err  error
+	}
+	results := make(chan result, inflight)
+	for i := 0; i < inflight; i++ {
+		go func() {
+			resp, err := http.Post(target, "application/octet-stream", strings.NewReader(""))
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			results <- result{body: string(body), code: resp.Trailer.Get("X-Pash-Exit-Code")}
+		}()
+	}
+	// Wait until every in-flight request is admitted: the point of the
+	// measurement is draining *live* jobs, not shedding late arrivals.
+	for i := 0; i < 2000 && srv.Snapshot().Scheduler.ActiveScripts < inflight; i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	srv.Drain()
+	// New work must shed instantly once draining.
+	resp, err := http.Post(target, "application/octet-stream", strings.NewReader(""))
+	shedOK := false
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		shedOK = resp.StatusCode == http.StatusServiceUnavailable
+	}
+	err = srv.DrainAndShutdown(ts.Config, 30*time.Second)
+	drainMs := float64(time.Since(start).Microseconds()) / 1e3
+
+	completed := 0
+	for i := 0; i < inflight; i++ {
+		r := <-results
+		if r.err == nil && r.body == want && r.code == "0" {
+			completed++
+		}
+	}
+	fmt.Printf("drain (%d jobs in flight): %.1fms to byte-identical completion\n", inflight, drainMs)
+	fmt.Printf("  in-flight completed %d/%d, new work shed during drain: %v, clean shutdown: %v\n",
+		completed, inflight, shedOK, err == nil)
+	if completed != inflight || err != nil {
+		die(fmt.Errorf("drain lost work: %d/%d completed, shutdown err %v", completed, inflight, err))
+	}
+	record(benchRecord{Bench: "overload", Config: "drain", Metric: "drain_ms", Value: drainMs})
+	record(benchRecord{Bench: "overload", Config: "drain", Metric: "inflight_completed", Value: float64(completed)})
+}
+
+// percentile reads the p-quantile from an ascending-sorted slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -19,6 +19,22 @@
 // /metrics lists a live row per in-flight job. Invalid per-request
 // options and unparsable scripts are rejected with 400.
 //
+// # Overload behaviour
+//
+// Every job runs under the resource budgets given by -job-timeout,
+// -max-output-bytes, -max-pipe-memory, and -max-procs; a breach cancels
+// only that job (exit status 125 in the trailer). Admission is bounded:
+// at most -queue requests wait for a script slot, none longer than
+// -queue-wait, and excess load is shed with 503 + Retry-After instead
+// of queueing without bound.
+//
+// # Graceful drain
+//
+// SIGTERM/SIGINT or POST /drain stops admission (new runs shed with
+// 503), lets in-flight jobs finish within -drain-timeout, deregisters
+// from the coordinator (worker mode with -join), removes the unix
+// socket, and exits 0.
+//
 // # Distributed mode
 //
 // The same binary is both halves of the distributed data plane:
@@ -33,19 +49,23 @@
 // -shared-fs declares that workers see the coordinator's files at the
 // same paths (NFS, same host), enabling file-range shards that ship no
 // input bytes at all. The coordinator's /metrics gains per-worker rows,
-// GET /workers lists live membership, and POST /workers/register adds a
-// member at runtime.
+// GET /workers lists live membership, POST /workers/register adds a
+// member at runtime, and POST /workers/deregister removes one (a
+// draining worker calls it on itself).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"net/url"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/dist"
@@ -58,6 +78,13 @@ func main() {
 	width := flag.Int("width", 8, "parallelism width requested per region")
 	workerTokens := flag.Int("worker-tokens", 0, "scheduler worker tokens (0 = number of CPUs)")
 	scripts := flag.Int("scripts", 0, "max concurrently admitted scripts (0 = same as tokens)")
+	queue := flag.Int("queue", 64, "max requests queued for admission before shedding (0 = unbounded)")
+	queueWait := flag.Duration("queue-wait", 10*time.Second, "max time a request may queue for admission (0 = unbounded)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock budget (0 = unlimited)")
+	maxOutput := flag.Int64("max-output-bytes", 0, "per-job stdout byte budget (0 = unlimited)")
+	maxPipeMem := flag.Int64("max-pipe-memory", 0, "per-job queued pipe memory budget in bytes (0 = unlimited)")
+	maxProcs := flag.Int("max-procs", 0, "per-job region width cap (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline for in-flight jobs")
 	dir := flag.String("dir", "", "working directory for script file access")
 	workerMode := flag.Bool("worker", false, "run as a data-plane worker (serve /exec only)")
 	workers := flag.String("workers", "", "comma-separated worker addresses to coordinate")
@@ -70,20 +97,25 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "DEV ONLY: fault injection jitter seed")
 	flag.Parse()
 
-	ln, err := listenOn(*listen)
+	ln, err := serve.Listen(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pash-serve:", err)
 		os.Exit(1)
 	}
 
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
 	if *workerMode {
 		w := dist.NewWorker(nil, *dir)
+		hs := &http.Server{Handler: w.Handler()}
 		fmt.Fprintf(os.Stderr, "pash-serve: worker listening on %s\n", ln.Addr())
+		self := advertised(*advertise, *listen, ln)
 		if *join != "" {
 			// Register concurrently with serving: the coordinator probes
 			// this worker's /healthz before admitting it, so registering
 			// before Serve starts would deadlock the handshake.
-			joinURL, self, attempts := *join, advertised(*advertise, *listen, ln), *joinRetries
+			joinURL, attempts := *join, *joinRetries
 			go func() {
 				if err := registerWithRetry(joinURL, self, attempts); err != nil {
 					fmt.Fprintln(os.Stderr, "pash-serve: join:", err)
@@ -92,7 +124,22 @@ func main() {
 				fmt.Fprintf(os.Stderr, "pash-serve: registered with %s as %s\n", joinURL, self)
 			}()
 		}
-		if err := http.Serve(ln, w.Handler()); err != nil {
+		go func() {
+			sig := <-sigc
+			fmt.Fprintf(os.Stderr, "pash-serve: %s: draining\n", sig)
+			if *join != "" {
+				// Leave the pool before the listener goes away, so the
+				// coordinator stops planning onto this worker cleanly
+				// instead of discovering the death by probe.
+				if err := membership(*join, "deregister", self); err != nil {
+					fmt.Fprintln(os.Stderr, "pash-serve: deregister:", err)
+				}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			defer cancel()
+			hs.Shutdown(ctx)
+		}()
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "pash-serve:", err)
 			os.Exit(1)
 		}
@@ -103,9 +150,16 @@ func main() {
 	if *scripts > 0 {
 		sched.SetMaxScripts(*scripts)
 	}
+	sched.SetAdmissionQueue(*queue, *queueWait)
 	sess := pash.NewSession(pash.DefaultOptions(*width))
 	sess.Dir = *dir
 	srv := serve.New(sess, sched)
+	srv.SetDefaultLimits(pash.JobLimits{
+		WallTimeout:    *jobTimeout,
+		MaxOutputBytes: *maxOutput,
+		MaxPipeMemory:  *maxPipeMem,
+		MaxProcs:       *maxProcs,
+	})
 
 	// Pool.Add normalizes and skips empty pieces, so the raw split is
 	// safe. Attach even when empty: workers can register themselves
@@ -128,20 +182,31 @@ func main() {
 	stopProber := srv.StartProber(context.Background())
 	defer stopProber()
 
+	hs := &http.Server{Handler: srv.Handler()}
+	drained := make(chan error, 1)
+	go func() {
+		// Either a signal or POST /drain starts the drain; both paths
+		// converge on DrainAndShutdown (idempotent).
+		select {
+		case sig := <-sigc:
+			fmt.Fprintf(os.Stderr, "pash-serve: %s: draining (deadline %s)\n", sig, *drainTimeout)
+		case <-srv.DrainRequested():
+			fmt.Fprintf(os.Stderr, "pash-serve: /drain: draining (deadline %s)\n", *drainTimeout)
+		}
+		drained <- srv.DrainAndShutdown(hs, *drainTimeout)
+	}()
+
 	fmt.Fprintf(os.Stderr, "pash-serve: listening on %s (width %d, %d workers)\n",
 		ln.Addr(), *width, len(pool.WorkerNames()))
-	if err := http.Serve(ln, srv.Handler()); err != nil {
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "pash-serve:", err)
 		os.Exit(1)
 	}
-}
-
-func listenOn(addr string) (net.Listener, error) {
-	if path, ok := strings.CutPrefix(addr, "unix:"); ok {
-		os.Remove(path)
-		return net.Listen("unix", path)
+	if err := <-drained; err != nil {
+		fmt.Fprintln(os.Stderr, "pash-serve: drain deadline expired:", err)
+		os.Exit(1)
 	}
-	return net.Listen("tcp", addr)
+	fmt.Fprintln(os.Stderr, "pash-serve: drained, exiting")
 }
 
 // advertised picks the address other machines should dial this worker
@@ -171,7 +236,7 @@ func registerWithRetry(coordinator, self string, attempts int) error {
 	var err error
 	backoff := 250 * time.Millisecond
 	for attempt := 1; ; attempt++ {
-		if err = register(coordinator, self); err == nil {
+		if err = membership(coordinator, "register", self); err == nil {
 			return nil
 		}
 		if attempt >= attempts {
@@ -186,11 +251,12 @@ func registerWithRetry(coordinator, self string, attempts int) error {
 	}
 }
 
-// register announces this worker to a coordinator, over TCP or the
-// coordinator's unix socket (`-join unix:/path/to/coord.sock`).
-func register(coordinator, self string) error {
+// membership announces or withdraws this worker's pool membership at a
+// coordinator, over TCP or the coordinator's unix socket (`-join
+// unix:/path/to/coord.sock`). verb is "register" or "deregister".
+func membership(coordinator, verb, self string) error {
 	client := http.DefaultClient
-	target := strings.TrimSuffix(coordinator, "/") + "/workers/register"
+	target := strings.TrimSuffix(coordinator, "/") + "/workers/" + verb
 	if path, ok := strings.CutPrefix(coordinator, "unix:"); ok {
 		client = &http.Client{Transport: &http.Transport{
 			DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
@@ -198,7 +264,7 @@ func register(coordinator, self string) error {
 				return d.DialContext(ctx, "unix", path)
 			},
 		}}
-		target = "http://pash-serve/workers/register"
+		target = "http://pash-serve/workers/" + verb
 	}
 	resp, err := client.PostForm(target, url.Values{"url": {self}})
 	if err != nil {

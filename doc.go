@@ -96,6 +96,36 @@
 // options (width, split mode, fusion) ride query parameters, and
 // /metrics lists a live row per in-flight job.
 //
+// pash.WithLimits(pash.JobLimits{...}) bounds one job's resources:
+// WallTimeout (the whole script), MaxOutputBytes (stdout),
+// MaxPipeMemory (the job's queued chunk memory across all internal
+// pipes), MaxProcs (a ceiling on region width), and Sandbox (confine
+// the filesystem to the job's working directory). The zero value means
+// unlimited. A job that exceeds a budget is cancelled with a typed
+// *pash.BudgetError — errors.Is-matching pash.ErrBudgetExceeded, exit
+// status pash.ExitBudgetExceeded (125) — and Job.Stats reports the
+// limits alongside live usage.
+//
+// # Overload safety
+//
+// The coordinator survives hostile scripts and hostile load: per-job
+// budgets (above) stop any single job from exhausting the process;
+// the shared scheduler's admission queue is bounded
+// (Scheduler.SetAdmissionQueue) so a client burst is shed with
+// ErrAdmissionShed — mapped by pash-serve to 503 + Retry-After —
+// instead of stacking goroutines; every job, node, fused stage, and
+// dispatch goroutine runs under a recover boundary that converts
+// panics (including from user-registered extension kernels) into
+// job-scoped errors with stack capture in a /metrics ring, never a
+// process crash; and SIGTERM or POST /drain stops admission, lets
+// in-flight jobs finish under a drain deadline, deregisters from
+// workers, unlinks the unix socket, and exits 0. FuzzRunScript
+// exercises the full interpreter under these budgets in a sandboxed
+// temp directory; `pash-bench -overload` measures shed rate, latency
+// percentiles under 4x oversubscription, and drain latency
+// (BENCH_overload.json). internal/runtime/README.md ("The coordinator
+// failure model") documents the contracts.
+//
 // # Extending pash
 //
 // The typed extension API (pash.CommandSpec) makes a user command a

@@ -198,6 +198,86 @@ comm -23 sa.tmp sb.tmp`, nil
 	}
 }
 
+// ShellForms returns scripts exercising shell constructs beyond plain
+// pipelines — heredocs (quoted and unquoted delimiters, with their
+// different expansion semantics) and subshells — so the differential
+// conformance suite pins these forms against a real POSIX shell at
+// every width, not just the straight-line benchmark corpus.
+func ShellForms() []Bench {
+	return []Bench{
+		{
+			Name:       "heredoc",
+			Structure:  "heredoc stdin, 3xS,P",
+			Highlights: "unquoted delimiter: $var and backslash expansion in the body",
+			Setup: func(dir string, scale int) (string, error) {
+				return `pat=water
+tr A-Z a-z <<EOF | tr -cs a-z '\n' | grep -v '^$' | sort
+The Quick Brown Fox searches for $pat
+a literal \$pat stays a dollar sign
+backslash-newline joins this \
+line with the next
+EOF`, nil
+			},
+		},
+		{
+			Name:       "heredoc-quoted",
+			Structure:  "heredoc stdin, 2xS,P",
+			Highlights: "quoted delimiter: the body is raw, no expansion at all",
+			Setup: func(dir string, scale int) (string, error) {
+				return `pat=water
+cat <<'EOF' | sort | uniq -c
+raw $pat is not expanded
+raw $pat is not expanded
+neither is \$this nor a backquote
+EOF`, nil
+			},
+		},
+		{
+			Name:       "heredoc-file-merge",
+			Structure:  "heredoc + file, 3xS,2xP",
+			Highlights: "heredoc output merged with a real workload file",
+			Setup: func(dir string, scale int) (string, error) {
+				if err := writeText(dir, "in.txt", 4000*scale); err != nil {
+					return "", err
+				}
+				return `grep water in.txt | tr A-Z a-z | sort > hits.tmp
+sort <<EOF > extra.tmp
+zebra water line
+alpha water line
+EOF
+sort -m hits.tmp extra.tmp | uniq`, nil
+			},
+		},
+		{
+			Name:       "subshell",
+			Structure:  "(S;S),2xP",
+			Highlights: "subshell output feeding a parallelizable pipeline",
+			Setup: func(dir string, scale int) (string, error) {
+				if err := writeText(dir, "in.txt", 6000*scale); err != nil {
+					return "", err
+				}
+				return `(cat in.txt | tr A-Z a-z; echo the end marker) | tr -cs a-z '\n' | sort | uniq -c | sort -rn | head -n 20`, nil
+			},
+		},
+		{
+			Name:       "subshell-heredoc",
+			Structure:  "(S<<;S),P",
+			Highlights: "heredoc inside a subshell, merged streams",
+			Setup: func(dir string, scale int) (string, error) {
+				if err := writeText(dir, "in.txt", 3000*scale); err != nil {
+					return "", err
+				}
+				return `x=marker
+(tr a-z A-Z <<EOF
+first $x line
+second $x line
+EOF
+grep water in.txt) | sort`, nil
+			},
+		},
+	}
+}
+
 // FindOneLiner returns the named Tab. 2 benchmark.
 func FindOneLiner(name string) (Bench, bool) {
 	for _, b := range OneLiners() {

@@ -115,7 +115,8 @@ func runSystemShell(t *testing.T, shPath, script, dir string) (string, error) {
 }
 
 // conformanceCorpus lists the benches the suite covers: the Tab. 2
-// one-liners plus the full Unix50 set. The diff bench is excluded:
+// one-liners, the full Unix50 set, and the shell-form scripts
+// (heredocs, subshells). The diff bench is excluded:
 // diff's hunk selection is implementation-defined (GNU applies
 // cost-cutoff heuristics that produce legitimately different — larger
 // or smaller — edit scripts than a minimal Myers diff), so its piped
@@ -123,13 +124,58 @@ func runSystemShell(t *testing.T, shPath, script, dir string) (string, error) {
 // implementations.
 func conformanceCorpus() []Bench {
 	var out []Bench
-	for _, b := range append(OneLiners(), Unix50()...) {
+	all := append(OneLiners(), Unix50()...)
+	all = append(all, ShellForms()...)
+	for _, b := range all {
 		if b.Name == "diff" {
 			continue
 		}
 		out = append(out, b)
 	}
 	return out
+}
+
+// TestShellFormsAgainstDashAndBash runs the heredoc/subshell corpus
+// against *both* dash and bash (when present), not just whichever the
+// host offers first: heredoc expansion rules are where shells
+// historically diverge, so agreeing with one shell is not enough.
+func TestShellFormsAgainstDashAndBash(t *testing.T) {
+	shells := 0
+	for _, sh := range []string{"dash", "bash"} {
+		shPath, err := exec.LookPath(sh)
+		if err != nil {
+			continue
+		}
+		shells++
+		for _, b := range ShellForms() {
+			b := b
+			t.Run(sh+"/"+b.Name, func(t *testing.T) {
+				dir := t.TempDir()
+				p, err := Prepare(b, dir, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := runSystemShell(t, shPath, p.Script, dir)
+				if err != nil {
+					t.Skipf("%s cannot run this script: %v", sh, err)
+				}
+				for _, w := range []int{1, 8} {
+					res, err := p.Execute(core.DefaultOptions(w))
+					if err != nil {
+						t.Fatalf("width %d: %v", w, err)
+					}
+					if got := string(res.Output); got != want {
+						div := baseline.Divergence(want, got)
+						t.Errorf("width %d diverges from %s: %.1f%% of lines differ\n--- want:\n%s--- got:\n%s",
+							w, sh, 100*div, want, got)
+					}
+				}
+			})
+		}
+	}
+	if shells == 0 {
+		t.Skip("neither dash nor bash on this host")
+	}
 }
 
 func TestConformanceAgainstSystemShell(t *testing.T) {

@@ -56,27 +56,60 @@ type FS interface {
 }
 
 // OSFS is the real filesystem rooted at Dir (when relative paths are
-// used).
+// used). With Jail set, access is confined to Dir: absolute paths and
+// relative paths that escape Dir (via "..") fail instead of reaching
+// the host filesystem — the sandbox used for untrusted scripts.
 type OSFS struct {
-	Dir string
+	Dir  string
+	Jail bool
 }
 
-func (fs OSFS) resolve(path string) string {
-	if filepath.IsAbs(path) || fs.Dir == "" {
-		return path
+// ErrJailEscape is returned for paths a jailed OSFS refuses to touch.
+var ErrJailEscape = errors.New("commands: path escapes sandbox directory")
+
+func (fs OSFS) resolve(path string) (string, error) {
+	if fs.Jail {
+		if filepath.IsAbs(path) || fs.Dir == "" {
+			return "", fmt.Errorf("%w: %s", ErrJailEscape, path)
+		}
+		joined := filepath.Join(fs.Dir, path)
+		root := filepath.Clean(fs.Dir)
+		if joined != root && !strings.HasPrefix(joined, root+string(filepath.Separator)) {
+			return "", fmt.Errorf("%w: %s", ErrJailEscape, path)
+		}
+		return joined, nil
 	}
-	return filepath.Join(fs.Dir, path)
+	if filepath.IsAbs(path) || fs.Dir == "" {
+		return path, nil
+	}
+	return filepath.Join(fs.Dir, path), nil
 }
 
 // Open opens a file for reading.
-func (fs OSFS) Open(path string) (io.ReadCloser, error) { return os.Open(fs.resolve(path)) }
+func (fs OSFS) Open(path string) (io.ReadCloser, error) {
+	p, err := fs.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return os.Open(p)
+}
 
 // Create truncates/creates a file for writing.
-func (fs OSFS) Create(path string) (io.WriteCloser, error) { return os.Create(fs.resolve(path)) }
+func (fs OSFS) Create(path string) (io.WriteCloser, error) {
+	p, err := fs.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return os.Create(p)
+}
 
 // Append opens a file for appending.
 func (fs OSFS) Append(path string) (io.WriteCloser, error) {
-	return os.OpenFile(fs.resolve(path), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	p, err := fs.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return os.OpenFile(p, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 }
 
 // VirtualStreamPrefix namespaces the runtime's in-process edge streams

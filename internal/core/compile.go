@@ -22,6 +22,9 @@ type Redir struct {
 	N      int // -1 = operator default
 	Op     shell.RedirOp
 	Target string
+	// Body is the heredoc payload for RedirHeredoc, already expanded
+	// when the delimiter was unquoted.
+	Body string
 }
 
 // RegionIO binds a region's outer streams.
@@ -54,10 +57,16 @@ func (c *Compiler) CompilePipeline(stages []Stage, io RegionIO) (*dfg.Graph, err
 		// Per-stage redirections override the ambient bindings.
 		stdinFile, stdoutFile := "", ""
 		stdoutAppend := false
+		stdinHeredoc := false
+		stdinBody := ""
 		for _, r := range st.Redirs {
 			switch {
 			case r.Op == shell.RedirIn && (r.N < 0 || r.N == 0):
 				stdinFile = r.Target
+				stdinHeredoc = false
+			case r.Op == shell.RedirHeredoc && (r.N < 0 || r.N == 0):
+				stdinHeredoc, stdinBody = true, r.Body
+				stdinFile = ""
 			case r.Op == shell.RedirOut && (r.N < 0 || r.N == 1):
 				stdoutFile = r.Target
 			case r.Op == shell.RedirAppend && (r.N < 0 || r.N == 1):
@@ -89,7 +98,7 @@ func (c *Compiler) CompilePipeline(stages []Stage, io RegionIO) (*dfg.Graph, err
 		}
 		// Mid-pipeline stages with no declared inputs still consume the
 		// incoming pipe (conservative: most commands read stdin).
-		if !hasStdin && len(inv.Inputs) == 0 && (si > 0 || stdinFile != "") {
+		if !hasStdin && len(inv.Inputs) == 0 && (si > 0 || stdinFile != "" || stdinHeredoc) {
 			hasStdin = true
 		}
 
@@ -136,6 +145,13 @@ func (c *Compiler) CompilePipeline(stages []Stage, io RegionIO) (*dfg.Graph, err
 		if stdinSlot >= 0 {
 			e := node.In[stdinSlot]
 			switch {
+			case stdinHeredoc:
+				e.Source = dfg.Binding{Kind: dfg.BindLiteral, Data: stdinBody}
+				// The incoming pipe, if any, goes unread.
+				if si > 0 && prevOut != nil {
+					prevOut.Sink = dfg.Binding{Kind: dfg.BindNone}
+					prevOut = nil
+				}
 			case stdinFile != "":
 				e.Source = dfg.Binding{Kind: dfg.BindFile, Path: stdinFile}
 				// The incoming pipe, if any, goes unread.

@@ -302,6 +302,12 @@ func renderNode(n *dfg.Node, fifo func(*dfg.Edge) string, readName func(*dfg.Edg
 			parts = append(parts, "<", shellQuote(e.Source.Path))
 		case e.From == nil && e.Source.Kind == dfg.BindStdin:
 			// Inherit the script's stdin.
+		case e.From == nil && e.Source.Kind == dfg.BindLiteral:
+			// Heredoc payload: feed the literal body through a pipe so the
+			// rendering stays one line (a real heredoc would need its body
+			// after the command's newline, which the emitter's line-per-node
+			// layout cannot accommodate).
+			parts = append([]string{"printf", "%s", shellQuote(e.Source.Data), "|"}, parts...)
 		case e.From == nil:
 			parts = append(parts, "<", "/dev/null")
 		default:

@@ -26,6 +26,14 @@ type Interp struct {
 	dir   string
 	stdio runtime.StdIO
 
+	// budget, when set, is the owning job's live resource accounting:
+	// regions cap their width by it and runtime pipes charge queued
+	// payload against it. Nested interpreters (subshells, command
+	// substitution, compound pipeline stages) share the job's budget.
+	budget *runtime.Budget
+	// sandbox confines all file access to dir (untrusted scripts).
+	sandbox bool
+
 	jobMu sync.Mutex
 	jobs  []chan jobResult
 
@@ -80,6 +88,14 @@ func NewInterp(c *Compiler, dir string, vars map[string]string, stdio runtime.St
 		stdio.Stderr = io.Discard
 	}
 	return &Interp{c: c, env: env, dir: dir, stdio: stdio}
+}
+
+// UseBudget attaches a job's resource accounting (and sandbox flag) to
+// the interpreter. Call before RunScript/RunParsed; nested interpreters
+// inherit it automatically.
+func (in *Interp) UseBudget(b *runtime.Budget, sandbox bool) {
+	in.budget = b
+	in.sandbox = sandbox
 }
 
 // RunScript parses and executes src, returning the final exit status.
@@ -138,7 +154,12 @@ func (in *Interp) runList(ctx context.Context, list *shell.List) (int, error) {
 			in.jobMu.Unlock()
 			cmd := item.Cmd
 			go func() {
-				c, err := in.runCommand(ctx, cmd)
+				var c int
+				err := func() (err error) {
+					defer runtime.Contain("background job", &err)
+					c, err = in.runCommand(ctx, cmd)
+					return err
+				}()
 				ch <- jobResult{code: c, err: err}
 			}()
 			code = 0
@@ -247,7 +268,7 @@ func (in *Interp) runCommand(ctx context.Context, cmd shell.Command) (int, error
 			}
 		}
 	case *shell.Subshell:
-		sub := &Interp{c: in.c, env: in.env.Child(), dir: in.dir, stdio: in.stdio}
+		sub := &Interp{c: in.c, env: in.env.Child(), dir: in.dir, stdio: in.stdio, budget: in.budget, sandbox: in.sandbox}
 		code, err := sub.runList(ctx, cmd.Body)
 		if _, werr := sub.waitJobs(); err == nil {
 			err = werr
@@ -277,7 +298,7 @@ func (in *Interp) runCompoundPipeline(ctx context.Context, p *shell.Pipeline) (i
 		// Not really a pipeline — a lone negated compound (`! { ...; }`).
 		// POSIX runs it in the current environment, so assignments
 		// persist; only real multi-stage pipelines get subshell scopes.
-		sub := &Interp{c: in.c, env: in.env, dir: in.dir, stdio: in.stdio}
+		sub := &Interp{c: in.c, env: in.env, dir: in.dir, stdio: in.stdio, budget: in.budget, sandbox: in.sandbox}
 		code, err := sub.runCommand(ctx, p.Cmds[0])
 		if _, werr := sub.waitJobs(); err == nil {
 			err = werr
@@ -309,11 +330,16 @@ func (in *Interp) runCompoundPipeline(ctx context.Context, p *shell.Pipeline) (i
 			nextReader, pw = io.Pipe()
 			stdio.Stdout = pw
 		}
-		sub := &Interp{c: in.c, env: in.env.Child(), dir: in.dir, stdio: stdio}
+		sub := &Interp{c: in.c, env: in.env.Child(), dir: in.dir, stdio: stdio, budget: in.budget, sandbox: in.sandbox}
 		wg.Add(1)
 		go func(i int, c shell.Command, sub *Interp, pw *io.PipeWriter, myInput *io.PipeReader) {
 			defer wg.Done()
-			code, err := sub.runCommand(ctx, c)
+			var code int
+			err := func() (err error) {
+				defer runtime.Contain("pipeline stage", &err)
+				code, err = sub.runCommand(ctx, c)
+				return err
+			}()
 			if _, werr := sub.waitJobs(); err == nil {
 				err = werr
 			}
@@ -357,10 +383,12 @@ func (in *Interp) expander() *shell.Expander {
 		CmdSub: func(src string) (string, error) {
 			var out bytes.Buffer
 			sub := &Interp{
-				c:     in.c,
-				env:   in.env,
-				dir:   in.dir,
-				stdio: runtime.StdIO{Stdin: strings.NewReader(""), Stdout: &out, Stderr: in.stdio.Stderr},
+				c:       in.c,
+				env:     in.env,
+				dir:     in.dir,
+				stdio:   runtime.StdIO{Stdin: strings.NewReader(""), Stdout: &out, Stderr: in.stdio.Stderr},
+				budget:  in.budget,
+				sandbox: in.sandbox,
 			}
 			list, err := shell.Parse(src)
 			if err != nil {
@@ -382,7 +410,7 @@ func (in *Interp) expander() *shell.Expander {
 // `< in.txt` verifies it is openable. Failures report to stderr with
 // exit status 1, like a real shell.
 func (in *Interp) bareRedirs(x *shell.Expander, redirs []*shell.Redir) (int, error) {
-	osfs := commands.OSFS{Dir: in.dir}
+	osfs := commands.OSFS{Dir: in.dir, Jail: in.sandbox}
 	for _, r := range redirs {
 		tgt, err := x.ExpandString(r.Target)
 		if err != nil {
@@ -520,6 +548,23 @@ func (in *Interp) runPipeline(ctx context.Context, simples []*shell.Simple) (int
 		}
 		st := Stage{Name: argv[0], Args: argv[1:]}
 		for _, r := range s.Redirs {
+			if r.Op == shell.RedirHeredoc {
+				// The delimiter is never expanded; the body is, but only
+				// when the delimiter was written unquoted (POSIX).
+				body := r.Heredoc
+				if r.Target.Bare {
+					bw, err := shell.ParseHeredocBody(body)
+					if err != nil {
+						return 1, err
+					}
+					body, err = x.ExpandString(bw)
+					if err != nil {
+						return 1, err
+					}
+				}
+				st.Redirs = append(st.Redirs, Redir{N: r.N, Op: r.Op, Body: body})
+				continue
+			}
 			tgt, err := x.ExpandString(r.Target)
 			if err != nil {
 				return 1, err
@@ -543,14 +588,17 @@ func (in *Interp) runPipeline(ctx context.Context, simples []*shell.Simple) (int
 	// history for a width hint, take width tokens from the shared
 	// scheduler, then plan (cache hit: clone; miss: compile+optimize).
 	rkey := regionKey(stages)
-	eff := in.c.Opts.Width
+	// The job's replica budget caps the width before the scheduler is
+	// even asked, so an over-budget region never takes tokens it cannot
+	// use.
+	eff := in.budget.CapWidth(in.c.Opts.Width)
 	if in.c.Sched != nil {
 		// Multi-tenant instantiation: measured history first (regions
 		// too short to amortize parallelism run sequentially), then the
 		// shared token pool caps what the machine can spare right now.
 		want := eff
 		if in.c.Plans != nil {
-			want = in.c.Plans.widthHint(rkey, want)
+			want = in.budget.CapWidth(in.c.Plans.widthHint(rkey, want))
 		}
 		var release func()
 		eff, release = in.c.Sched.AcquireWidth(want)
@@ -582,6 +630,8 @@ func (in *Interp) runPipeline(ctx context.Context, simples []*shell.Simple) (int
 		InputAwareSplit: in.c.Opts.InputAwareSplit,
 		Dir:             in.dir,
 		Env:             in.envSnapshot(),
+		Budget:          in.budget,
+		Sandbox:         in.sandbox,
 	}
 	if in.c.Workers != nil {
 		rcfg.Remote = in.c.Workers
@@ -632,6 +682,10 @@ func (in *Interp) builtin(ctx context.Context, st Stage) (int, bool, error) {
 			return 1, true, fmt.Errorf("cd: expected one argument")
 		}
 		dir := st.Args[0]
+		if in.sandbox && (strings.HasPrefix(dir, "/") || strings.Contains(dir, "..")) {
+			fmt.Fprintf(in.stdio.Stderr, "pash: cd: %s: %v\n", dir, commands.ErrJailEscape)
+			return 1, true, nil
+		}
 		if !strings.HasPrefix(dir, "/") {
 			dir = in.dir + "/" + dir
 		}

@@ -57,6 +57,12 @@ func regionKey(stages []Stage) string {
 			b = strconv.AppendInt(b, int64(len(r.Target)), 10)
 			b = append(b, ':')
 			b = append(b, r.Target...)
+			if r.Body != "" {
+				b = append(b, 'h')
+				b = strconv.AppendInt(b, int64(len(r.Body)), 10)
+				b = append(b, ':')
+				b = append(b, r.Body...)
+			}
 		}
 	}
 	return string(b)

@@ -142,6 +142,8 @@ func bindingDotLabel(b Binding, def string) string {
 		return "stdin"
 	case BindStdout:
 		return "stdout"
+	case BindLiteral:
+		return "heredoc"
 	case BindNone:
 		return "discard"
 	}

@@ -191,16 +191,20 @@ type BindingKind int
 
 // Edge boundary bindings.
 const (
-	BindNone   BindingKind = iota
-	BindFile               // a named file
-	BindStdin              // the script's standard input
-	BindStdout             // the script's standard output
+	BindNone    BindingKind = iota
+	BindFile                // a named file
+	BindStdin               // the script's standard input
+	BindStdout              // the script's standard output
+	BindLiteral             // inline literal data (a heredoc body)
 )
 
 // Binding is a graph-boundary attachment of an edge.
 type Binding struct {
 	Kind BindingKind
 	Path string // for BindFile
+	// Data is the inline payload for BindLiteral sources (heredoc
+	// bodies, already expanded when the delimiter was unquoted).
+	Data string
 	// Append marks >> file sinks.
 	Append bool
 }
@@ -228,6 +232,8 @@ func (e *Edge) String() string {
 		from = "file:" + e.Source.Path
 	} else if e.Source.Kind == BindStdin {
 		from = "stdin"
+	} else if e.Source.Kind == BindLiteral {
+		from = "heredoc"
 	}
 	to := "output"
 	if e.To != nil {

@@ -1,6 +1,8 @@
 package dfg
 
 import (
+	"strings"
+
 	"repro/internal/annot"
 )
 
@@ -249,8 +251,28 @@ func snapshotEdges(es []*Edge) []*Edge {
 // false for grep unless -h suppresses its multi-file name prefixes.
 func consumesInOrder(n *Node) bool {
 	switch n.Name {
-	case "cat", "sed", "tr", "cut", "sort", "head", "tail", "fold",
+	case "cat", "sed", "tr", "cut", "head", "tail", "fold",
 		"rev", "strings", "iconv", "nl", "uniq":
+		return true
+	case "sort":
+		// sort -m interleaves its inputs (an N-way merge), so
+		// `sort -m f1 f2` != `cat f1 f2 | sort -m`: with a single stdin
+		// stream the merge degenerates to a passthrough. Plain sort
+		// re-orders everything anyway, so concatenation is safe.
+		for _, a := range n.Args {
+			if a.InputIdx >= 0 || !strings.HasPrefix(a.Text, "-") {
+				continue
+			}
+			// Skip value-taking options (-k2n, -t:, -oFILE, --parallel=N)
+			// whose attached values could contain an 'm'.
+			if strings.HasPrefix(a.Text, "-k") || strings.HasPrefix(a.Text, "-t") ||
+				strings.HasPrefix(a.Text, "-o") || strings.HasPrefix(a.Text, "--") {
+				continue
+			}
+			if strings.ContainsRune(a.Text[1:], 'm') {
+				return false
+			}
+		}
 		return true
 	case "grep":
 		if len(n.In) <= 1 {

@@ -707,6 +707,15 @@ func newStreamWatch(timeout time.Duration, conn net.Conn) *streamWatch {
 		return w
 	}
 	go func() {
+		// A watchdog panic must not take the process down, and must not
+		// leave the stream unwatched either: record it and sever the
+		// connection so the failover ladder takes over.
+		defer func() {
+			if r := recover(); r != nil {
+				runtime.AsPanicError("stream watchdog", r)
+				conn.Close()
+			}
+		}()
 		tick := timeout / 4
 		if tick < time.Millisecond {
 			tick = time.Millisecond
@@ -807,6 +816,13 @@ func (p *Pool) execFramedOnce(ctx context.Context, name string, plan []byte, req
 	}
 	sendc := make(chan sendResult, 1)
 	go func() {
+		// A panic in the sender must still produce a sendResult, or the
+		// receiver side would wait on sendc forever.
+		defer func() {
+			if r := recover(); r != nil {
+				sendc <- sendResult{err: runtime.AsPanicError("dispatch sender", r)}
+			}
+		}()
 		send := func(pc pendingChunk) (ok bool, res *sendResult) {
 			select {
 			case pending <- pc:

@@ -99,12 +99,16 @@ func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
 		flusher.Flush()
 	}
 
-	var execErr error
-	if spec.Path != "" {
-		execErr = w.execRange(rw, flusher, chain, spec)
-	} else {
-		execErr = w.execFramed(rw, flusher, chain, r.Body)
-	}
+	// The recover boundary keeps one request's panic — a bug in a stage
+	// implementation, a malformed plan the decoder let through — from
+	// taking the worker process (and every other tenant's chains) down.
+	execErr := func() (err error) {
+		defer runtime.Contain("worker exec", &err)
+		if spec.Path != "" {
+			return w.execRange(rw, flusher, chain, spec)
+		}
+		return w.execFramed(rw, flusher, chain, r.Body)
+	}()
 	code := 0
 	if execErr != nil {
 		w.failures.Add(1)

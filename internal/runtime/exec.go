@@ -57,6 +57,13 @@ type Config struct {
 	// Remote executes KindRemote nodes on a worker pool; nil runs them
 	// locally through ExecRemoteLocal (same bytes, no network).
 	Remote RemoteExecutor
+	// Budget, when set, is the owning job's resource accounting: pipes
+	// charge queued payload against its pipe-memory ceiling. nil =
+	// unlimited.
+	Budget *Budget
+	// Sandbox confines command file access to Dir (absolute paths and
+	// ".." escapes fail) — the execution half of JobLimits.Sandbox.
+	Sandbox bool
 }
 
 // StdIO binds the graph's boundary streams.
@@ -186,7 +193,7 @@ const virtualPrefix = commands.VirtualStreamPrefix
 
 func (ex *executor) run(ctx context.Context) (*Result, error) {
 	// Materialize edges.
-	osfs := commands.OSFS{Dir: ex.cfg.Dir}
+	osfs := commands.OSFS{Dir: ex.cfg.Dir, Jail: ex.cfg.Sandbox}
 	for _, e := range ex.g.Edges {
 		if err := ex.materialize(e, osfs); err != nil {
 			ex.closeEverything()
@@ -209,7 +216,14 @@ func (ex *executor) run(ctx context.Context) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			start := time.Now()
-			err := ex.runNode(ctx, n, overlay)
+			// Containment boundary: a panic anywhere in this node's
+			// execution — a builtin bug, a user-registered extension
+			// kernel or aggregator, a fused stage — fails this job
+			// alone; the process and every other job survive.
+			err := func() (err error) {
+				defer Contain("node "+n.Name, &err)
+				return ex.runNode(ctx, n, overlay)
+			}()
 			wall := time.Since(start)
 			blocked := time.Duration(atomic.LoadInt64(ex.meters[n]))
 			active := wall - blocked
@@ -292,6 +306,10 @@ func (ex *executor) materialize(e *dfg.Edge, osfs commands.OSFS) error {
 			r = strings.NewReader("")
 		}
 		ex.readers[e] = io.NopCloser(r)
+	case e.Source.Kind == dfg.BindLiteral:
+		// Literal input (a heredoc body): the edge reads the carried
+		// bytes directly, no file involved.
+		ex.readers[e] = io.NopCloser(strings.NewReader(e.Source.Data))
 	default:
 		// Unbound input: empty stream.
 		ex.readers[e] = io.NopCloser(strings.NewReader(""))
@@ -331,6 +349,7 @@ func (ex *executor) materialize(e *dfg.Edge, osfs commands.OSFS) error {
 		s := newEdgeStream(e.Eager, blocking)
 		s.p.readMeter = ex.meters[e.To]
 		s.p.writeMeter = ex.meters[e.From]
+		s.p.budget = ex.cfg.Budget
 		ex.readers[e] = s.reader()
 		ex.writers[e] = s.writer()
 		ex.pipes = append(ex.pipes, s.p)

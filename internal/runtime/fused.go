@@ -269,7 +269,10 @@ func (ex *executor) runFusedUnfused(n *dfg.Node, overlay *overlayFS) error {
 				FS:     overlay,
 				Env:    ex.cfg.Env,
 			}
-			errs[i] = ex.reg.Run(st.Name, cctx)
+			errs[i] = func() (err error) {
+				defer Contain("fused stage "+st.Name, &err)
+				return ex.reg.Run(st.Name, cctx)
+			}()
 			ios[i].stdout.Close()
 			if ios[i].closeR != nil {
 				ios[i].closeR.Close()

@@ -1,0 +1,229 @@
+package runtime
+
+// Per-job resource governance: a JobLimits carries the budgets a single
+// script execution may consume, and a Budget is the live accounting
+// object that enforces them. The coordinator survives hostile scripts
+// because every resource a job can hoard — wall-clock time, output
+// bytes, pooled chunk memory queued in pipes, replica goroutines — is
+// bounded per job, and a breach cancels only that job with a typed
+// error and a distinct exit code, never the process.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// ExitBudgetExceeded is the exit status of a job cancelled for
+// exceeding one of its resource budgets — distinct from both normal
+// failures (1) and cancellation (130), so clients and metrics can tell
+// "you were over budget" from "you were wrong" or "you were stopped".
+const ExitBudgetExceeded = 125
+
+// ErrBudgetExceeded is the sentinel all budget breaches match:
+// errors.Is(err, ErrBudgetExceeded) holds for every *BudgetError.
+var ErrBudgetExceeded = errors.New("runtime: job resource budget exceeded")
+
+// JobLimits bounds one job's resource consumption. The zero value means
+// unlimited everywhere (the historical behaviour).
+type JobLimits struct {
+	// WallTimeout bounds the job's wall-clock time; past it the job is
+	// cancelled with ErrBudgetExceeded. 0 = unlimited.
+	WallTimeout time.Duration `json:"wall_timeout_ns,omitempty"`
+	// MaxOutputBytes bounds the bytes the job may write to its stdout.
+	// 0 = unlimited.
+	MaxOutputBytes int64 `json:"max_output_bytes,omitempty"`
+	// MaxPipeMemory bounds the pooled chunk payload the job may hold
+	// queued across all of its pipes at once — the per-job ceiling that
+	// replaces the unbounded global pool for eager buffers. 0 =
+	// unlimited.
+	MaxPipeMemory int64 `json:"max_pipe_memory,omitempty"`
+	// MaxProcs caps the effective parallelism width any of the job's
+	// regions may be planned at (its replica-goroutine budget). 0 =
+	// unlimited.
+	MaxProcs int `json:"max_procs,omitempty"`
+	// Sandbox confines the job's file access to its working directory:
+	// absolute paths and ".." escapes fail instead of reaching the host
+	// filesystem. Required for running untrusted (e.g. fuzz-generated)
+	// scripts.
+	Sandbox bool `json:"sandbox,omitempty"`
+}
+
+// Zero reports whether no limit is set.
+func (l JobLimits) Zero() bool { return l == JobLimits{} }
+
+// BudgetError reports which budget a job breached. It matches
+// ErrBudgetExceeded under errors.Is.
+type BudgetError struct {
+	// Resource names the exhausted budget: "wall-clock", "output-bytes",
+	// or "pipe-memory".
+	Resource string
+	// Limit is the configured budget for that resource.
+	Limit int64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("runtime: job exceeded its %s budget (%d)", e.Resource, e.Limit)
+}
+
+// Is makes every BudgetError match the ErrBudgetExceeded sentinel.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
+
+// Budget is one job's live resource accounting, shared by every region
+// the job executes (pipes charge queued payload against it, the output
+// writer charges delivered bytes). All methods are safe for concurrent
+// use; a nil *Budget means unlimited and charges nothing.
+type Budget struct {
+	limits JobLimits
+
+	pipeBytes atomic.Int64 // payload currently queued across the job's pipes
+	pipePeak  atomic.Int64 // high-water mark of pipeBytes
+	outBytes  atomic.Int64 // bytes delivered to the job's stdout
+
+	breach atomic.Pointer[BudgetError] // first breach, frozen
+}
+
+// NewBudget builds the accounting object for one job. It returns nil
+// when the limits are all zero, so the unlimited path stays free.
+func NewBudget(l JobLimits) *Budget {
+	if l.Zero() {
+		return nil
+	}
+	return &Budget{limits: l}
+}
+
+// Limits returns the configured budgets.
+func (b *Budget) Limits() JobLimits {
+	if b == nil {
+		return JobLimits{}
+	}
+	return b.limits
+}
+
+// trip records the first breach and returns the breach to report (the
+// first one wins so a cascade of secondary failures stays attributed to
+// its root cause).
+func (b *Budget) trip(e *BudgetError) *BudgetError {
+	if b.breach.CompareAndSwap(nil, e) {
+		return e
+	}
+	return b.breach.Load()
+}
+
+// Exceeded returns the job's first budget breach, or nil.
+func (b *Budget) Exceeded() *BudgetError {
+	if b == nil {
+		return nil
+	}
+	return b.breach.Load()
+}
+
+// ChargePipe accounts n bytes of payload entering a pipe queue. It
+// fails with a *BudgetError once the job's queued payload would exceed
+// MaxPipeMemory.
+func (b *Budget) ChargePipe(n int) error {
+	if b == nil || n == 0 {
+		return nil
+	}
+	now := b.pipeBytes.Add(int64(n))
+	if max := b.limits.MaxPipeMemory; max > 0 && now > max {
+		b.pipeBytes.Add(int64(-n))
+		return b.trip(&BudgetError{Resource: "pipe-memory", Limit: max})
+	}
+	for {
+		peak := b.pipePeak.Load()
+		if now <= peak || b.pipePeak.CompareAndSwap(peak, now) {
+			return nil
+		}
+	}
+}
+
+// ReleasePipe returns n bytes of pipe payload to the budget (the block
+// was consumed or the pipe abandoned).
+func (b *Budget) ReleasePipe(n int) {
+	if b == nil || n == 0 {
+		return
+	}
+	b.pipeBytes.Add(int64(-n))
+}
+
+// ChargeOutput accounts n bytes delivered to the job's stdout, failing
+// once the total exceeds MaxOutputBytes.
+func (b *Budget) ChargeOutput(n int) error {
+	if b == nil {
+		return nil
+	}
+	now := b.outBytes.Add(int64(n))
+	if max := b.limits.MaxOutputBytes; max > 0 && now > max {
+		return b.trip(&BudgetError{Resource: "output-bytes", Limit: max})
+	}
+	return nil
+}
+
+// TripWall records a wall-clock budget breach (the job layer owns the
+// timer; this just attributes the kill).
+func (b *Budget) TripWall() *BudgetError {
+	if b == nil {
+		return &BudgetError{Resource: "wall-clock"}
+	}
+	return b.trip(&BudgetError{Resource: "wall-clock", Limit: int64(b.limits.WallTimeout)})
+}
+
+// CapWidth applies the MaxProcs budget to a requested region width.
+func (b *Budget) CapWidth(w int) int {
+	if b == nil {
+		return w
+	}
+	if max := b.limits.MaxProcs; max > 0 && w > max {
+		return max
+	}
+	return w
+}
+
+// BudgetUsage is a point-in-time snapshot for metrics rows.
+type BudgetUsage struct {
+	PipeBytes     int64 `json:"pipe_bytes"`
+	PipeBytesPeak int64 `json:"pipe_bytes_peak"`
+	OutputBytes   int64 `json:"output_bytes"`
+}
+
+// Usage snapshots the budget's live consumption.
+func (b *Budget) Usage() BudgetUsage {
+	if b == nil {
+		return BudgetUsage{}
+	}
+	return BudgetUsage{
+		PipeBytes:     b.pipeBytes.Load(),
+		PipeBytesPeak: b.pipePeak.Load(),
+		OutputBytes:   b.outBytes.Load(),
+	}
+}
+
+// LimitWriter wraps a job's stdout so every delivered byte is charged
+// against the output budget; on breach the write fails with a
+// *BudgetError and onBreach (typically the job's cancel) fires once.
+func LimitWriter(w io.Writer, b *Budget, onBreach func()) io.Writer {
+	if b == nil || b.limits.MaxOutputBytes <= 0 {
+		return w
+	}
+	return &limitWriter{w: w, b: b, onBreach: onBreach}
+}
+
+type limitWriter struct {
+	w        io.Writer
+	b        *Budget
+	onBreach func()
+	breached atomic.Bool
+}
+
+func (lw *limitWriter) Write(p []byte) (int, error) {
+	if err := lw.b.ChargeOutput(len(p)); err != nil {
+		if lw.breached.CompareAndSwap(false, true) && lw.onBreach != nil {
+			lw.onBreach()
+		}
+		return 0, err
+	}
+	return lw.w.Write(p)
+}

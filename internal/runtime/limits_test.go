@@ -1,0 +1,270 @@
+package runtime
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/commands"
+)
+
+func TestBudgetZeroLimitsIsNil(t *testing.T) {
+	if b := NewBudget(JobLimits{}); b != nil {
+		t.Errorf("NewBudget(zero) = %v, want nil (unlimited path must stay free)", b)
+	}
+	// Every method must be nil-safe: the unlimited job carries a nil
+	// *Budget through the whole runtime.
+	var b *Budget
+	if err := b.ChargePipe(1 << 20); err != nil {
+		t.Errorf("nil ChargePipe = %v", err)
+	}
+	b.ReleasePipe(1 << 20)
+	if err := b.ChargeOutput(1 << 30); err != nil {
+		t.Errorf("nil ChargeOutput = %v", err)
+	}
+	if b.Exceeded() != nil {
+		t.Errorf("nil Exceeded = %v", b.Exceeded())
+	}
+	if got := b.CapWidth(16); got != 16 {
+		t.Errorf("nil CapWidth(16) = %d", got)
+	}
+	if u := b.Usage(); u != (BudgetUsage{}) {
+		t.Errorf("nil Usage = %+v", u)
+	}
+	if b.Limits() != (JobLimits{}) {
+		t.Errorf("nil Limits = %+v", b.Limits())
+	}
+}
+
+func TestBudgetPipeAccounting(t *testing.T) {
+	b := NewBudget(JobLimits{MaxPipeMemory: 100})
+	if err := b.ChargePipe(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ChargePipe(40); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly at the limit: not a breach.
+	if be := b.Exceeded(); be != nil {
+		t.Fatalf("at-limit charge tripped: %v", be)
+	}
+	// One byte over breaches, and the failed charge is not accounted.
+	err := b.ChargePipe(1)
+	if err == nil {
+		t.Fatal("over-limit charge succeeded")
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("breach does not match ErrBudgetExceeded: %v", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != "pipe-memory" || be.Limit != 100 {
+		t.Errorf("breach = %+v", be)
+	}
+	if u := b.Usage(); u.PipeBytes != 100 || u.PipeBytesPeak != 100 {
+		t.Errorf("usage after failed charge = %+v, want 100/100", u)
+	}
+	// Releases make room again, but the breach stays frozen: the job is
+	// already doomed, and Exceeded must keep naming the root cause.
+	b.ReleasePipe(100)
+	if u := b.Usage(); u.PipeBytes != 0 || u.PipeBytesPeak != 100 {
+		t.Errorf("usage after release = %+v, want 0 live / 100 peak", u)
+	}
+	if b.Exceeded() == nil {
+		t.Error("breach forgotten after release")
+	}
+}
+
+func TestBudgetFirstBreachWins(t *testing.T) {
+	b := NewBudget(JobLimits{MaxPipeMemory: 10, MaxOutputBytes: 10})
+	if err := b.ChargePipe(11); err == nil {
+		t.Fatal("pipe charge should breach")
+	}
+	// A later output breach must not re-attribute the failure.
+	if err := b.ChargeOutput(11); err == nil {
+		t.Fatal("output charge should breach")
+	}
+	if be := b.Exceeded(); be == nil || be.Resource != "pipe-memory" {
+		t.Errorf("first breach not preserved: %+v", be)
+	}
+	// ...and TripWall reports the frozen breach too.
+	if be := b.TripWall(); be.Resource != "pipe-memory" {
+		t.Errorf("TripWall re-attributed the breach: %+v", be)
+	}
+}
+
+func TestBudgetOutputAndWall(t *testing.T) {
+	b := NewBudget(JobLimits{MaxOutputBytes: 5})
+	if err := b.ChargeOutput(5); err != nil {
+		t.Fatal(err)
+	}
+	err := b.ChargeOutput(1)
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != "output-bytes" {
+		t.Fatalf("output breach = %v", err)
+	}
+
+	w := NewBudget(JobLimits{WallTimeout: 1})
+	if be := w.TripWall(); be.Resource != "wall-clock" {
+		t.Errorf("TripWall = %+v", be)
+	}
+	if w.Exceeded() == nil {
+		t.Error("wall breach not recorded")
+	}
+}
+
+func TestBudgetCapWidth(t *testing.T) {
+	b := NewBudget(JobLimits{MaxProcs: 4})
+	for _, tc := range []struct{ in, want int }{{1, 1}, {4, 4}, {8, 4}, {100, 4}} {
+		if got := b.CapWidth(tc.in); got != tc.want {
+			t.Errorf("CapWidth(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	unlimited := NewBudget(JobLimits{MaxOutputBytes: 1})
+	if got := unlimited.CapWidth(8); got != 8 {
+		t.Errorf("CapWidth without MaxProcs = %d, want 8", got)
+	}
+}
+
+func TestLimitWriterBreachFiresOnce(t *testing.T) {
+	b := NewBudget(JobLimits{MaxOutputBytes: 10})
+	var sink bytes.Buffer
+	breaches := 0
+	w := LimitWriter(&sink, b, func() { breaches++ })
+	if n, err := w.Write([]byte("0123456789")); n != 10 || err != nil {
+		t.Fatalf("within-budget write: n=%d err=%v", n, err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Write([]byte("x"))
+		}()
+	}
+	wg.Wait()
+	if breaches != 1 {
+		t.Errorf("onBreach fired %d times, want exactly once", breaches)
+	}
+	if sink.String() != "0123456789" {
+		t.Errorf("bytes past the budget reached the sink: %q", sink.String())
+	}
+	if _, err := w.Write([]byte("y")); !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("post-breach write error = %v", err)
+	}
+	// Without an output limit, LimitWriter must not interpose at all.
+	plain := &bytes.Buffer{}
+	if got := LimitWriter(plain, NewBudget(JobLimits{MaxProcs: 2}), nil); got != plain {
+		t.Error("LimitWriter wrapped a writer with no output budget")
+	}
+	if got := LimitWriter(plain, nil, nil); got != plain {
+		t.Error("LimitWriter wrapped a writer with a nil budget")
+	}
+}
+
+// TestPipeChargesBudget drives a real pooled pipe under a pipe-memory
+// budget: queued payload is charged on write and released on read, and
+// a writer that outruns the reader breaches.
+func TestPipeChargesBudget(t *testing.T) {
+	b := NewBudget(JobLimits{MaxPipeMemory: 4 * commands.BlockSize})
+	p := newPipe(0)
+	p.budget = b
+	payload := bytes.Repeat([]byte("x"), commands.BlockSize)
+	// Three chunks queued: charged, no breach.
+	for i := 0; i < 3; i++ {
+		if _, err := p.Write(payload); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if u := b.Usage(); u.PipeBytes == 0 {
+		t.Fatalf("queued payload not charged: %+v", u)
+	}
+	// Drain: the budget comes back.
+	buf := make([]byte, len(payload))
+	for i := 0; i < 3; i++ {
+		if _, err := io.ReadFull(p, buf); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if u := b.Usage(); u.PipeBytes != 0 {
+		t.Errorf("drained pipe still holds budget: %+v", u)
+	}
+	if b.Exceeded() != nil {
+		t.Fatalf("breach on a within-budget run: %v", b.Exceeded())
+	}
+	// Now overfill: writes past the budget must fail with the typed error.
+	var err error
+	for i := 0; i < 8 && err == nil; i++ {
+		_, err = p.Write(payload)
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("overfilled pipe error = %v, want ErrBudgetExceeded", err)
+	}
+	p.CloseRead()
+	if u := b.Usage(); u.PipeBytes != 0 {
+		t.Errorf("CloseRead leaked pipe budget: %+v", u)
+	}
+}
+
+func TestContainConvertsPanics(t *testing.T) {
+	before := Panics().Count
+	err := func() (err error) {
+		defer Contain("unit test", &err)
+		panic("boom-" + strings.Repeat("x", 3))
+	}()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("contained panic = %v, want *PanicError", err)
+	}
+	if pe.Where != "unit test" || !strings.Contains(pe.Value, "boom") {
+		t.Errorf("panic error = %+v", pe)
+	}
+	if !strings.Contains(pe.Stack, "limits_test") {
+		t.Errorf("stack does not reach the panic site:\n%s", pe.Stack)
+	}
+	st := Panics()
+	if st.Count != before+1 {
+		t.Errorf("panic count %d, want %d", st.Count, before+1)
+	}
+	found := false
+	for _, rec := range st.Recent {
+		if rec.Where == "unit test" && strings.Contains(rec.Value, "boom") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("contained panic missing from the ring: %+v", st.Recent)
+	}
+
+	// No panic in flight: the original error survives untouched.
+	want := errors.New("ordinary failure")
+	got := func() (err error) {
+		defer Contain("unit test", &err)
+		return want
+	}()
+	if got != want {
+		t.Errorf("Contain replaced a non-panic error: %v", got)
+	}
+}
+
+func TestPanicRingIsBounded(t *testing.T) {
+	for i := 0; i < panicRingSize+5; i++ {
+		func() {
+			var err error
+			defer Contain("ring fill", &err)
+			panic(fmt.Sprintf("overflow %d", i))
+		}()
+	}
+	st := Panics()
+	if len(st.Recent) > panicRingSize {
+		t.Errorf("ring grew past its bound: %d > %d", len(st.Recent), panicRingSize)
+	}
+	// The ring keeps the most recent entries.
+	last := st.Recent[len(st.Recent)-1]
+	if last.Value != fmt.Sprintf("overflow %d", panicRingSize+4) {
+		t.Errorf("ring tail = %q, want the newest panic", last.Value)
+	}
+}

@@ -1,0 +1,120 @@
+package runtime
+
+// Panic containment: every job, node goroutine, fused-kernel stage,
+// and worker-dispatch goroutine runs under a recover boundary that
+// converts panics — including those thrown by user-registered extension
+// kernels and aggregators — into job-scoped errors. The process never
+// crashes for one tenant's bug; the panic is recorded (with its stack)
+// in a process-wide ring the daemon exposes on /metrics.
+
+import (
+	"fmt"
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PanicError is a recovered panic converted into an ordinary error: the
+// job that hosted the panicking code fails with it while every other
+// job — and the process — keeps running.
+type PanicError struct {
+	// Where names the recover boundary ("node grep", "job", "worker
+	// dispatch").
+	Where string
+	// Value is the panic value's rendering.
+	Value string
+	// Stack is the captured goroutine stack at the panic site.
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runtime: panic in %s: %s", e.Where, e.Value)
+}
+
+// PanicRecord is one contained panic, as exposed on /metrics.
+type PanicRecord struct {
+	Time  time.Time `json:"time"`
+	Where string    `json:"where"`
+	Value string    `json:"value"`
+	// Stack is truncated to keep metrics rows bounded.
+	Stack string `json:"stack"`
+}
+
+// PanicStats is the /metrics view of the containment boundary: how many
+// panics the process has absorbed and the most recent ones.
+type PanicStats struct {
+	Count  int64         `json:"count"`
+	Recent []PanicRecord `json:"recent,omitempty"`
+}
+
+const (
+	panicRingSize = 8
+	panicStackCap = 4096
+	panicValueCap = 256
+)
+
+var (
+	panicCount atomic.Int64
+	panicMu    sync.Mutex
+	panicRing  []PanicRecord
+)
+
+// recordPanic stores a contained panic in the process-wide ring.
+func recordPanic(rec PanicRecord) {
+	panicCount.Add(1)
+	panicMu.Lock()
+	panicRing = append(panicRing, rec)
+	if len(panicRing) > panicRingSize {
+		panicRing = panicRing[len(panicRing)-panicRingSize:]
+	}
+	panicMu.Unlock()
+}
+
+// Panics snapshots the containment counters for metrics export.
+func Panics() PanicStats {
+	st := PanicStats{Count: panicCount.Load()}
+	panicMu.Lock()
+	st.Recent = append(st.Recent, panicRing...)
+	panicMu.Unlock()
+	return st
+}
+
+// truncate bounds a captured string without splitting below n.
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
+// AsPanicError converts a recovered value into the error the boundary
+// reports, recording it in the process ring. Call it only with a
+// non-nil recover() result.
+func AsPanicError(where string, v any) *PanicError {
+	buf := make([]byte, panicStackCap)
+	buf = buf[:stdruntime.Stack(buf, false)]
+	pe := &PanicError{
+		Where: where,
+		Value: truncate(fmt.Sprint(v), panicValueCap),
+		Stack: string(buf),
+	}
+	recordPanic(PanicRecord{
+		Time:  time.Now(),
+		Where: pe.Where,
+		Value: pe.Value,
+		Stack: truncate(pe.Stack, panicStackCap),
+	})
+	return pe
+}
+
+// Contain is the standard recover boundary: defer it in any goroutine
+// whose panic must fail only its own job. If a panic is in flight it is
+// recorded and *errp is replaced with the PanicError (the original
+// error, if any, is superseded — the panic is the more fundamental
+// failure).
+func Contain(where string, errp *error) {
+	if r := recover(); r != nil {
+		*errp = AsPanicError(where, r)
+	}
+}

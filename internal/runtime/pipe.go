@@ -63,6 +63,12 @@ type pipe struct {
 	readMeter  *int64 // atomic ns blocked in reads
 	writeMeter *int64 // atomic ns blocked in writes
 
+	// budget, when set, charges queued payload against the owning job's
+	// pipe-memory ceiling: enqueues charge, consumption releases. This
+	// is what bounds a job's eager (unbounded) buffers — the global
+	// block pool no longer is the only line of defense.
+	budget *Budget
+
 	bytesMoved  int64 // total payload bytes ever enqueued (under mu)
 	chunksMoved int64 // total blocks ever enqueued (under mu)
 }
@@ -123,6 +129,10 @@ func (p *pipe) WriteChunk(b []byte) error {
 		commands.PutBlock(b)
 		return err
 	}
+	if err := p.budget.ChargePipe(len(b)); err != nil {
+		commands.PutBlock(b)
+		return err
+	}
 	p.enqueue(b)
 	return nil
 }
@@ -143,6 +153,9 @@ func (p *pipe) Write(b []byte) (int, error) {
 				n := len(b)
 				if n > room {
 					n = room
+				}
+				if err := p.budget.ChargePipe(n); err != nil {
+					return written, err
 				}
 				p.blocks[len(p.blocks)-1] = append(tail, b[:n]...)
 				p.size += n
@@ -166,6 +179,9 @@ func (p *pipe) Write(b []byte) (int, error) {
 			if free := p.max - p.size; n > free {
 				n = free
 			}
+		}
+		if err := p.budget.ChargePipe(n); err != nil {
+			return written, err
 		}
 		blk := append(commands.GetBlock(), b[:n]...)
 		p.enqueue(blk)
@@ -211,6 +227,7 @@ func (p *pipe) Read(b []byte) (int, error) {
 					p.dropHead()
 				}
 			}
+			p.budget.ReleasePipe(read)
 			p.wwait.Signal()
 			return read, nil
 		}
@@ -239,6 +256,7 @@ func (p *pipe) ReadChunk() ([]byte, func(), error) {
 			p.blocks = p.blocks[1:]
 			p.off = 0
 			p.size -= len(payload)
+			p.budget.ReleasePipe(len(payload))
 			p.wwait.Signal()
 			release := func() { commands.PutBlock(head) }
 			return payload, release, nil
@@ -269,6 +287,7 @@ func (p *pipe) CloseRead() {
 	for _, b := range p.blocks {
 		commands.PutBlock(b)
 	}
+	p.budget.ReleasePipe(p.size)
 	p.blocks = nil
 	p.off = 0
 	p.size = 0

@@ -355,7 +355,10 @@ func (c *StageChain) Stream(r io.Reader, w io.Writer) error {
 				FS:     c.fs,
 				Env:    c.env,
 			}
-			errs[i] = c.reg.Run(st.Name, cctx)
+			errs[i] = func() (err error) {
+				defer Contain("chain stage "+st.Name, &err)
+				return c.reg.Run(st.Name, cctx)
+			}()
 			ios[i].out.Close()
 			if ios[i].in != nil {
 				ios[i].in.Close()

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	stdruntime "runtime"
 	"sync"
@@ -36,14 +37,46 @@ type Scheduler struct {
 	totalSlots  int
 	totalTokens int
 
+	// Admission-queue bounds (load shedding). queueLimit caps how many
+	// admissions may be blocked waiting at once; queueWait caps how long
+	// any one admission may wait. Zero means unbounded (the historical
+	// block-forever behaviour). Set before sharing the scheduler.
+	queueLimit int
+	queueWait  time.Duration
+
 	admitted   atomic.Int64 // scripts admitted so far
 	waited     atomic.Int64 // admissions that had to block
 	waitNanos  atomic.Int64 // total time spent blocked in Admit
 	active     atomic.Int64 // scripts currently admitted
+	queued     atomic.Int64 // admissions currently blocked waiting
+	sheds      atomic.Int64 // admissions refused by the queue bounds
 	tokensOut  atomic.Int64 // width tokens currently held
 	widthAsks  atomic.Int64 // AcquireWidth calls
 	widthTrims atomic.Int64 // AcquireWidth calls granted less than asked
 }
+
+// ErrAdmissionShed is the sentinel every shed admission matches: the
+// scheduler refused to queue the script because the admission queue was
+// full or the wait deadline passed. Callers (the daemon) translate it
+// into backpressure toward the client (HTTP 503 + Retry-After) instead
+// of letting queued work pile up without bound.
+var ErrAdmissionShed = errors.New("runtime: admission shed")
+
+// ShedError reports why an admission was shed. It matches
+// ErrAdmissionShed under errors.Is.
+type ShedError struct {
+	// Reason is "queue-full" or "deadline".
+	Reason string
+	// QueueDepth is the number of waiters at shed time.
+	QueueDepth int
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("runtime: admission shed (%s, %d queued)", e.Reason, e.QueueDepth)
+}
+
+// Is makes every ShedError match the ErrAdmissionShed sentinel.
+func (e *ShedError) Is(target error) bool { return target == ErrAdmissionShed }
 
 // NewScheduler builds a scheduler with the given width-token pool size;
 // tokens <= 0 sizes the pool to the machine (GOMAXPROCS). Script
@@ -79,24 +112,57 @@ func (s *Scheduler) SetMaxScripts(n int) {
 	}
 }
 
-// Admit blocks until a script slot is free (or ctx is done) and returns
-// a release function. Callers must be top-level script executions.
+// SetAdmissionQueue bounds the admission queue: at most limit
+// admissions may wait for a slot at once, and none for longer than
+// maxWait. Excess or expired admissions fail fast with a *ShedError
+// instead of queueing. Zero disables the respective bound. Must be
+// called before the scheduler is shared with runners.
+func (s *Scheduler) SetAdmissionQueue(limit int, maxWait time.Duration) {
+	s.queueLimit = limit
+	s.queueWait = maxWait
+}
+
+// Admit blocks until a script slot is free (or ctx is done, or the
+// admission-queue bounds shed the request) and returns a release
+// function. Callers must be top-level script executions.
 func (s *Scheduler) Admit(ctx context.Context) (func(), error) {
-	waitedFlag := false
 	start := time.Now()
 	select {
 	case <-s.slots:
 	default:
-		waitedFlag = true
+		depth := s.queued.Add(1)
+		if lim := s.queueLimit; lim > 0 && int(depth) > lim {
+			s.queued.Add(-1)
+			s.sheds.Add(1)
+			return nil, &ShedError{Reason: "queue-full", QueueDepth: int(depth) - 1}
+		}
 		s.waited.Add(1)
+		wctx := ctx
+		if s.queueWait > 0 {
+			var cancel context.CancelFunc
+			wctx, cancel = context.WithTimeout(ctx, s.queueWait)
+			defer cancel()
+		}
 		select {
 		case <-s.slots:
-		case <-ctx.Done():
+			s.queued.Add(-1)
+			s.waitNanos.Add(int64(time.Since(start)))
+		case <-wctx.Done():
+			depth := s.queued.Add(-1)
+			if ctx.Err() == nil {
+				// The queue-wait deadline expired, not the caller: shed.
+				s.sheds.Add(1)
+				return nil, &ShedError{Reason: "deadline", QueueDepth: int(depth)}
+			}
 			return nil, fmt.Errorf("runtime: admission: %w", ctx.Err())
 		}
 	}
-	if waitedFlag {
-		s.waitNanos.Add(int64(time.Since(start)))
+	// A select with both a free slot and a done context may pick the
+	// slot; a caller already cancelled while queued must hand its slot
+	// straight back rather than hold it through a doomed execution.
+	if err := ctx.Err(); err != nil {
+		s.slots <- struct{}{}
+		return nil, fmt.Errorf("runtime: admission: %w", err)
 	}
 	s.admitted.Add(1)
 	s.active.Add(1)
@@ -150,6 +216,10 @@ type SchedulerStats struct {
 	Admitted      int64         `json:"admitted"`
 	Waited        int64         `json:"waited"`
 	WaitTime      time.Duration `json:"wait_ns"`
+	QueueDepth    int64         `json:"queue_depth"`
+	QueueLimit    int           `json:"queue_limit,omitempty"`
+	QueueWait     time.Duration `json:"queue_wait_ns,omitempty"`
+	Sheds         int64         `json:"sheds"`
 	WidthTokens   int           `json:"width_tokens"`
 	TokensInUse   int64         `json:"tokens_in_use"`
 	WidthAsks     int64         `json:"width_asks"`
@@ -164,6 +234,10 @@ func (s *Scheduler) Stats() SchedulerStats {
 		Admitted:      s.admitted.Load(),
 		Waited:        s.waited.Load(),
 		WaitTime:      time.Duration(s.waitNanos.Load()),
+		QueueDepth:    s.queued.Load(),
+		QueueLimit:    s.queueLimit,
+		QueueWait:     s.queueWait,
+		Sheds:         s.sheds.Load(),
 		WidthTokens:   s.totalTokens,
 		TokensInUse:   s.tokensOut.Load(),
 		WidthAsks:     s.widthAsks.Load(),

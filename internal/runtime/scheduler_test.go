@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	stdruntime "runtime"
 	"sync"
 	"testing"
@@ -131,5 +132,136 @@ func TestSchedulerAdmissionRespectsContext(t *testing.T) {
 	defer cancel()
 	if _, err := s.Admit(ctx); err == nil {
 		t.Fatal("admission should fail when the context expires")
+	}
+}
+
+func TestSchedulerShedsWhenQueueFull(t *testing.T) {
+	s := NewScheduler(4)
+	s.SetMaxScripts(1)
+	s.SetAdmissionQueue(2, 0)
+	rel, err := s.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the admission queue to its bound.
+	const waiters = 2
+	admitted := make(chan func(), waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			r, err := s.Admit(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			admitted <- r
+		}()
+	}
+	deadline := time.After(5 * time.Second)
+	for s.Stats().QueueDepth != waiters {
+		select {
+		case <-deadline:
+			t.Fatalf("waiters never queued: %+v", s.Stats())
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	// One more admission must shed immediately, typed and matchable.
+	_, err = s.Admit(context.Background())
+	if !errors.Is(err, ErrAdmissionShed) {
+		t.Fatalf("over-queue admission error = %v, want ErrAdmissionShed", err)
+	}
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != "queue-full" {
+		t.Errorf("shed = %+v, want queue-full", shed)
+	}
+	if st := s.Stats(); st.Sheds != 1 || st.QueueDepth != waiters {
+		t.Errorf("stats after shed = %+v", st)
+	}
+
+	// The queued waiters were not harmed: releasing drains them in turn.
+	rel()
+	r1 := <-admitted
+	r1()
+	r2 := <-admitted
+	r2()
+	if st := s.Stats(); st.ActiveScripts != 0 || st.QueueDepth != 0 {
+		t.Errorf("stats after drain = %+v", st)
+	}
+}
+
+func TestSchedulerShedsOnQueueDeadline(t *testing.T) {
+	s := NewScheduler(4)
+	s.SetMaxScripts(1)
+	s.SetAdmissionQueue(8, 20*time.Millisecond)
+	rel, err := s.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	start := time.Now()
+	_, err = s.Admit(context.Background())
+	if !errors.Is(err, ErrAdmissionShed) {
+		t.Fatalf("expired admission error = %v, want ErrAdmissionShed", err)
+	}
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != "deadline" {
+		t.Errorf("shed = %+v, want deadline", shed)
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Errorf("deadline shed took %s, bound was 20ms", waited)
+	}
+	// A caller-side cancellation must NOT be reported as a shed: the
+	// client went away, the server did not refuse.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(5 * time.Millisecond); cancel() }()
+	_, err = s.Admit(ctx)
+	if err == nil || errors.Is(err, ErrAdmissionShed) {
+		t.Errorf("caller cancel surfaced as %v, want a plain context error", err)
+	}
+	if st := s.Stats(); st.Sheds != 1 {
+		t.Errorf("sheds = %d, want 1 (cancel must not count)", st.Sheds)
+	}
+}
+
+// TestSchedulerCancelledWhileQueuedReturnsSlot pins the fix for the
+// queued-cancel slot leak: when a waiter's context is cancelled at the
+// same moment a slot frees, Go's select may deliver the slot — the
+// waiter must hand it straight back instead of holding it through a
+// doomed execution.
+func TestSchedulerCancelledWhileQueuedReturnsSlot(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		s := NewScheduler(2)
+		s.SetMaxScripts(1)
+		rel, err := s.Admit(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			r, err := s.Admit(ctx)
+			if err == nil {
+				r()
+			}
+			done <- err
+		}()
+		for s.Stats().QueueDepth != 1 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		// Race the release against the cancellation.
+		cancel()
+		rel()
+		<-done
+		// Whatever the select picked, the slot must be available again
+		// (a leak would block this admission until the timeout).
+		probe, pcancel := context.WithTimeout(context.Background(), 2*time.Second)
+		got, err := s.Admit(probe)
+		pcancel()
+		if err != nil {
+			t.Fatalf("round %d: slot leaked after queued cancel: %v", round, err)
+		}
+		got()
 	}
 }

@@ -144,7 +144,10 @@ func fileSplit(path string, ws []io.WriteCloser) error {
 	errc := make(chan error, n)
 	for i := int64(0); i < n; i++ {
 		go func(lo, hi int64, w io.WriteCloser) {
-			errc <- streamRange(f, lo, hi, w)
+			errc <- func() (err error) {
+				defer Contain("split range writer", &err)
+				return streamRange(f, lo, hi, w)
+			}()
 		}(starts[i], starts[i+1], ws[i])
 	}
 	var first error

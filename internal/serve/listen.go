@@ -1,0 +1,64 @@
+package serve
+
+// Listener setup and graceful drain for the pash-serve process. Both
+// live here (rather than in cmd/pash-serve) so the unlink-on-bind probe
+// and the drain sequence are testable without spawning a binary.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// Listen opens the daemon's listener: "unix:/path/to.sock" binds a unix
+// socket, anything else is a TCP host:port.
+//
+// A unix path that already exists is unlinked only when it is provably
+// a dead socket: a non-socket file is never removed (a typo'd -listen
+// must not delete data), and a socket another daemon still answers on
+// is reported as in use instead of stolen out from under it. Dead
+// sockets are the normal residue of an unclean exit (SIGKILL, crash) —
+// a graceful drain unlinks its own socket on close.
+func Listen(addr string) (net.Listener, error) {
+	path, ok := strings.CutPrefix(addr, "unix:")
+	if !ok {
+		return net.Listen("tcp", addr)
+	}
+	if fi, err := os.Lstat(path); err == nil {
+		if fi.Mode()&os.ModeSocket == 0 {
+			return nil, fmt.Errorf("serve: %s exists and is not a socket; refusing to remove it", path)
+		}
+		conn, err := net.DialTimeout("unix", path, time.Second)
+		if err == nil {
+			conn.Close()
+			return nil, fmt.Errorf("serve: %s is in use by a live process", path)
+		}
+		// Nobody answers: stale socket from an unclean exit. Unlink it.
+		if err := os.Remove(path); err != nil {
+			return nil, fmt.Errorf("serve: removing stale socket %s: %w", path, err)
+		}
+	}
+	return net.Listen("unix", path)
+}
+
+// DrainAndShutdown runs the graceful-exit sequence: stop admission
+// (the Server sheds new /run requests with 503), let in-flight jobs
+// finish within the deadline, then shut the HTTP server down — which
+// closes the listener and, for unix sockets, unlinks the socket file.
+// It returns nil when every in-flight request completed, or the
+// shutdown error (typically context.DeadlineExceeded) when the drain
+// deadline expired first.
+func (s *Server) DrainAndShutdown(hs *http.Server, deadline time.Duration) error {
+	s.Drain()
+	ctx := context.Background()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	return hs.Shutdown(ctx)
+}

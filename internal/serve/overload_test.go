@@ -1,0 +1,348 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	stdruntime "runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/pash"
+)
+
+// TestServeOverloadSheds is the overload acceptance test: at 4x
+// oversubscription (12 clients against 1 script slot + 2 queue spots)
+// the daemon sheds the excess with 503 + Retry-After, completes every
+// admitted request byte-identically, and leaves no goroutine pile-up
+// behind.
+func TestServeOverloadSheds(t *testing.T) {
+	sess := pash.NewSession(pash.DefaultOptions(4))
+	sched := pash.NewScheduler(4)
+	sched.SetMaxScripts(1)
+	sched.SetAdmissionQueue(2, 0)
+	srv := New(sess, sched)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	goroutinesBefore := stdruntime.NumGoroutine()
+
+	const clients = 12 // 4x the 3-deep capacity (1 running + 2 queued)
+	type result struct {
+		status     int
+		retryAfter string
+		body       string
+		exit       string
+	}
+	results := make(chan result, clients)
+	pipes := make([]*io.PipeWriter, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		pr, pw := io.Pipe()
+		pipes[c] = pw
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/run?script="+queryEscape("wc -l"),
+				"application/octet-stream", pr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			results <- result{
+				status:     resp.StatusCode,
+				retryAfter: resp.Header.Get("Retry-After"),
+				body:       string(body),
+				exit:       resp.Trailer.Get("X-Pash-Exit-Code"),
+			}
+		}()
+	}
+
+	// Wait for the scheduler to settle into its saturated shape: the
+	// 9 excess clients shed, 1 running, 2 queued.
+	deadline := time.After(10 * time.Second)
+	for srv.Snapshot().Sheds != clients-3 {
+		select {
+		case <-deadline:
+			t.Fatalf("sheds never reached %d: %+v", clients-3, srv.Snapshot())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+
+	// Release the admitted clients' stdin; they complete one at a time.
+	for _, pw := range pipes {
+		go func(pw *io.PipeWriter) {
+			// Shed requests' pipes fail with ErrClosedPipe once the
+			// transport abandons the body; that is expected.
+			pw.Write([]byte("a\nb\nc\n"))
+			pw.Close()
+		}(pw)
+	}
+	wg.Wait()
+	close(results)
+
+	accepted, shed := 0, 0
+	for r := range results {
+		switch r.status {
+		case http.StatusOK:
+			accepted++
+			if r.body != "3\n" || r.exit != "0" {
+				t.Errorf("accepted request corrupted under overload: body=%q exit=%q", r.body, r.exit)
+			}
+		case http.StatusServiceUnavailable:
+			shed++
+			if r.retryAfter == "" {
+				t.Error("shed response missing Retry-After")
+			}
+			if !strings.Contains(r.body, "queue-full") {
+				t.Errorf("shed reason = %q, want queue-full", r.body)
+			}
+		default:
+			t.Errorf("unexpected status %d (body %q)", r.status, r.body)
+		}
+	}
+	if accepted != 3 || shed != clients-3 {
+		t.Errorf("accepted=%d shed=%d, want 3/%d", accepted, shed, clients-3)
+	}
+	if m := srv.Snapshot(); m.Sheds != int64(clients-3) || m.Scheduler.Admitted != 3 {
+		t.Errorf("metrics after overload: sheds=%d admitted=%d", m.Sheds, m.Scheduler.Admitted)
+	}
+
+	// No goroutine pile-up: once the pooled keep-alive connections are
+	// released, everything spawned for the burst drains back to (near)
+	// the pre-burst baseline.
+	http.DefaultClient.CloseIdleConnections()
+	drainDeadline := time.After(10 * time.Second)
+	for {
+		if g := stdruntime.NumGoroutine(); g <= goroutinesBefore+5 {
+			break
+		}
+		http.DefaultClient.CloseIdleConnections()
+		select {
+		case <-drainDeadline:
+			t.Fatalf("goroutines piled up: %d before burst, %d after", goroutinesBefore, stdruntime.NumGoroutine())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// TestServeDrainUnderTraffic is the graceful-drain acceptance test: a
+// drain begun with a job in flight sheds new work with 503 while the
+// in-flight job runs to byte-identical completion, and DrainAndShutdown
+// returns cleanly once it has.
+func TestServeDrainUnderTraffic(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "d.txt"), []byte("b\na\nc\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sess := pash.NewSession(pash.DefaultOptions(4))
+	sess.Dir = dir
+	srv := New(sess, pash.NewScheduler(4))
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// In-flight job, gated on its stdin.
+	pr, pw := io.Pipe()
+	type done struct {
+		body string
+		exit string
+	}
+	inflight := make(chan done, 1)
+	go func() {
+		resp, err := http.Post(base+"/run?script="+queryEscape("wc -l"), "application/octet-stream", pr)
+		if err != nil {
+			t.Error(err)
+			inflight <- done{}
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		inflight <- done{body: string(body), exit: resp.Trailer.Get("X-Pash-Exit-Code")}
+	}()
+	deadline := time.After(10 * time.Second)
+	for srv.Snapshot().Active == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("in-flight job never started")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+
+	// POST /drain flips drain mode (202) and closes DrainRequested.
+	resp, err := http.Post(base+"/drain", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /drain = %d, want 202", resp.StatusCode)
+	}
+	select {
+	case <-srv.DrainRequested():
+	default:
+		t.Fatal("DrainRequested not closed after POST /drain")
+	}
+
+	// New work is shed while the old job still runs.
+	resp, err = http.Post(base+"/run", "text/plain", strings.NewReader("echo late"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
+		t.Fatalf("request during drain: status=%d body=%q, want 503 draining", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("drain shed missing Retry-After")
+	}
+
+	// The shutdown sequence waits for the in-flight job; release it.
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.DrainAndShutdown(hs, 10*time.Second) }()
+	time.Sleep(20 * time.Millisecond) // let Shutdown begin waiting
+	pw.Write([]byte("x\ny\nz\n"))
+	pw.Close()
+
+	r := <-inflight
+	if r.body != "3\n" || r.exit != "0" {
+		t.Errorf("in-flight job corrupted by drain: body=%q exit=%q", r.body, r.exit)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("DrainAndShutdown = %v, want nil (job finished inside the deadline)", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v, want ErrServerClosed", err)
+	}
+	// Drain is idempotent.
+	srv.Drain()
+	if m := srv.Snapshot(); !m.Draining {
+		t.Error("metrics do not report drain mode")
+	}
+}
+
+// TestServeDrainDeadlineExpires: a job that refuses to finish makes
+// DrainAndShutdown return the deadline error instead of hanging.
+func TestServeDrainDeadlineExpires(t *testing.T) {
+	srv := New(pash.NewSession(pash.DefaultOptions(2)), nil)
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	go func() {
+		resp, err := http.Post(base+"/run?script="+queryEscape("wc -l"), "application/octet-stream", pr)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.After(10 * time.Second)
+	for srv.Snapshot().Active == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("job never started")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if err := srv.DrainAndShutdown(hs, 50*time.Millisecond); err == nil {
+		t.Fatal("DrainAndShutdown returned nil with a stuck job in flight")
+	}
+}
+
+// TestListenUnixSocketHygiene pins the unlink-on-bind contract: a
+// non-socket file is never removed, a live socket is reported in use,
+// and only a provably dead socket is cleaned up and rebound.
+func TestListenUnixSocketHygiene(t *testing.T) {
+	dir := t.TempDir()
+
+	// Case 1: the path holds data — refuse, do not delete.
+	dataPath := filepath.Join(dir, "precious.txt")
+	if err := os.WriteFile(dataPath, []byte("not a socket"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Listen("unix:" + dataPath); err == nil || !strings.Contains(err.Error(), "not a socket") {
+		t.Fatalf("Listen on a data file: %v, want refusal", err)
+	}
+	if data, err := os.ReadFile(dataPath); err != nil || string(data) != "not a socket" {
+		t.Fatalf("Listen deleted or damaged the data file: %v %q", err, data)
+	}
+
+	// Case 2: another daemon is live on the socket — refuse, do not steal.
+	livePath := filepath.Join(dir, "live.sock")
+	live, err := net.Listen("unix", livePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := live.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	if _, err := Listen("unix:" + livePath); err == nil || !strings.Contains(err.Error(), "in use") {
+		t.Fatalf("Listen on a live socket: %v, want in-use refusal", err)
+	}
+	live.Close()
+
+	// Case 3: a stale socket (unclean exit residue) is unlinked and the
+	// path rebound.
+	stalePath := filepath.Join(dir, "stale.sock")
+	stale, err := net.Listen("unix", stalePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale.(*net.UnixListener).SetUnlinkOnClose(false)
+	stale.Close() // leaves the socket file behind with nobody answering
+	if fi, err := os.Lstat(stalePath); err != nil || fi.Mode()&os.ModeSocket == 0 {
+		t.Fatalf("test setup: stale socket not left behind: %v", err)
+	}
+	ln, err := Listen("unix:" + stalePath)
+	if err != nil {
+		t.Fatalf("Listen over a stale socket: %v", err)
+	}
+	// The rebound socket works end to end.
+	hs := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})}
+	go hs.Serve(ln)
+	client := &http.Client{Transport: &http.Transport{
+		DialContext: func(ctx context.Context, _, _ string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "unix", stalePath)
+		},
+	}}
+	resp, err := client.Get("http://pash-serve/healthz")
+	if err != nil {
+		t.Fatalf("dial rebound socket: %v", err)
+	}
+	resp.Body.Close()
+	hs.Close()
+	// Closing unlinks the socket (graceful exit leaves no residue).
+	if _, err := os.Lstat(stalePath); !os.IsNotExist(err) {
+		t.Errorf("socket file survived close: %v", err)
+	}
+}

@@ -49,11 +49,13 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -67,10 +69,23 @@ type Server struct {
 	pool  *pash.WorkerPool
 	start time.Time
 
+	// limits is the default per-job resource budget applied to every
+	// request (zero = unlimited). Set with SetDefaultLimits before
+	// serving.
+	limits pash.JobLimits
+	// retryAfter is the Retry-After hint (seconds) sent with shed
+	// responses.
+	retryAfter int
+
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainCh   chan struct{}
+
 	requests  atomic.Int64
 	active    atomic.Int64
 	failures  atomic.Int64
 	cancelled atomic.Int64
+	sheds     atomic.Int64
 	bytesOut  atomic.Int64
 }
 
@@ -81,7 +96,37 @@ func New(sess *pash.Session, sched *pash.Scheduler) *Server {
 	if sched != nil {
 		sess.UseScheduler(sched)
 	}
-	return &Server{sess: sess, sched: sched, start: time.Now()}
+	return &Server{
+		sess:       sess,
+		sched:      sched,
+		start:      time.Now(),
+		retryAfter: 1,
+		drainCh:    make(chan struct{}),
+	}
+}
+
+// SetDefaultLimits installs the per-job resource budget every request
+// runs under (zero = unlimited). Call before serving.
+func (s *Server) SetDefaultLimits(l pash.JobLimits) { s.limits = l }
+
+// Drain flips the server into drain mode: new /run requests are shed
+// with 503 while in-flight jobs run to completion. It is idempotent;
+// the returned channel (also via Draining) is closed on first call so
+// the process's accept loop can begin its shutdown.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
+
+// DrainRequested returns a channel closed once Drain has been called
+// (by signal or by POST /drain).
+func (s *Server) DrainRequested() <-chan struct{} { return s.drainCh }
+
+// shed refuses a request with 503 + Retry-After, counting it.
+func (s *Server) shed(w http.ResponseWriter, reason string) {
+	s.sheds.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter))
+	http.Error(w, reason, http.StatusServiceUnavailable)
 }
 
 // Session exposes the shared session (test hook).
@@ -115,6 +160,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/workers", s.handleWorkers)
 	mux.HandleFunc("/workers/register", s.handleRegisterWorker)
+	mux.HandleFunc("/workers/deregister", s.handleDeregisterWorker)
+	mux.HandleFunc("/drain", s.handleDrain)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -164,6 +211,40 @@ func (s *Server) handleRegisterWorker(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprintf(w, "registered %s\n", url)
+}
+
+// handleDeregisterWorker removes a worker from the pool: POST with
+// url=<addr>. A draining worker calls this on itself so the coordinator
+// stops planning onto it before the worker's listener goes away.
+func (s *Server) handleDeregisterWorker(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.pool == nil {
+		http.Error(w, "no worker pool attached", http.StatusNotFound)
+		return
+	}
+	url := strings.TrimSuffix(r.FormValue("url"), "/")
+	if url == "" {
+		http.Error(w, "missing url", http.StatusBadRequest)
+		return
+	}
+	s.pool.Remove(url)
+	fmt.Fprintf(w, "deregistered %s\n", url)
+}
+
+// handleDrain begins a graceful shutdown: admission stops (new runs are
+// shed with 503) while in-flight jobs finish. The process's main loop
+// watches DrainRequested to close the listener and exit.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.Drain()
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintln(w, "draining")
 }
 
 func workerHealthy(pool *pash.WorkerPool, url string) bool {
@@ -254,6 +335,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.requests.Add(1)
+	if s.draining.Load() {
+		s.shed(w, "draining")
+		return
+	}
 	s.active.Add(1)
 	defer s.active.Add(-1)
 
@@ -291,6 +376,36 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	} else if o != nil {
 		startOpts = append(startOpts, pash.WithOptions(*o))
 	}
+	if !s.limits.Zero() {
+		startOpts = append(startOpts, pash.WithLimits(s.limits))
+	}
+
+	// Admission happens here, before the response commits: a saturated
+	// scheduler sheds with 503 + Retry-After while the status line can
+	// still say so. The job inherits the slot (WithAdmitted) instead of
+	// admitting a second time.
+	var admitRelease func()
+	if s.sched != nil {
+		release, err := s.sched.Admit(r.Context())
+		if err != nil {
+			if errors.Is(err, pash.ErrAdmissionShed) {
+				s.shed(w, err.Error())
+			} else {
+				// The client hung up while queued; nothing to answer.
+				s.cancelled.Add(1)
+			}
+			return
+		}
+		// Double drain check: a drain begun while this request was
+		// queued must not start new work.
+		if s.draining.Load() {
+			release()
+			s.shed(w, "draining")
+			return
+		}
+		admitRelease = release
+		startOpts = append(startOpts, pash.WithAdmitted(release))
+	}
 
 	// The script reads the request body (stdin) while streaming the
 	// response body (stdout): full duplex, which HTTP/1 handlers must
@@ -306,6 +421,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// so parse errors still get a clean 400 (nothing streamed yet).
 	job, err := s.sess.Start(r.Context(), script, pash.JobIO{Stdin: stdin, Stdout: stdout}, startOpts...)
 	if err != nil {
+		if admitRelease != nil {
+			// The job never started, so it cannot release the slot.
+			admitRelease()
+		}
 		s.failures.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -341,7 +460,14 @@ type Metrics struct {
 	Active        int64   `json:"active"`
 	Failures      int64   `json:"failures"`
 	Cancelled     int64   `json:"cancelled"`
-	BytesOut      int64   `json:"bytes_out"`
+	// Sheds counts requests refused with 503 (queue full, wait deadline,
+	// or draining); Draining reports drain mode.
+	Sheds    int64 `json:"sheds"`
+	Draining bool  `json:"draining"`
+	BytesOut int64 `json:"bytes_out"`
+	// Panics is the process-wide containment ring: panics absorbed and
+	// converted into job-scoped errors.
+	Panics pash.PanicStats `json:"panics"`
 	// ThroughputBPS is lifetime bytes_out / uptime.
 	ThroughputBPS float64              `json:"throughput_bps"`
 	PlanCache     pash.PlanCacheStats  `json:"plan_cache"`
@@ -365,7 +491,10 @@ func (s *Server) Snapshot() Metrics {
 		Active:        s.active.Load(),
 		Failures:      s.failures.Load(),
 		Cancelled:     s.cancelled.Load(),
+		Sheds:         s.sheds.Load(),
+		Draining:      s.draining.Load(),
 		BytesOut:      s.bytesOut.Load(),
+		Panics:        pash.Panics(),
 		PlanCache:     s.sess.PlanCacheStats(),
 		Jobs:          s.sess.Jobs(),
 	}

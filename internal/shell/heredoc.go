@@ -1,0 +1,64 @@
+package shell
+
+import "strings"
+
+// ParseHeredocBody lexes a heredoc body whose delimiter was unquoted
+// into a Word, per POSIX heredoc-context rules: parameter expansion and
+// command substitution stay live, backslash escapes $, `, \ and joins
+// continued lines, and every other character — including quote
+// characters — is literal. Expand the result with
+// Expander.ExpandString (a no-split context).
+func ParseHeredocBody(body string) (*Word, error) {
+	l := newLexer(body)
+	var parts []WordPart
+	var lit strings.Builder
+	flush := func() {
+		if lit.Len() > 0 {
+			parts = append(parts, &Lit{Text: lit.String()})
+			lit.Reset()
+		}
+	}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				lit.WriteByte('\\')
+				continue
+			}
+			e := l.advance()
+			switch e {
+			case '$', '`', '\\':
+				lit.WriteByte(e)
+			case '\n':
+				// line continuation
+			default:
+				lit.WriteByte('\\')
+				lit.WriteByte(e)
+			}
+		case '$':
+			flush()
+			p, err := l.lexDollar()
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, p)
+		case '`':
+			l.pos++
+			end := strings.IndexByte(l.src[l.pos:], '`')
+			if end < 0 {
+				return nil, l.errf("unterminated backquote")
+			}
+			flush()
+			src := l.src[l.pos : l.pos+end]
+			l.line += strings.Count(src, "\n")
+			l.pos += end + 1
+			parts = append(parts, &CmdSub{Src: src})
+		default:
+			lit.WriteByte(l.advance())
+		}
+	}
+	flush()
+	return &Word{Parts: parts}, nil
+}

@@ -1,0 +1,98 @@
+package pash
+
+import (
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fuzzSeeds is the structural corpus FuzzRunScript starts from: the
+// shapes the interpreter supports (pipelines, redirections, heredocs,
+// subshells, compounds, expansions, background jobs), plus a few
+// known-nasty fragments. The fuzzer mutates from here into the space of
+// almost-valid scripts, which is where interpreter panics live.
+var fuzzSeeds = []string{
+	"echo hello | tr a-z A-Z",
+	"cat in.txt | sort | uniq -c | sort -rn | head -n 3",
+	"grep x in.txt | wc -l",
+	"seq 100 | grep 7 | wc -l",
+	"x=world; echo hello $x",
+	"echo $(seq 3 | wc -l)",
+	"(echo a; echo b) | sort",
+	"cat <<EOF | tr a-z A-Z\nhello $x heredoc\nEOF",
+	"cat <<'EOF' | wc -c\nraw $x `cmd`\nEOF",
+	"tr a-z A-Z < in.txt > out.tmp",
+	"for f in a b c; do echo $f; done | sort -r",
+	"if true; then echo yes; else echo no; fi",
+	"while read line; do echo $line; done < in.txt",
+	"false || echo fallback && echo chained",
+	"sleep 0 & wait",
+	"echo unterminated 'quote",
+	"cat < <(",
+	"| | |",
+	"echo \\",
+	"cat <<EOF\nno terminator",
+	"a=$($(echo echo) nested)",
+	"cd sub; cat ../in.txt",
+}
+
+// FuzzRunScript drives arbitrary byte strings through the full stack —
+// parser, expansion, compiler, planner, and the parallel runtime — the
+// way a hostile pash-serve client could. Every run is sandboxed to a
+// throwaway directory and budgeted, so the only failure the fuzzer can
+// report is the one we care about: a panic escaping the containment
+// boundaries or a hang past the wall budget.
+func FuzzRunScript(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			t.Skip("oversized input")
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "in.txt"), []byte("alpha\nbeta\ngamma x\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		s := NewSession(DefaultOptions(4))
+		s.Dir = dir
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		job, err := s.Start(ctx, src, JobIO{
+			Stdin:  strings.NewReader("fuzz\ninput lines\n"),
+			Stdout: io.Discard,
+			Stderr: io.Discard,
+		}, WithLimits(JobLimits{
+			WallTimeout:    2 * time.Second,
+			MaxOutputBytes: 1 << 20,
+			MaxPipeMemory:  8 << 20,
+			MaxProcs:       4,
+			Sandbox:        true,
+		}))
+		if err != nil {
+			// Parse rejection is a fine outcome for fuzz input.
+			return
+		}
+		select {
+		case <-job.Done():
+		case <-time.After(8 * time.Second):
+			t.Fatalf("job outlived its 2s wall budget: %q", src)
+		}
+		// Any exit status is acceptable; what may not happen is a panic
+		// escaping containment (the fuzz harness would catch the crash)
+		// or a budget breach mislabeled as success.
+		code, werr := job.Wait()
+		if werr != nil && strings.Contains(werr.Error(), "panic") {
+			t.Fatalf("panic escaped into the job error (containment should still report, "+
+				"but scripts in the corpus must not panic the interpreter): %q -> %v", src, werr)
+		}
+		_ = code
+	})
+}

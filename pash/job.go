@@ -8,6 +8,7 @@ package pash
 
 import (
 	"context"
+	"errors"
 	"io"
 	"sort"
 	"sync"
@@ -42,6 +43,11 @@ type startConfig struct {
 	pool *WorkerPool
 	// setPool distinguishes "no override" from WithWorkers(nil).
 	setPool bool
+	limits  JobLimits
+	// admitted, when set, is a scheduler slot the caller already holds
+	// for this job; the job releases it on completion instead of
+	// admitting itself.
+	admitted func()
 }
 
 // WithOptions overrides the session's planning options for this job
@@ -59,19 +65,38 @@ func WithWorkers(pool *WorkerPool) StartOption {
 	return func(c *startConfig) { c.pool = pool; c.setPool = true }
 }
 
+// WithLimits bounds this job's resource consumption (wall-clock time,
+// output bytes, queued pipe memory, replica width, sandboxing). A
+// breach cancels only this job, with ErrBudgetExceeded and exit status
+// ExitBudgetExceeded.
+func WithLimits(l JobLimits) StartOption {
+	return func(c *startConfig) { c.limits = l }
+}
+
+// WithAdmitted hands the job a scheduler slot the caller already
+// acquired (via Scheduler.Admit): the job skips its own admission and
+// releases the slot when it finishes. The daemon uses it to decide
+// shedding before committing an HTTP status.
+func WithAdmitted(release func()) StartOption {
+	return func(c *startConfig) { c.admitted = release }
+}
+
 // jobIDs hands out process-wide job identifiers (the Pid analog).
 var jobIDs atomic.Int64
 
 // Job is a handle on one started script: wait on it, cancel it, or
 // inspect it while it runs. All methods are safe for concurrent use.
 type Job struct {
-	id      int64
-	sess    *Session
-	src     string
-	parsed  *shell.List
-	cancel  context.CancelFunc
-	done    chan struct{}
-	started time.Time
+	id       int64
+	sess     *Session
+	src      string
+	parsed   *shell.List
+	cancel   context.CancelFunc
+	done     chan struct{}
+	started  time.Time
+	limits   JobLimits
+	budget   *runtime.Budget
+	admitted func()
 
 	mu       sync.Mutex
 	finished bool
@@ -94,6 +119,10 @@ type JobStats struct {
 	ExitCode    int       `json:"exit_code"`
 	Err         string    `json:"error,omitempty"`
 	Interp      InterpStats
+	// Limits echoes the job's configured budgets (zero = unlimited);
+	// Budget is its live (or final) consumption against them.
+	Limits JobLimits   `json:"limits"`
+	Budget BudgetUsage `json:"budget"`
 }
 
 // Start parses and launches a script, returning a handle immediately.
@@ -133,13 +162,16 @@ func (s *Session) Start(ctx context.Context, src string, stdio JobIO, opts ...St
 	}
 	jctx, cancel := context.WithCancel(ctx)
 	j := &Job{
-		id:      jobIDs.Add(1),
-		sess:    s,
-		src:     src,
-		parsed:  list,
-		cancel:  cancel,
-		done:    make(chan struct{}),
-		started: time.Now(),
+		id:       jobIDs.Add(1),
+		sess:     s,
+		src:      src,
+		parsed:   list,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		started:  time.Now(),
+		limits:   cfg.limits,
+		budget:   runtime.NewBudget(cfg.limits),
+		admitted: cfg.admitted,
 	}
 	s.trackJob(j)
 	go j.run(jctx, c, s.Dir, s.Vars, stdio)
@@ -150,7 +182,9 @@ func (j *Job) run(ctx context.Context, c *core.Compiler, dir string, vars map[st
 	defer j.cancel()
 	defer close(j.done)
 	defer j.sess.untrackJob(j)
-	if c.Sched != nil {
+	if j.admitted != nil {
+		defer j.admitted()
+	} else if c.Sched != nil {
 		release, err := c.Sched.Admit(ctx)
 		if err != nil {
 			code := 1
@@ -164,10 +198,43 @@ func (j *Job) run(ctx context.Context, c *core.Compiler, dir string, vars map[st
 		}
 		defer release()
 	}
+	// Wall-clock budget: the timer attributes the kill to the budget
+	// before cancelling, so the breach outranks the generic 130.
+	if j.limits.WallTimeout > 0 {
+		t := time.AfterFunc(j.limits.WallTimeout, func() {
+			j.budget.TripWall()
+			j.cancel()
+		})
+		defer t.Stop()
+	}
+	stdout := stdio.Stdout
+	if j.limits.MaxOutputBytes > 0 {
+		if stdout == nil {
+			stdout = io.Discard
+		}
+		stdout = runtime.LimitWriter(stdout, j.budget, j.cancel)
+	}
 	in := core.NewInterp(c, dir, vars,
-		runtime.StdIO{Stdin: stdio.Stdin, Stdout: stdio.Stdout, Stderr: stdio.Stderr})
-	// Reuse the list Start already parsed for validation.
-	code, err := in.RunParsed(ctx, j.parsed)
+		runtime.StdIO{Stdin: stdio.Stdin, Stdout: stdout, Stderr: stdio.Stderr})
+	in.UseBudget(j.budget, j.limits.Sandbox)
+	// Reuse the list Start already parsed for validation. The recover
+	// boundary turns a panic anywhere in the interpreter's own frame —
+	// including user extension code running inline — into this job's
+	// error, never a process crash.
+	var code int
+	err := func() (err error) {
+		defer runtime.Contain("job", &err)
+		code, err = in.RunParsed(ctx, j.parsed)
+		return err
+	}()
+	// Budget breaches outrank the generic failure codes they cascade
+	// into (a wall-timeout cancel surfaces as 130, a pipe-memory breach
+	// as a plain region error) so callers see one typed outcome.
+	if be := j.budget.Exceeded(); be != nil {
+		code, err = ExitBudgetExceeded, be
+	} else if err != nil && errors.Is(err, ErrBudgetExceeded) {
+		code = ExitBudgetExceeded
+	}
 	j.finish(code, err, in.Stats)
 }
 
@@ -220,6 +287,8 @@ func (j *Job) Stats() JobStats {
 		ID:     j.id,
 		Script: truncateScript(j.src),
 		Start:  j.started,
+		Limits: j.limits,
+		Budget: j.budget.Usage(),
 	}
 	if j.finished {
 		st.WallSeconds = j.wall.Seconds()
