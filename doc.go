@@ -162,11 +162,27 @@
 // stateless interior — framed chains between a round-robin split and
 // its order-restoring merge — collapses into KindRemote nodes executed
 // on `pash-serve -worker` processes over a framed HTTP wire protocol,
-// while splits, merges, and aggregation trees stay on the coordinator.
-// When the pool shares the coordinator's filesystem (SetSharedFS),
-// splits over seekable input files vanish entirely: workers self-source
-// newline-aligned byte ranges and the coordinator ships no input at
-// all.
+// while splits, merges, and aggregation roots stay on the coordinator.
+// Barrier-split consumers (sort/uniq map shards) and aggregation-tree
+// interior nodes ship too, as contiguous-stream plans — one stream per
+// input edge, one output stream back. When the pool shares the
+// coordinator's filesystem (SetSharedFS), splits over seekable input
+// files vanish entirely: workers self-source newline-aligned byte
+// ranges and the coordinator ships no input at all.
+//
+// The wire protocol is versioned and negotiated by rejection: new
+// coordinators open with a v2 handshake carrying the plan, the request
+// environment, a plan fingerprint, and a feature list; a pre-v2 worker
+// rejects it before reading input and is re-dispatched at v1, so mixed
+// fleets stay byte-identical through rolling upgrades. Workers cache
+// decoded plans and instantiated kernel chains under the fingerprint
+// (an LRU busted by registry generation and pool membership), making
+// repeated dispatches of hot regions skip decode, validation, and
+// kernel construction. Under the negotiated lz4 feature (default: auto
+// — network workers yes, same-host unix sockets no) chunk frames are
+// block-compressed with a built-in dependency-free LZ4 codec, cutting
+// wire bytes several-fold on text workloads; checksums cover the
+// compressed payload, so corruption is detected before decompression.
 //
 // The frame discipline doubles as an acknowledgement protocol — output
 // frame k acknowledges input chunk k — so the coordinator retains only

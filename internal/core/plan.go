@@ -320,5 +320,9 @@ func (c *Compiler) distribute(g *dfg.Graph, width int) {
 		Workers:    names,
 		FileRanges: c.Workers.SharedFS(),
 		Shippable:  func(name string) bool { return !c.Cmds.IsCustom(name) },
+		// Salt plan-cache keys with the coordinator's registry
+		// generation: re-registering a command produces fresh keys, so
+		// workers can never serve a plan cached under old semantics.
+		KeySalt: "reg" + strconv.FormatUint(c.Cmds.Generation(), 10),
 	})
 }

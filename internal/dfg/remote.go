@@ -1,6 +1,8 @@
 package dfg
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 
@@ -13,7 +15,7 @@ import (
 // (linear chains of stateless stages), each collapsed into a single
 // KindRemote node carrying a serializable RemoteSpec.
 //
-// Two shard shapes exist, mirroring the two streaming split strategies:
+// Three shard shapes exist, mirroring the split strategies:
 //
 //   - Framed relays: a round-robin split's framed consumer chain becomes
 //     a remote node fed by the split's chunk stream. The coordinator
@@ -29,10 +31,22 @@ import (
 //     bytes at all. Branch outputs are contiguous, so a round-robin
 //     merge downgrades to a plain cat.
 //
-// Both shapes preserve the local execution's bytes: framed relays keep
-// the rotation the merge inverts, and file ranges keep contiguous
-// line-partition semantics, which stateless chains and the (map, agg)
-// contract are already partition-agnostic over.
+//   - Contiguous streams: a barrier (general) split's consumer chain —
+//     the sort/uniq map shape, where each branch processes one whole
+//     contiguous partition — becomes a streamed remote node: the
+//     coordinator relays the branch's entire input as one stream (no
+//     per-chunk framing rotation) and receives the branch's entire
+//     output as one stream. A follow-up pass then absorbs interior
+//     aggregation-tree nodes whose every operand is such a streamed
+//     branch into a single multi-input streamed remote (Branches + Agg),
+//     so a fan-in group's maps AND its combining aggregate all run on
+//     one worker; the coordinator keeps only the split, the root
+//     fan-in, and the merge.
+//
+// All shapes preserve the local execution's bytes: framed relays keep
+// the rotation the merge inverts, file ranges and contiguous streams
+// keep contiguous line-partition semantics, which stateless chains and
+// the (map, agg) contract are already partition-agnostic over.
 
 // RemoteSpec describes the work one KindRemote node ships to a worker:
 // a linear chain of stateless stages plus, for the file-range shape,
@@ -57,6 +71,28 @@ type RemoteSpec struct {
 	Path  string `json:"path,omitempty"`
 	Slice int    `json:"slice,omitempty"`
 	Of    int    `json:"of,omitempty"`
+	// Streamed marks the contiguous-stream shape: each input edge
+	// arrives as one whole stream (chunk frames ended by a zero-length
+	// separator on the wire, no per-chunk framing rotation) and the
+	// node's output is one whole stream. A linear streamed node runs
+	// Stages over its single input; a tree node (Agg != nil) runs
+	// Branches[i] over input i and combines the branch outputs — in
+	// input order — through the Agg stage.
+	Streamed bool `json:"streamed,omitempty"`
+	// Branches holds the per-input stage chains of a streamed
+	// aggregation subtree; len(Branches) equals the node's input count.
+	// An empty branch chain passes its input through unchanged.
+	Branches [][]FusedStage `json:"branches,omitempty"`
+	// Agg is the aggregate stage combining the branch outputs as
+	// ordered operand streams (the KindAgg shape). Its Args are the
+	// literal aggregator arguments; the operand streams append after
+	// them in input order, exactly as a local KindAgg node renders its
+	// placeholders.
+	Agg *FusedStage `json:"agg,omitempty"`
+	// Key is the coordinator's fingerprint of this spec (worker and env
+	// excluded): the worker-side plan-cache key. Empty disables worker
+	// caching for the node.
+	Key string `json:"key,omitempty"`
 	// Env is the command environment the stages run under. It is NEVER
 	// set by planning — cached plan templates must stay run-independent
 	// — and is injected per request by the transport (internal/dist)
@@ -74,7 +110,7 @@ func DecodePlan(data []byte) (*RemoteSpec, error) {
 	if err := json.Unmarshal(data, &spec); err != nil {
 		return nil, fmt.Errorf("dfg: bad remote plan: %w", err)
 	}
-	if len(spec.Stages) == 0 {
+	if len(spec.Stages) == 0 && spec.Agg == nil {
 		return nil, fmt.Errorf("dfg: remote plan has no stages")
 	}
 	for _, st := range spec.Stages {
@@ -86,9 +122,35 @@ func DecodePlan(data []byte) (*RemoteSpec, error) {
 		if spec.Of < 1 || spec.Slice < 0 || spec.Slice >= spec.Of {
 			return nil, fmt.Errorf("dfg: remote plan range %d/%d invalid", spec.Slice, spec.Of)
 		}
-		if spec.Framed {
-			return nil, fmt.Errorf("dfg: remote plan cannot be both framed and file-range")
+		if spec.Framed || spec.Streamed {
+			return nil, fmt.Errorf("dfg: remote plan cannot be both file-range and relayed")
 		}
+	}
+	if spec.Framed && spec.Streamed {
+		return nil, fmt.Errorf("dfg: remote plan cannot be both framed and streamed")
+	}
+	if spec.Agg != nil {
+		if !spec.Streamed {
+			return nil, fmt.Errorf("dfg: remote plan aggregation requires the streamed shape")
+		}
+		if len(spec.Stages) != 0 {
+			return nil, fmt.Errorf("dfg: streamed tree plan carries both stages and branches")
+		}
+		if len(spec.Branches) == 0 {
+			return nil, fmt.Errorf("dfg: streamed tree plan has no branches")
+		}
+		if spec.Agg.Name == "" {
+			return nil, fmt.Errorf("dfg: streamed tree plan aggregate has no name")
+		}
+		for _, br := range spec.Branches {
+			for _, st := range br {
+				if st.Name == "" {
+					return nil, fmt.Errorf("dfg: remote plan stage with empty name")
+				}
+			}
+		}
+	} else if len(spec.Branches) != 0 {
+		return nil, fmt.Errorf("dfg: remote plan branches require an aggregate")
 	}
 	return &spec, nil
 }
@@ -105,6 +167,11 @@ type DistOptions struct {
 	// (user-registered custom commands exist only in the coordinator's
 	// registry). Nil means every name ships.
 	Shippable func(name string) bool
+	// KeySalt mixes coordinator-side planning state (registry
+	// generations) into each spec's Key, so a re-registration on the
+	// coordinator also invalidates worker-cached plans built from the
+	// old registries.
+	KeySalt string
 }
 
 // shippableStages reports whether every stage of a candidate chain may
@@ -122,12 +189,14 @@ func (o DistOptions) shippableStages(stages []FusedStage) bool {
 }
 
 // Distribute partitions an optimized graph across the worker pool,
-// in place: every rr-split consumer chain (and, with FileRanges, every
-// branch of a split over a seekable graph-input file) collapses into a
-// KindRemote node. Structure the coordinator must keep — splits over
-// non-seekable inputs, merges, aggregation trees, barrier splits fed by
-// internal edges — stays local. Returns the number of remote nodes
-// created.
+// in place: every rr-split consumer chain, every barrier-split consumer
+// chain ending at a collector (the streamed shape), and — with
+// FileRanges — every branch of a split over a seekable graph-input
+// file collapses into a KindRemote node. Interior aggregation-tree
+// nodes whose operands all became streamed remotes are then absorbed
+// into multi-input streamed remotes, one per fan-in group. Structure
+// the coordinator must keep — the splits themselves, merges, the root
+// fan-in — stays local. Returns the number of remote nodes created.
 func Distribute(g *Graph, opts DistOptions) int {
 	if len(opts.Workers) == 0 {
 		return 0
@@ -145,12 +214,37 @@ func Distribute(g *Graph, opts DistOptions) int {
 		}
 		if split.RoundRobin {
 			remotes = append(remotes, distributeFramedChains(g, split, opts)...)
+			continue
 		}
+		remotes = append(remotes, distributeStreamedChains(g, split, opts)...)
 	}
+	remotes = groupAggSubtrees(g, opts, remotes)
 	for i, n := range remotes {
 		n.Remote.Worker = opts.Workers[i%len(opts.Workers)]
+		n.Remote.Key = fingerprintSpec(n.Remote, opts.KeySalt)
 	}
 	return len(remotes)
+}
+
+// fingerprintSpec computes a spec's worker plan-cache key: a hash over
+// the canonical spec encoding with the per-dispatch fields (worker
+// assignment, environment, the key itself) cleared, salted with the
+// coordinator's registry generations. Two nodes shipping identical
+// work share a key — that is the point: a worker that already holds
+// the decoded plan and its kernel chain skips both on the next
+// dispatch, whoever it comes from.
+func fingerprintSpec(spec *RemoteSpec, salt string) string {
+	c := *spec
+	c.Worker, c.Env, c.Key = "", nil, ""
+	b, err := json.Marshal(&c)
+	if err != nil {
+		return ""
+	}
+	h := sha256.New()
+	h.Write([]byte(salt))
+	h.Write([]byte{0})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // remotableChain walks the linear chain of shippable nodes starting at
@@ -323,4 +417,126 @@ func distributeFileRanges(g *Graph, split *Node, opts DistOptions) []*Node {
 	split.In, split.Out = nil, nil
 	g.removeNode(split)
 	return remotes
+}
+
+// distributeStreamedChains rewrites a barrier (general) split's
+// consumer chains into streamed remote nodes, per branch. Each branch
+// processes one whole contiguous partition — the sort/uniq map shape —
+// so the wire carries the branch's input as one stream and its output
+// as one stream, with no per-chunk rotation to preserve. The split and
+// the downstream collector stay on the coordinator (the collector may
+// be absorbed later by groupAggSubtrees). Eligibility mirrors the
+// file-range shape: the chain must end at a multi-input collector.
+func distributeStreamedChains(g *Graph, split *Node, opts DistOptions) []*Node {
+	var remotes []*Node
+	for _, e := range snapshotEdges(split.Out) {
+		chain, last := remotableChain(e)
+		if len(chain) == 0 || last.To == nil {
+			continue
+		}
+		switch last.To.Kind {
+		case KindCat, KindMerge, KindAgg:
+		default:
+			continue
+		}
+		stages := chainStages(chain)
+		if !opts.shippableStages(stages) {
+			continue
+		}
+		spec := &RemoteSpec{Stages: stages, Streamed: true}
+		remotes = append(remotes, collapseRemote(g, chain, e, last, spec))
+	}
+	return remotes
+}
+
+// groupAggSubtrees absorbs interior aggregation-tree nodes into their
+// operand remotes: a KindAgg node whose every input is a single-input
+// streamed remote chain and whose output feeds another KindAgg (it is
+// interior, not the root fan-in) merges with its operands into one
+// multi-input streamed remote — the whole fan-in group (maps plus
+// combining aggregate) runs on one worker, and the wire carries one
+// result stream per group instead of one per map. The root aggregate
+// always stays on the coordinator. Returns the remote list with
+// absorbed nodes replaced by their groups.
+func groupAggSubtrees(g *Graph, opts DistOptions, remotes []*Node) []*Node {
+	absorbed := map[*Node]bool{}
+	var groups []*Node
+	for _, a := range snapshot(g.Nodes) {
+		if a.Kind != KindAgg || len(a.In) < 2 || len(a.Out) != 1 {
+			continue
+		}
+		parent := a.Out[0].To
+		if parent == nil || parent.Kind != KindAgg {
+			continue
+		}
+		if opts.Shippable != nil && !opts.Shippable(a.Name) {
+			continue
+		}
+		// Every operand must be a leaf streamed chain, and the agg's
+		// argument template must be literals plus one placeholder per
+		// operand (the shape buildAggTree constructs).
+		eligible := true
+		var aggLits []string
+		places := 0
+		for _, arg := range a.Args {
+			if arg.InputIdx >= 0 {
+				places++
+				continue
+			}
+			if places > 0 {
+				eligible = false // placeholders must trail the literals
+				break
+			}
+			aggLits = append(aggLits, arg.Text)
+		}
+		if !eligible || places != len(a.In) || a.StdinInput >= 0 {
+			continue
+		}
+		for _, e := range a.In {
+			c := e.From
+			if c == nil || c.Kind != KindRemote || c.Remote == nil ||
+				!c.Remote.Streamed || c.Remote.Agg != nil || len(c.In) != 1 {
+				eligible = false
+				break
+			}
+		}
+		if !eligible {
+			continue
+		}
+		spec := &RemoteSpec{
+			Streamed: true,
+			Agg:      &FusedStage{Name: a.Name, Args: aggLits},
+		}
+		r := g.AddNode(NewNode(KindRemote, "pash-remote", nil, annot.Stateless))
+		r.Remote = spec
+		for i, e := range snapshotEdges(a.In) {
+			child := e.From
+			feed := child.In[0]
+			feed.To = r
+			r.In = append(r.In, feed)
+			r.Args = append(r.Args, InArg(i))
+			spec.Branches = append(spec.Branches, child.Remote.Stages)
+			e.From, e.To = nil, nil
+			g.removeEdge(e)
+			child.In, child.Out = nil, nil
+			g.removeNode(child)
+			absorbed[child] = true
+		}
+		out := a.Out[0]
+		out.From = r
+		r.Out = []*Edge{out}
+		a.In, a.Out = nil, nil
+		g.removeNode(a)
+		groups = append(groups, r)
+	}
+	if len(groups) == 0 {
+		return remotes
+	}
+	kept := remotes[:0]
+	for _, n := range remotes {
+		if !absorbed[n] {
+			kept = append(kept, n)
+		}
+	}
+	return append(kept, groups...)
 }

@@ -115,8 +115,10 @@ func validateFused(n *Node) error {
 
 // validateRemote checks the KindRemote invariants: only remote nodes
 // carry a RemoteSpec; a remote node has exactly one output and either
-// one stdin input (the framed chunk-relay shape) or none at all (the
-// self-sourcing file-range shape, which must name a path and slice).
+// one stdin input (the framed chunk-relay and linear streamed shapes),
+// none at all (the self-sourcing file-range shape, which must name a
+// path and slice), or one placeholder-consumed input per branch (the
+// streamed aggregation-subtree shape).
 func validateRemote(n *Node) error {
 	if n.Kind != KindRemote {
 		if n.Remote != nil {
@@ -124,7 +126,7 @@ func validateRemote(n *Node) error {
 		}
 		return nil
 	}
-	if n.Remote == nil || len(n.Remote.Stages) == 0 {
+	if n.Remote == nil || (len(n.Remote.Stages) == 0 && n.Remote.Agg == nil) {
 		return fmt.Errorf("dfg: remote node %s has no shipped stages", n)
 	}
 	if len(n.Out) != 1 {
@@ -139,8 +141,21 @@ func validateRemote(n *Node) error {
 		}
 		return nil
 	}
+	if n.Remote.Agg != nil {
+		if !n.Remote.Streamed {
+			return fmt.Errorf("dfg: remote node %s aggregation requires the streamed shape", n)
+		}
+		if len(n.In) != len(n.Remote.Branches) {
+			return fmt.Errorf("dfg: streamed tree node %s has %d inputs for %d branches",
+				n, len(n.In), len(n.Remote.Branches))
+		}
+		if n.StdinInput >= 0 {
+			return fmt.Errorf("dfg: streamed tree node %s must consume inputs as operands", n)
+		}
+		return nil
+	}
 	if len(n.In) != 1 || n.StdinInput != 0 {
-		return fmt.Errorf("dfg: chunk-relay remote node %s must consume one stdin input", n)
+		return fmt.Errorf("dfg: relayed remote node %s must consume one stdin input", n)
 	}
 	return nil
 }

@@ -79,7 +79,10 @@ func TestChaosFaultMatrix(t *testing.T) {
 		{"refuse", dist.FaultSpec{Kind: dist.FaultRefuse, Times: 2}, true},
 		{"partition-dial", dist.FaultSpec{Kind: dist.FaultPartition, Times: 1}, true},
 		{"kill-first-byte", dist.FaultSpec{Kind: dist.FaultKill, Times: 1}, false},
-		{"kill-mid-stream", dist.FaultSpec{Kind: dist.FaultKill, AfterBytes: 30_000, Times: 1}, false},
+		// AfterBytes thresholds count response bytes as transmitted —
+		// lz4-compressed frames since wire v2 — so they sit well under
+		// the raw output size to guarantee the fault engages mid-stream.
+		{"kill-mid-stream", dist.FaultSpec{Kind: dist.FaultKill, AfterBytes: 12_000, Times: 1}, false},
 		{"partition-mid-stream", dist.FaultSpec{Kind: dist.FaultPartition, AfterBytes: 10_000, Times: 1}, false},
 		{"truncate-first-byte", dist.FaultSpec{Kind: dist.FaultTruncate, Times: 1}, false},
 		{"truncate-mid-stream", dist.FaultSpec{Kind: dist.FaultTruncate, AfterBytes: 20_000, Times: 1}, false},

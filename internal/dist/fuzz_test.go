@@ -83,3 +83,75 @@ func FuzzFrame(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDataFrame exercises the wire-v2 tagged data-frame layer above the
+// frame codec: whatever a negotiated connection's compressor emits —
+// raw-tagged, lz4, or bare (compression off / empty frame) — must
+// decode back to the original payload; arbitrary bytes presented as a
+// tagged payload must never panic and must fail only as ErrCorruptFrame;
+// and a bit flip anywhere in an encoded compressed frame must surface
+// as corruption (CRC or lz4 bounds), never as different clean bytes.
+func FuzzDataFrame(f *testing.F) {
+	f.Add([]byte(""), true, byte(0))
+	f.Add([]byte("hello hello hello hello hello hello hello"), true, byte(7))
+	f.Add([]byte{tagLZ4, 0, 0, 0, 9, 0xff, 0xee}, false, byte(3))
+	f.Add([]byte{tagRaw, 'o', 'k'}, true, byte(1))
+	f.Add(bytes.Repeat([]byte("GET /index.html HTTP/1.1 200\n"), 40), true, byte(5))
+	f.Fuzz(func(t *testing.T, data []byte, compress bool, mut byte) {
+		// Round trip through the negotiated encoding. decodeDataPayload
+		// takes ownership of the block it is handed and may recycle it,
+		// so feed it copies.
+		comp := newCompressor(compress)
+		var buf bytes.Buffer
+		wireN, err := comp.writeDataFrame(&buf, data)
+		if err != nil {
+			t.Fatalf("writeDataFrame: %v", err)
+		}
+		encoded := append([]byte(nil), buf.Bytes()...)
+		payload, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("readFrame: %v", err)
+		}
+		if len(payload) != wireN {
+			t.Fatalf("writeDataFrame reported %d wire bytes, frame carries %d", wireN, len(payload))
+		}
+		tagged := compress && len(data) > 0
+		got, gotWire, err := decodeDataPayload(payload, tagged)
+		if err != nil {
+			t.Fatalf("decodeDataPayload(own encoding): %v", err)
+		}
+		if gotWire != wireN || !bytes.Equal(got, data) {
+			t.Fatalf("tagged round trip mangled payload: %d bytes in, %d out (wire %d vs %d)",
+				len(data), len(got), wireN, gotWire)
+		}
+
+		// Arbitrary bytes as a tagged payload: no panic, and any failure
+		// must keep the transport's corruption taxonomy.
+		if _, _, err := decodeDataPayload(append([]byte(nil), data...), true); err != nil && !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("unclassified tagged-payload error: %v", err)
+		}
+
+		// A flipped bit in the encoded frame must never decode cleanly
+		// into different bytes.
+		flipped := append([]byte(nil), encoded...)
+		pos := int(mut) % len(flipped)
+		flipped[pos] ^= 1 << (mut % 8)
+		if flipped[pos] == encoded[pos] {
+			return
+		}
+		payload, err = readFrame(bytes.NewReader(flipped))
+		if err != nil {
+			if !errors.Is(err, ErrCorruptFrame) && !errors.Is(err, ErrTruncatedFrame) {
+				t.Fatalf("flipped frame: unclassified error %v", err)
+			}
+			return
+		}
+		got, _, err = decodeDataPayload(payload, tagged)
+		if err == nil && !bytes.Equal(got, data) {
+			t.Fatalf("bit flip at %d decoded cleanly into different bytes", pos)
+		}
+		if err != nil && !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("flipped payload: unclassified error %v", err)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package dist
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// lz4RoundTrip compresses src and, when compression engaged, decodes it
+// back and requires byte identity.
+func lz4RoundTrip(t *testing.T, src []byte) (compressed bool) {
+	t.Helper()
+	enc, ok := lz4Compress(nil, src)
+	if !ok {
+		return false
+	}
+	dec := make([]byte, len(src))
+	if err := lz4Decompress(dec, enc); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatalf("round trip mismatch: %d bytes in, %d out", len(src), len(dec))
+	}
+	return true
+}
+
+func TestLZ4RoundTrip(t *testing.T) {
+	cases := map[string][]byte{
+		"repeated":  bytes.Repeat([]byte("the quick brown fox\n"), 500),
+		"runs":      bytes.Repeat([]byte{'a'}, 10000),
+		"text":      []byte(strings.Repeat("GET /index.html HTTP/1.1 200 1043\nPOST /submit HTTP/1.1 404 99\n", 200)),
+		"short-rep": bytes.Repeat([]byte("ab"), 64),
+	}
+	for name, src := range cases {
+		if !lz4RoundTrip(t, src) {
+			t.Errorf("%s: expected compressible input to compress", name)
+		}
+	}
+}
+
+func TestLZ4IncompressibleRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := make([]byte, 64<<10)
+	rng.Read(src)
+	if _, ok := lz4Compress(nil, src); ok {
+		t.Fatalf("random input reported as compressible")
+	}
+	if _, ok := lz4Compress(nil, []byte("tiny")); ok {
+		t.Fatalf("tiny input should not engage compression")
+	}
+}
+
+func TestLZ4MixedContent(t *testing.T) {
+	// Compressible head, random tail: round trip must stay exact across
+	// the regime change even if compression barely pays.
+	rng := rand.New(rand.NewSource(11))
+	src := append(bytes.Repeat([]byte("log line: status ok\n"), 2000), make([]byte, 4096)...)
+	rng.Read(src[len(src)-4096:])
+	lz4RoundTrip(t, src)
+}
+
+func TestLZ4DecompressRejectsCorruption(t *testing.T) {
+	src := bytes.Repeat([]byte("hello, frame corruption test\n"), 300)
+	enc, ok := lz4Compress(nil, src)
+	if !ok {
+		t.Fatalf("expected compressible")
+	}
+	dst := make([]byte, len(src))
+	// Truncations at every prefix length must error, never panic.
+	for cut := 0; cut < len(enc); cut += 7 {
+		if err := lz4Decompress(dst, enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		}
+	}
+	// A wrong declared size must be rejected.
+	if err := lz4Decompress(make([]byte, len(src)+1), enc); err == nil {
+		t.Fatalf("oversized dst decoded cleanly")
+	}
+	if err := lz4Decompress(make([]byte, len(src)-1), enc); err == nil {
+		t.Fatalf("undersized dst decoded cleanly")
+	}
+}
+
+// FuzzLZ4 holds the codec to its two guarantees: whatever compresses
+// must decode back byte-identically, and arbitrary bytes fed to the
+// decoder may error but never panic or overread.
+func FuzzLZ4(f *testing.F) {
+	f.Add([]byte(strings.Repeat("seed corpus line\n", 40)), 100)
+	f.Add([]byte{0xff, 0xff, 0xff, 0x00}, 8)
+	f.Add([]byte{0x1f, 'a', 1, 0}, 20)
+	f.Fuzz(func(t *testing.T, data []byte, rawLen int) {
+		if enc, ok := lz4Compress(nil, data); ok {
+			dec := make([]byte, len(data))
+			if err := lz4Decompress(dec, enc); err != nil {
+				t.Fatalf("own output rejected: %v", err)
+			}
+			if !bytes.Equal(dec, data) {
+				t.Fatalf("round trip mismatch")
+			}
+		}
+		// Adversarial decode: data as a bogus block, any claimed size.
+		if rawLen < 0 || rawLen > 1<<20 {
+			return
+		}
+		lz4Decompress(make([]byte, rawLen), data)
+	})
+}

@@ -3,6 +3,7 @@ package dist
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -106,6 +107,12 @@ type Pool struct {
 	// every dial.
 	faults *Injector
 
+	// compress selects the frame-compression policy. The zero value is
+	// auto: offer lz4 to network workers, where wire bytes cost real
+	// bandwidth, but not over same-host unix sockets, where bytes are
+	// free and the codec's CPU is stolen from the pipeline itself.
+	compress int8
+
 	// trans counts worker state transitions, surfaced in /metrics.
 	trans Transitions
 
@@ -122,6 +129,12 @@ type poolWorker struct {
 	name  string
 	state workerState
 	stats WorkerStats
+
+	// wire is the worker's confirmed wire-protocol version: 0 while
+	// unknown (dispatch assumes v2 and downgrades on rejection), wireV1
+	// once a probe or a rejected handshake pins it, wireV2 once a probe
+	// or response header confirms it.
+	wire int
 
 	// ewmaMs is the exponentially-weighted per-chunk service time in
 	// milliseconds; samples counts completed streams behind it.
@@ -161,6 +174,19 @@ type WorkerStats struct {
 	// mid-flight that were re-dispatched to a surviving worker instead
 	// of falling back to the coordinator.
 	RedispatchedRemote int64 `json:"redispatched_remote"`
+	// WireBytesOut/WireBytesIn count the same traffic as transmitted —
+	// frame tags and lz4 blocks included — so BytesOut-WireBytesOut is
+	// the outbound wire savings from compression.
+	WireBytesOut int64 `json:"bytes_out_wire"`
+	WireBytesIn  int64 `json:"bytes_in_wire"`
+	// PlanCacheHits/PlanCacheMisses mirror the worker's plan-cache
+	// verdicts (the X-Pash-Plan-Cache response header) as seen by this
+	// coordinator.
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
+	// Wire is the worker's confirmed wire-protocol version (0 while
+	// unknown).
+	Wire int `json:"wire,omitempty"`
 	// EWMAMs is the per-chunk service-time EWMA the slow-worker
 	// detector steers by.
 	EWMAMs float64 `json:"ewma_ms"`
@@ -241,6 +267,74 @@ func (p *Pool) SetDialTimeout(d time.Duration) {
 		p.dialTimeout = d
 	}
 	p.mu.Unlock()
+}
+
+// Frame-compression policy values.
+const (
+	compressAuto int8 = iota // lz4 for network workers, raw for unix sockets
+	compressOn               // always offer lz4
+	compressOff              // never offer lz4
+)
+
+// SetCompression forces the lz4 frame feature on or off for every
+// worker, overriding the default auto policy (lz4 offered to network
+// workers only). Workers echo the accepted features per connection, so
+// flipping this mid-run is safe.
+func (p *Pool) SetCompression(on bool) {
+	p.mu.Lock()
+	if on {
+		p.compress = compressOn
+	} else {
+		p.compress = compressOff
+	}
+	p.mu.Unlock()
+}
+
+// compressFor decides whether to offer lz4 on a connection to the
+// named worker: the forced setting when one is set, otherwise on
+// exactly for network transports — a same-host unix socket moves bytes
+// for free, so compressing for it only burns pipeline CPU.
+func (p *Pool) compressFor(name string) bool {
+	p.mu.Lock()
+	mode := p.compress
+	p.mu.Unlock()
+	switch mode {
+	case compressOn:
+		return true
+	case compressOff:
+		return false
+	}
+	return !strings.HasPrefix(name, "unix:")
+}
+
+// wireFor reports the wire version to speak to a worker: its confirmed
+// version, or wireV2 while unknown — dispatch is optimistic and the
+// downgrade-by-rejection path corrects a wrong guess at the cost of
+// one rejected handshake.
+func (p *Pool) wireFor(name string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range p.workers {
+		if w.name == name {
+			if w.wire == 0 {
+				return wireV2
+			}
+			return w.wire
+		}
+	}
+	return wireV2
+}
+
+// setWire pins a worker's confirmed wire version.
+func (p *Pool) setWire(name string, v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range p.workers {
+		if w.name == name {
+			w.wire = v
+			return
+		}
+	}
 }
 
 // SetFaultInjector installs (or, with nil, removes) the fault-injection
@@ -383,6 +477,7 @@ func (p *Pool) Stats() []WorkerStats {
 		st.Name = w.name
 		st.Healthy = w.state.alive()
 		st.State = w.state.String()
+		st.Wire = w.wire
 		st.EWMAMs = w.ewmaMs
 		out = append(out, st)
 	}
@@ -488,6 +583,16 @@ func (p *Pool) probe(ctx context.Context, name string) bool {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		// A v2 worker always advertises its wire version on /healthz, so
+		// a successful probe pins the version either way and later
+		// dispatches skip the downgrade dance.
+		if resp.Header.Get("X-Pash-Wire") == fmt.Sprintf("%d", wireV2) {
+			p.setWire(name, wireV2)
+		} else {
+			p.setWire(name, wireV1)
+		}
+	}
 	return resp.StatusCode == http.StatusOK
 }
 
@@ -569,11 +674,20 @@ func (p *Pool) alive(name string) bool {
 // healthy first, degraded as last resort, "" when the alive set is
 // exhausted.
 func (p *Pool) pickSurvivor(tried map[string]bool) string {
+	return p.pickSurvivorWire(tried, false)
+}
+
+// pickSurvivorWire is pickSurvivor with an optional wire-version
+// filter: with needV2 set, workers confirmed at wire v1 are skipped —
+// a streamed plan sent to a legacy worker would be silently
+// misinterpreted as a chunk relay, so v1 workers are never candidates
+// for one.
+func (p *Pool) pickSurvivorWire(tried map[string]bool, needV2 bool) string {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	degraded := ""
 	for _, w := range p.workers {
-		if tried[w.name] {
+		if tried[w.name] || (needV2 && w.wire == wireV1) {
 			continue
 		}
 		switch w.state {
@@ -610,10 +724,14 @@ func (p *Pool) ExecRemote(ctx context.Context, req *runtime.RemoteRequest) error
 			return runtime.ExecRemoteLocal(ctx, req)
 		}
 	}
-	if req.Spec.Path != "" {
+	switch {
+	case req.Spec.Path != "":
 		return p.execRange(ctx, name, req)
+	case req.Spec.Streamed:
+		return p.execStreamed(ctx, name, req)
+	default:
+		return p.execFramed(ctx, name, req)
 	}
-	return p.execFramed(ctx, name, req)
 }
 
 // encodeWirePlan binds this run's environment snapshot into the cached
@@ -622,6 +740,87 @@ func encodeWirePlan(req *runtime.RemoteRequest) ([]byte, error) {
 	wireSpec := *req.Spec
 	wireSpec.Env = req.Env
 	return dfg.EncodePlan(&wireSpec)
+}
+
+// wirePlan builds the frame-0 payload for one dispatch attempt against
+// one worker, picking the wire version the worker is known (or
+// assumed) to speak. It returns the frame, the version it encodes, and
+// whether the lz4 feature was offered. Plans are built per attempt
+// because a downgrade changes the encoding mid-ladder.
+func (p *Pool) wirePlan(req *runtime.RemoteRequest, name string) ([]byte, int, bool, error) {
+	if p.wireFor(name) == wireV1 {
+		if req.Spec.Streamed {
+			// A v1 worker would run a streamed linear chain as a framed
+			// chunk relay — silently wrong bytes. Callers route around
+			// v1 workers for streamed plans; this is the backstop.
+			return nil, wireV1, false, errors.New("dist: streamed plan requires wire v2")
+		}
+		plan, err := encodeWirePlan(req)
+		return plan, wireV1, false, err
+	}
+	wireSpec := *req.Spec
+	wireSpec.Env = nil
+	planRaw, err := dfg.EncodePlan(&wireSpec)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	lz4On := p.compressFor(name)
+	hs := wireHandshake{Wire: wireV2, Key: req.Spec.Key, Env: req.Env, Plan: planRaw}
+	if lz4On {
+		hs.Features = []string{featureLZ4}
+	}
+	b, err := json.Marshal(&hs)
+	return b, wireV2, lz4On, err
+}
+
+// wireRejectError is a worker's non-200 answer to /exec, before any
+// output frame. Status 400 against a v2 handshake is the negotiation
+// downgrade signal: the worker never read an input frame, so the same
+// dispatch retries at v1 with nothing lost.
+type wireRejectError struct {
+	name   string
+	status int
+	msg    string
+}
+
+func (e *wireRejectError) Error() string {
+	return fmt.Sprintf("dist: worker %s: %d: %s", e.name, e.status, e.msg)
+}
+
+// downgradeOn400 reports whether err is the version-skew rejection for
+// an attempt made at wire v2, pinning the worker to v1 when it is. The
+// caller retries without marking the worker down — nothing failed,
+// the fleet just has version skew.
+func (p *Pool) downgradeOn400(name string, wire int, err error) bool {
+	var rej *wireRejectError
+	if wire != wireV2 || !errors.As(err, &rej) || rej.status != http.StatusBadRequest {
+		return false
+	}
+	p.setWire(name, wireV1)
+	return true
+}
+
+// noteWireResponse digests a worker's /exec response headers: the
+// advertised wire version pins the worker as v2, the plan-cache
+// verdict feeds the stats row, and the echoed feature list decides how
+// response frames are decoded. It returns whether response payloads
+// are tagged (the lz4 feature was accepted).
+func (p *Pool) noteWireResponse(name string, h http.Header) bool {
+	if h.Get("X-Pash-Wire") != "" {
+		p.setWire(name, wireV2)
+	}
+	switch h.Get("X-Pash-Plan-Cache") {
+	case "hit":
+		p.note(name, func(st *WorkerStats) { st.PlanCacheHits++ })
+	case "miss":
+		p.note(name, func(st *WorkerStats) { st.PlanCacheMisses++ })
+	}
+	for _, f := range strings.Split(h.Get("X-Pash-Features"), ",") {
+		if strings.TrimSpace(f) == featureLZ4 {
+			return true
+		}
+	}
+	return false
 }
 
 // execConn opens the /exec request and sends the plan frame, returning
@@ -749,19 +948,28 @@ func (w *streamWatch) fulfilled() { w.waiting.Add(-1) }
 // and falls back to the coordinator's local chain only when no alive
 // peer remains.
 func (p *Pool) execFramed(ctx context.Context, name string, req *runtime.RemoteRequest) error {
-	plan, err := encodeWirePlan(req)
-	if err != nil {
-		return err
-	}
 	var window []pendingChunk
 	tried := map[string]bool{}
 	cur := name
 	for {
 		tried[cur] = true
+		plan, wire, lz4On, err := p.wirePlan(req, cur)
+		if err != nil {
+			for _, pc := range window {
+				pc.drop()
+			}
+			return err
+		}
 		var death bool
-		window, death, err = p.execFramedOnce(ctx, cur, plan, req, window)
+		window, death, err = p.execFramedOnce(ctx, cur, plan, req, window, lz4On)
 		if !death {
 			return err
+		}
+		if p.downgradeOn400(cur, wire, err) {
+			// Version skew, not a death: the worker rejected the v2
+			// handshake before reading any input, so the same attempt
+			// replays against the same worker at v1.
+			continue
 		}
 		p.failover(cur, err)
 		if next := p.pickSurvivor(tried); next != "" {
@@ -782,7 +990,7 @@ func (p *Pool) execFramed(ctx context.Context, name string, req *runtime.RemoteR
 // continues from req.In. It returns the chunks still unacknowledged
 // when the attempt died (owned by the caller), whether the failure was
 // a worker death, and the error.
-func (p *Pool) execFramedOnce(ctx context.Context, name string, plan []byte, req *runtime.RemoteRequest, window []pendingChunk) ([]pendingChunk, bool, error) {
+func (p *Pool) execFramedOnce(ctx context.Context, name string, plan []byte, req *runtime.RemoteRequest, window []pendingChunk, lz4On bool) ([]pendingChunk, bool, error) {
 	p.note(name, func(st *WorkerStats) { st.Requests++ })
 	conn, bw, cw, err := p.dispatchConn(ctx, name, plan)
 	if err != nil {
@@ -823,6 +1031,7 @@ func (p *Pool) execFramedOnce(ctx context.Context, name string, plan []byte, req
 				sendc <- sendResult{err: runtime.AsPanicError("dispatch sender", r)}
 			}
 		}()
+		comp := newCompressor(lz4On)
 		send := func(pc pendingChunk) (ok bool, res *sendResult) {
 			select {
 			case pending <- pc:
@@ -832,10 +1041,15 @@ func (p *Pool) execFramedOnce(ctx context.Context, name string, plan []byte, req
 				return false, &sendResult{inErr: ctx.Err(), leftover: []pendingChunk{pc}}
 			}
 			watch.expect()
-			p.note(name, func(st *WorkerStats) { st.ChunksOut++; st.BytesOut += int64(len(pc.b)) })
-			if werr := writeFrame(cw, pc.b); werr != nil {
+			wireN, werr := comp.writeDataFrame(cw, pc.b)
+			if werr != nil {
 				return false, &sendResult{err: werr}
 			}
+			p.note(name, func(st *WorkerStats) {
+				st.ChunksOut++
+				st.BytesOut += int64(len(pc.b))
+				st.WireBytesOut += int64(wireN)
+			})
 			if werr := bw.Flush(); werr != nil {
 				return false, &sendResult{err: werr}
 			}
@@ -896,8 +1110,9 @@ func (p *Pool) execFramedOnce(ctx context.Context, name string, plan []byte, req
 		defer resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-			return fmt.Errorf("dist: worker %s: %s: %s", name, resp.Status, strings.TrimSpace(string(msg)))
+			return &wireRejectError{name: name, status: resp.StatusCode, msg: strings.TrimSpace(string(msg))}
 		}
+		tagged := p.noteWireResponse(name, resp.Header)
 		for {
 			fr, err := readFrame(resp.Body)
 			if err == io.EOF {
@@ -909,18 +1124,26 @@ func (p *Pool) execFramedOnce(ctx context.Context, name string, plan []byte, req
 			if err != nil {
 				return fmt.Errorf("dist: worker %s: %w", name, err)
 			}
+			out, wireN, err := decodeDataPayload(fr, tagged)
+			if err != nil {
+				return fmt.Errorf("dist: worker %s: %w", name, err)
+			}
 			watch.touch()
 			select {
 			case pc := <-pending:
 				pc.drop()
 				watch.fulfilled()
 			default:
-				commands.PutBlock(fr)
+				commands.PutBlock(out)
 				return fmt.Errorf("dist: worker %s sent more frames than it was given", name)
 			}
 			frames++
-			p.note(name, func(st *WorkerStats) { st.ChunksIn++; st.BytesIn += int64(len(fr)) })
-			if werr := req.Out.WriteChunk(fr); werr != nil {
+			p.note(name, func(st *WorkerStats) {
+				st.ChunksIn++
+				st.BytesIn += int64(len(out))
+				st.WireBytesIn += int64(wireN)
+			})
+			if werr := req.Out.WriteChunk(out); werr != nil {
 				return runtime.MarkFatal(fmt.Errorf("downstream: %w", werr))
 			}
 		}
@@ -1054,19 +1277,22 @@ func (p *Pool) failoverFramed(ctx context.Context, name string, req *runtime.Rem
 // reproduce it byte-for-byte), and only an empty alive set sends the
 // range to the coordinator's local chain.
 func (p *Pool) execRange(ctx context.Context, name string, req *runtime.RemoteRequest) error {
-	plan, err := encodeWirePlan(req)
-	if err != nil {
-		return err
-	}
 	var delivered int64
 	tried := map[string]bool{}
 	cur := name
 	for {
 		tried[cur] = true
+		plan, wire, _, err := p.wirePlan(req, cur)
+		if err != nil {
+			return err
+		}
 		var death bool
 		delivered, death, err = p.execRangeOnce(ctx, cur, plan, req, delivered)
 		if !death {
 			return err
+		}
+		if p.downgradeOn400(cur, wire, err) {
+			continue
 		}
 		p.failover(cur, err)
 		if next := p.pickSurvivor(tried); next != "" {
@@ -1119,10 +1345,11 @@ func (p *Pool) execRangeOnce(ctx context.Context, name string, plan []byte, req 
 			defer resp.Body.Close()
 			if resp.StatusCode != http.StatusOK {
 				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-				return fmt.Errorf("dist: worker %s: %s: %s", name, resp.Status, strings.TrimSpace(string(msg)))
+				return &wireRejectError{name: name, status: resp.StatusCode, msg: strings.TrimSpace(string(msg))}
 			}
+			tagged := p.noteWireResponse(name, resp.Header)
 			for {
-				fr, ferr := readFrame(resp.Body)
+				raw, ferr := readFrame(resp.Body)
 				if ferr == io.EOF {
 					if msg := resp.Trailer.Get("X-Pash-Error"); msg != "" {
 						return fmt.Errorf("dist: worker %s: %s", name, msg)
@@ -1132,9 +1359,17 @@ func (p *Pool) execRangeOnce(ctx context.Context, name string, plan []byte, req 
 				if ferr != nil {
 					return ferr
 				}
+				fr, wireN, ferr := decodeDataPayload(raw, tagged)
+				if ferr != nil {
+					return ferr
+				}
 				watch.touch()
 				frames++
-				p.note(name, func(st *WorkerStats) { st.ChunksIn++; st.BytesIn += int64(len(fr)) })
+				p.note(name, func(st *WorkerStats) {
+					st.ChunksIn++
+					st.BytesIn += int64(len(fr))
+					st.WireBytesIn += int64(wireN)
+				})
 				end := pos + int64(len(fr))
 				switch {
 				case end <= skip:

@@ -1,0 +1,315 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/commands"
+	"repro/internal/runtime"
+)
+
+// This file is the coordinator side of the contiguous-stream wire mode
+// (dfg.RemoteSpec.Streamed): one /exec request carries each input
+// stream's chunks in input order, a zero-length separator frame ending
+// each, and the response is the node's single output stream.
+//
+// Streamed shards have no per-chunk acknowledgements — the output is
+// not 1:1 with the input, so nothing short of completion proves a
+// chunk was incorporated. The failover contract therefore retains
+// EVERY sent input chunk for the node's lifetime: a mid-stream death
+// replays the full retained input (plus whatever remains unread) to a
+// surviving worker, and the deterministic chains make the re-run
+// byte-identical, so the coordinator just skips the output prefix it
+// already delivered downstream — the same trick execRangeOnce uses.
+// The retained window is bounded by the shard's input size (1/width of
+// the job), which is the price of shipping barrier-split consumers.
+
+// streamedState carries one streamed node's failover bookkeeping
+// across dispatch attempts.
+type streamedState struct {
+	// retained holds every input chunk sent so far, per input stream,
+	// in order. Chunks are owned here until the node completes.
+	retained [][]pendingChunk
+	// consumed counts the input streams fully read from req.Ins; a
+	// retry replays their retained chunks verbatim and resumes live
+	// reading at index consumed.
+	consumed int
+	// delivered is the absolute count of output bytes already forwarded
+	// downstream; retries discard the reproduced prefix.
+	delivered int64
+}
+
+// execStreamed runs a streamed plan, walking the recovery ladder.
+// Streamed plans only ever dispatch at wire v2: a legacy worker's
+// decoder would ignore the streamed flag and run a linear chain as a
+// per-chunk relay — wrong bytes, not an error — so confirmed-v1
+// workers are routed around (survivors filter to v2) and, when no v2
+// worker remains, the node runs locally.
+func (p *Pool) execStreamed(ctx context.Context, name string, req *runtime.RemoteRequest) error {
+	st := &streamedState{retained: make([][]pendingChunk, len(req.Ins))}
+	defer func() {
+		for _, stream := range st.retained {
+			for _, pc := range stream {
+				pc.drop()
+			}
+		}
+	}()
+	tried := map[string]bool{}
+	cur := name
+	for {
+		if p.wireFor(cur) == wireV1 {
+			tried[cur] = true
+			if next := p.pickSurvivorWire(tried, true); next != "" {
+				cur = next
+				continue
+			}
+			p.note(cur, func(s *WorkerStats) { s.Redispatched++ })
+			return p.failoverStreamed(ctx, req, st)
+		}
+		tried[cur] = true
+		plan, wire, lz4On, err := p.wirePlan(req, cur)
+		if err != nil {
+			return err
+		}
+		death, err := p.execStreamedOnce(ctx, cur, plan, req, st, lz4On)
+		if !death {
+			return err
+		}
+		if p.downgradeOn400(cur, wire, err) {
+			// Version skew: the worker never read an input frame. It is
+			// now pinned v1, so the loop top routes to a v2 survivor or
+			// falls back locally — never re-sends the streamed plan here.
+			continue
+		}
+		p.failover(cur, err)
+		if next := p.pickSurvivorWire(tried, true); next != "" {
+			p.note(cur, func(s *WorkerStats) { s.RedispatchedRemote++ })
+			cur = next
+			continue
+		}
+		p.note(cur, func(s *WorkerStats) { s.Redispatched++ })
+		return p.failoverStreamed(ctx, req, st)
+	}
+}
+
+// execStreamedOnce drives one worker attempt: replay the retained
+// input, continue live from req.Ins, and forward output bytes past the
+// already-delivered prefix. It reports whether a failure was a worker
+// death (retained input makes re-dispatch possible).
+func (p *Pool) execStreamedOnce(ctx context.Context, name string, plan []byte, req *runtime.RemoteRequest, st *streamedState, lz4On bool) (bool, error) {
+	p.note(name, func(s *WorkerStats) { s.Requests++ })
+	conn, bw, cw, err := p.dispatchConn(ctx, name, plan)
+	if err != nil {
+		if runtime.ClassifyRemoteError(err) == runtime.RemoteErrFatal {
+			return false, err
+		}
+		return true, err
+	}
+	defer conn.Close()
+
+	// The watchdog arms per wire write (a worker that stops reading
+	// wedges the sender) and permanently once the input is fully sent
+	// (from then on the worker owes output until EOF). It must NOT be
+	// armed while the sender merely waits for upstream input: a
+	// streamed shard's input legitimately idles — the coordinator's
+	// split produces outputs sequentially, so a sibling shard's stall
+	// starves this one without anything being wrong with its worker.
+	watch := newStreamWatch(p.chunkTimeoutVal(), conn)
+	defer watch.stop()
+	start := time.Now()
+
+	k := len(req.Ins)
+	type sendResult struct {
+		err   error // transport error
+		inErr error // input-side error (propagates, no failover)
+	}
+	sendc := make(chan sendResult, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				sendc <- sendResult{err: runtime.AsPanicError("stream sender", r)}
+			}
+		}()
+		comp := newCompressor(lz4On)
+		sendChunk := func(b []byte) error {
+			watch.expect()
+			wireN, werr := comp.writeDataFrame(cw, b)
+			if werr == nil {
+				werr = bw.Flush()
+			}
+			watch.fulfilled()
+			if werr != nil {
+				return werr
+			}
+			p.note(name, func(s *WorkerStats) {
+				s.ChunksOut++
+				s.BytesOut += int64(len(b))
+				s.WireBytesOut += int64(wireN)
+			})
+			watch.touch()
+			return nil
+		}
+		for i := 0; i < k; i++ {
+			for _, pc := range st.retained[i] {
+				if werr := sendChunk(pc.b); werr != nil {
+					sendc <- sendResult{err: werr}
+					return
+				}
+			}
+			for i >= st.consumed {
+				b, release, rerr := req.Ins[i].ReadChunk()
+				if rerr == io.EOF {
+					// Only the sender goroutine of the single in-flight
+					// attempt touches consumed/retained; the caller reads
+					// them strictly after <-sendc.
+					st.consumed = i + 1
+					break
+				}
+				if rerr != nil {
+					sendc <- sendResult{inErr: rerr}
+					return
+				}
+				// Retain before sending: once the chunk is on the wire it
+				// must survive for replay whatever happens next.
+				st.retained[i] = append(st.retained[i], pendingChunk{b: b, release: release})
+				if werr := sendChunk(b); werr != nil {
+					sendc <- sendResult{err: werr}
+					return
+				}
+			}
+			// End-of-stream separator.
+			watch.expect()
+			werr := writeFrame(cw, nil)
+			if werr == nil {
+				werr = bw.Flush()
+			}
+			watch.fulfilled()
+			if werr != nil {
+				sendc <- sendResult{err: werr}
+				return
+			}
+			watch.touch()
+		}
+		watch.expect() // input complete: the worker owes output until EOF
+		watch.touch()
+		cerr := cw.Close()
+		if cerr == nil {
+			if _, cerr = io.WriteString(bw, "\r\n"); cerr == nil {
+				cerr = bw.Flush()
+			}
+		}
+		sendc <- sendResult{err: cerr}
+	}()
+
+	// Receiver: the single output stream, skipping the prefix a prior
+	// attempt already delivered.
+	frames := 0
+	recvErr := func() error {
+		resp, rerr := http.ReadResponse(bufio.NewReader(conn), nil)
+		if rerr != nil {
+			return fmt.Errorf("dist: worker %s: %w", name, rerr)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return &wireRejectError{name: name, status: resp.StatusCode, msg: strings.TrimSpace(string(msg))}
+		}
+		tagged := p.noteWireResponse(name, resp.Header)
+		skip := st.delivered
+		var pos int64
+		for {
+			raw, ferr := readFrame(resp.Body)
+			if ferr == io.EOF {
+				if msg := resp.Trailer.Get("X-Pash-Error"); msg != "" {
+					return fmt.Errorf("dist: worker %s: %s", name, msg)
+				}
+				return nil
+			}
+			if ferr != nil {
+				return fmt.Errorf("dist: worker %s: %w", name, ferr)
+			}
+			fr, wireN, ferr := decodeDataPayload(raw, tagged)
+			if ferr != nil {
+				return fmt.Errorf("dist: worker %s: %w", name, ferr)
+			}
+			watch.touch()
+			frames++
+			p.note(name, func(s *WorkerStats) {
+				s.ChunksIn++
+				s.BytesIn += int64(len(fr))
+				s.WireBytesIn += int64(wireN)
+			})
+			end := pos + int64(len(fr))
+			switch {
+			case end <= skip:
+				commands.PutBlock(fr)
+			case pos >= skip:
+				if werr := req.Out.WriteChunk(fr); werr != nil {
+					return runtime.MarkFatal(fmt.Errorf("downstream: %w", werr))
+				}
+				st.delivered = end
+			default:
+				blk := append(commands.GetBlock(), fr[skip-pos:]...)
+				commands.PutBlock(fr)
+				if werr := req.Out.WriteChunk(blk); werr != nil {
+					return runtime.MarkFatal(fmt.Errorf("downstream: %w", werr))
+				}
+				st.delivered = end
+			}
+			pos = end
+		}
+	}()
+	// Sever the connection before waiting for the sender: a sender
+	// blocked on a dead or abandoned socket unblocks with a write
+	// error, which the classification below subsumes.
+	conn.Close()
+	sres := <-sendc
+
+	if sres.inErr != nil {
+		return false, sres.inErr
+	}
+	if recvErr == nil {
+		// The worker delivered the complete output stream and trailers;
+		// a late sender-side transport hiccup cannot change the bytes.
+		if frames > 0 {
+			ms := float64(time.Since(start).Milliseconds()) / float64(frames)
+			p.noteService(name, ms)
+		}
+		return false, nil
+	}
+	if runtime.ClassifyRemoteError(recvErr) == runtime.RemoteErrFatal {
+		if errors.Is(recvErr, runtime.ErrDownstreamClosed) {
+			return false, runtime.ErrDownstreamClosed
+		}
+		return false, recvErr
+	}
+	return true, recvErr
+}
+
+// failoverStreamed runs the streamed node locally: each input is the
+// retained replay followed by whatever remains unread, and the output
+// prefix a worker already delivered is discarded. The bottom of the
+// recovery ladder — also reached directly when no v2 worker exists for
+// a streamed plan.
+func (p *Pool) failoverStreamed(ctx context.Context, req *runtime.RemoteRequest, st *streamedState) error {
+	ins := make([]io.Reader, len(req.Ins))
+	for i := range ins {
+		parts := make([]io.Reader, 0, len(st.retained[i])+1)
+		for _, pc := range st.retained[i] {
+			parts = append(parts, bytes.NewReader(pc.b))
+		}
+		if i >= st.consumed {
+			parts = append(parts, runtime.ChunkReaderAsReader(req.Ins[i]))
+		}
+		ins[i] = io.MultiReader(parts...)
+	}
+	return runtime.ExecStreamSpec(ctx, req.Reg, req.Spec, ins,
+		&skipWriter{out: req.Out, skip: st.delivered}, req.Dir, req.Env, req.Stderr)
+}

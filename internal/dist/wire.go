@@ -12,9 +12,14 @@
 // payload length followed by a 4-byte big-endian CRC-32C (Castagnoli)
 // of the payload — and then the payload:
 //
-//	frame 0:  the JSON-encoded dfg.RemoteSpec (the plan)
-//	frame 1…: input chunks (chunk-relay plans only; zero-length frames
-//	          are legal and meaningful — they are rotation tokens)
+//	frame 0:  wire v1: the JSON-encoded dfg.RemoteSpec (the plan)
+//	          wire v2: the JSON handshake {"pash_wire":2, "features",
+//	          "key", "env", "plan"} carrying the plan, the coordinator's
+//	          plan fingerprint (the worker plan-cache key), the request
+//	          environment, and the negotiated frame features
+//	frame 1…: input chunks (zero-length frames are legal and meaningful
+//	          — rotation tokens for framed plans, end-of-stream
+//	          separators for streamed plans)
 //
 // The response body is the same frame format carrying output chunks.
 // For framed (chunk-relay) plans the worker emits exactly one output
@@ -22,8 +27,38 @@
 // acknowledges frame k of the request, which is what makes bounded
 // re-dispatch buffers possible. For file-range plans the request
 // carries only the plan frame and the response frames carry the
-// transformed range in order. The exit status and any execution error
-// arrive in HTTP trailers (X-Pash-Exit-Code, X-Pash-Error).
+// transformed range in order. For streamed (contiguous-stream) plans
+// the request carries each input stream's chunks in input order, a
+// zero-length separator frame ending each stream, and the response is
+// the node's single output stream. The exit status and any execution
+// error arrive in HTTP trailers (X-Pash-Exit-Code, X-Pash-Error).
+//
+// # Negotiation
+//
+// Version negotiation is downgrade-by-rejection: the coordinator
+// opens with a v2 handshake; a worker that predates it fails to find
+// stages in frame 0 and answers 400 before reading any input frame, so
+// the coordinator retries the same worker with a v1 plan frame and
+// pins the worker's wire version for future dispatches (a worker's
+// /healthz X-Pash-Wire header seeds the same cache via probes). A v2
+// worker answers 200 with X-Pash-Wire: 2 and echoes the accepted
+// features in X-Pash-Features. Compressed frames therefore only ever
+// follow an accepted v2 handshake — an old worker can never
+// misinterpret one.
+//
+// # Compression
+//
+// Under the negotiated "lz4" feature every non-empty data frame's
+// payload is tagged: a one-byte tag (0 = raw, 1 = lz4), then for lz4 a
+// 4-byte big-endian decoded length and the LZ4 block. Zero-length
+// frames (tokens, separators) stay bare in every mode. The CRC always
+// covers the payload as transmitted — tag and compressed bytes — so a
+// bit flip fails the checksum before the decompressor runs, and a
+// corrupt block that somehow passes CRC still surfaces as
+// ErrCorruptFrame from the lz4 decoder's bounds checks. The sender
+// skips compression for incompressible payloads via a sampled ratio
+// gate: after a few near-miss attempts it only re-samples every 16th
+// frame until one compresses well again.
 //
 // The checksum is what makes the no-corruption guarantee hold against
 // a misbehaving transport, not just a dead one: a frame that arrives
@@ -36,6 +71,7 @@ package dist
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -119,4 +155,169 @@ func readFrame(r io.Reader) ([]byte, error) {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptFrame)
 	}
 	return buf, nil
+}
+
+// Wire protocol versions. v1 is the original plan-frame handshake; v2
+// adds the JSON handshake frame (plan cache key, env, feature list)
+// and, under the lz4 feature, tagged data-frame payloads.
+const (
+	wireV1 = 1
+	wireV2 = 2
+)
+
+// featureLZ4 names the tagged lz4 frame encoding in handshake feature
+// lists and the X-Pash-Features header.
+const featureLZ4 = "lz4"
+
+// Data-frame payload tags under a negotiated frame-encoding feature.
+const (
+	tagRaw = 0x00
+	tagLZ4 = 0x01
+)
+
+// wireHandshake is frame 0 of a v2 /exec request. Plan is the
+// env-free dfg.RemoteSpec; Env rides separately so workers can cache
+// the decoded plan across requests with different environments. Key is
+// the coordinator's plan fingerprint (empty disables worker caching).
+type wireHandshake struct {
+	Wire     int               `json:"pash_wire"`
+	Features []string          `json:"features,omitempty"`
+	Key      string            `json:"key,omitempty"`
+	Env      map[string]string `json:"env,omitempty"`
+	Plan     json.RawMessage   `json:"plan,omitempty"`
+}
+
+// decodeHandshake recognizes a v2 handshake frame. A v1 plan frame (a
+// bare RemoteSpec) never carries pash_wire, so the two frame-0 forms
+// are unambiguous.
+func decodeHandshake(frame []byte) (*wireHandshake, bool) {
+	var hs wireHandshake
+	if err := json.Unmarshal(frame, &hs); err != nil || hs.Wire < wireV2 {
+		return nil, false
+	}
+	return &hs, true
+}
+
+func (hs *wireHandshake) hasFeature(name string) bool {
+	for _, f := range hs.Features {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Sampled ratio gate parameters: after gateMissLimit consecutive
+// attempts that save less than 1/16, only every gateSampleEvery-th
+// frame re-attempts compression.
+const (
+	gateMissLimit   = 4
+	gateSampleEvery = 16
+)
+
+// compressor is one connection's send-side frame encoder: lz4 when
+// negotiated and worthwhile, raw otherwise, with the sampled ratio
+// gate deciding when "worthwhile" is even worth asking.
+type compressor struct {
+	enabled bool
+	miss    int // consecutive poor-ratio attempts
+	tick    int // frames since the last gated attempt
+	scratch []byte
+}
+
+func newCompressor(enabled bool) *compressor {
+	return &compressor{enabled: enabled}
+}
+
+// writeDataFrame emits one data frame, compressing the payload when
+// the connection negotiated it and the gate allows. It returns the
+// on-the-wire payload size (tag and headers included) so callers can
+// meter raw vs wire bytes. Zero-length frames are bare tokens in every
+// mode.
+func (c *compressor) writeDataFrame(w io.Writer, payload []byte) (int, error) {
+	if c == nil || !c.enabled || len(payload) == 0 {
+		if err := writeFrame(w, payload); err != nil {
+			return 0, err
+		}
+		return len(payload), nil
+	}
+	if c.miss >= gateMissLimit {
+		if c.tick++; c.tick < gateSampleEvery {
+			return c.writeRawTagged(w, payload)
+		}
+		c.tick = 0
+	}
+	buf := append(c.scratch[:0], tagLZ4, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(buf[1:5], uint32(len(payload)))
+	buf, ok := lz4Compress(buf, payload)
+	c.scratch = buf[:0]
+	if !ok {
+		c.miss++
+		return c.writeRawTagged(w, payload)
+	}
+	c.miss = 0
+	if err := writeFrame(w, buf); err != nil {
+		return 0, err
+	}
+	return len(buf), nil
+}
+
+// writeRawTagged emits a tag-prefixed uncompressed frame.
+func (c *compressor) writeRawTagged(w io.Writer, payload []byte) (int, error) {
+	buf := append(c.scratch[:0], tagRaw)
+	buf = append(buf, payload...)
+	c.scratch = buf[:0]
+	if err := writeFrame(w, buf); err != nil {
+		return 0, err
+	}
+	return len(buf), nil
+}
+
+// decodeDataPayload interprets one data frame's payload as read off
+// the wire: under a negotiated frame encoding (tagged=true) the
+// payload carries a tag byte and possibly an lz4 block; otherwise it
+// is the raw chunk. It returns the decoded chunk as an owned block
+// (the input block is recycled whenever a new one is handed back) and
+// the on-the-wire payload size. Malformed tagged payloads — unknown
+// tag, impossible decoded length, a block that fails its bounds checks
+// — surface as ErrCorruptFrame, keeping the transport's corruption
+// taxonomy intact past the CRC.
+func decodeDataPayload(payload []byte, tagged bool) ([]byte, int, error) {
+	wire := len(payload)
+	if !tagged || wire == 0 {
+		return payload, wire, nil
+	}
+	switch payload[0] {
+	case tagRaw:
+		// Shift in place: the block stays owned by the caller.
+		copy(payload, payload[1:])
+		return payload[:wire-1], wire, nil
+	case tagLZ4:
+		if wire < 5 {
+			commands.PutBlock(payload)
+			return nil, wire, fmt.Errorf("%w: short lz4 frame", ErrCorruptFrame)
+		}
+		rawLen := binary.BigEndian.Uint32(payload[1:5])
+		if rawLen == 0 || rawLen > maxFrame {
+			commands.PutBlock(payload)
+			return nil, wire, fmt.Errorf("%w: lz4 frame claims %d bytes", ErrCorruptFrame, rawLen)
+		}
+		var raw []byte
+		if rawLen <= commands.BlockSize {
+			raw = commands.GetBlock()[:rawLen]
+		} else {
+			raw = make([]byte, rawLen)
+		}
+		if err := lz4Decompress(raw, payload[5:]); err != nil {
+			commands.PutBlock(raw)
+			commands.PutBlock(payload)
+			return nil, wire, fmt.Errorf("%w: %v", ErrCorruptFrame, err)
+		}
+		commands.PutBlock(payload)
+		return raw, wire, nil
+	default:
+		tag := payload[0]
+		commands.PutBlock(payload)
+		return nil, wire, fmt.Errorf("%w: unknown frame tag 0x%02x", ErrCorruptFrame, tag)
+	}
 }

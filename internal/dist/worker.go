@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,20 +17,30 @@ import (
 
 // Worker executes shipped remote plans: the data-plane half of
 // `pash-serve -worker`. It is deliberately session-less — no shell, no
-// plan cache, no scheduler — just a command registry and a working
-// directory, because a worker only ever sees straight-line stateless
-// stage chains.
+// scheduler — just a command registry, a working directory, and a
+// plan-keyed cache of decoded specs, because a worker only ever sees
+// straight-line stateless stage chains and their aggregation subtrees.
 type Worker struct {
 	reg   *commands.Registry
 	dir   string
 	start time.Time
+	plans *planCache
+	// legacy pins the worker to wire v1: handshake frames are fed to
+	// the plan decoder and rejected exactly as a pre-v2 build would,
+	// /healthz advertises no version. Used by version-skew tests and as
+	// an operational escape hatch.
+	legacy bool
 
-	requests atomic.Int64
-	active   atomic.Int64
-	failures atomic.Int64
-	chunksIn atomic.Int64
-	bytesIn  atomic.Int64
-	bytesOut atomic.Int64
+	requests     atomic.Int64
+	active       atomic.Int64
+	failures     atomic.Int64
+	chunksIn     atomic.Int64
+	bytesIn      atomic.Int64
+	bytesOut     atomic.Int64
+	wireBytesIn  atomic.Int64
+	wireBytesOut atomic.Int64
+	planHits     atomic.Int64
+	planMisses   atomic.Int64
 }
 
 // NewWorker builds a worker over the standard command registry (with
@@ -40,8 +51,13 @@ func NewWorker(reg *commands.Registry, dir string) *Worker {
 		reg = commands.NewStd()
 		agg.Install(reg)
 	}
-	return &Worker{reg: reg, dir: dir, start: time.Now()}
+	return &Worker{reg: reg, dir: dir, start: time.Now(), plans: newPlanCache()}
 }
+
+// SetLegacyWire pins the worker to wire v1 (no handshake, no
+// compression, no plan cache), emulating a pre-v2 build for
+// version-skew tests and mixed-fleet rollouts.
+func (w *Worker) SetLegacyWire(on bool) { w.legacy = on }
 
 // Handler returns the worker's HTTP handler: POST /exec runs one
 // remote plan over the framed wire protocol; GET /healthz and
@@ -50,6 +66,9 @@ func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/exec", w.handleExec)
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		if !w.legacy {
+			rw.Header().Set("X-Pash-Wire", fmt.Sprintf("%d", wireV2))
+		}
 		fmt.Fprintln(rw, "ok")
 	})
 	mux.HandleFunc("/metrics", w.handleMetrics)
@@ -65,25 +84,63 @@ func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
 	w.active.Add(1)
 	defer w.active.Add(-1)
 
-	// Frame 0 is the plan; reject it before the response commits.
+	// Frame 0 is the plan (v1) or the handshake (v2); reject it before
+	// the response commits. A legacy worker never recognizes the
+	// handshake form — the resulting 400 is the downgrade signal.
 	planFrame, err := readFrame(r.Body)
 	if err != nil {
 		w.failures.Add(1)
 		http.Error(rw, fmt.Sprintf("reading plan: %v", err), http.StatusBadRequest)
 		return
 	}
-	spec, err := dfg.DecodePlan(planFrame)
-	commands.PutBlock(planFrame)
-	if err != nil {
-		w.failures.Add(1)
-		http.Error(rw, err.Error(), http.StatusBadRequest)
-		return
+	var (
+		spec      *dfg.RemoteSpec
+		chain     *runtime.StageChain
+		env       map[string]string
+		lz4On     bool
+		v2        bool
+		cacheNote string
+	)
+	if hs, ok := decodeHandshake(planFrame); ok && !w.legacy {
+		commands.PutBlock(planFrame)
+		v2 = true
+		for _, f := range hs.Features {
+			if f != featureLZ4 {
+				w.failures.Add(1)
+				http.Error(rw, fmt.Sprintf("unsupported wire feature %q", f), http.StatusBadRequest)
+				return
+			}
+		}
+		lz4On = hs.hasFeature(featureLZ4)
+		env = hs.Env
+		gen := w.reg.Generation()
+		if ent := w.plans.get(hs.Key, gen); ent != nil {
+			spec, chain = ent.spec, ent.chain
+			w.planHits.Add(1)
+			cacheNote = "hit"
+		} else {
+			spec, chain, err = w.decodePlan([]byte(hs.Plan))
+			if err != nil {
+				w.failures.Add(1)
+				http.Error(rw, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.planMisses.Add(1)
+			cacheNote = "miss"
+			w.plans.put(hs.Key, gen, spec, chain)
+		}
+	} else {
+		spec, chain, err = w.decodePlan(planFrame)
+		commands.PutBlock(planFrame)
+		if err != nil {
+			w.failures.Add(1)
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		env = spec.Env
 	}
-	chain, err := runtime.NewStageChain(w.reg, spec.Stages, w.dir, spec.Env, io.Discard)
-	if err != nil {
-		w.failures.Add(1)
-		http.Error(rw, err.Error(), http.StatusBadRequest)
-		return
+	if chain != nil {
+		chain = chain.WithEnv(env)
 	}
 
 	// The worker streams output frames while still reading input
@@ -92,6 +149,13 @@ func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
 	flusher, _ := rw.(http.Flusher)
 	rw.Header().Set("Trailer", "X-Pash-Exit-Code, X-Pash-Error")
 	rw.Header().Set("Content-Type", "application/x-pash-frames")
+	if v2 {
+		rw.Header().Set("X-Pash-Wire", fmt.Sprintf("%d", wireV2))
+		if lz4On {
+			rw.Header().Set("X-Pash-Features", featureLZ4)
+		}
+		rw.Header().Set("X-Pash-Plan-Cache", cacheNote)
+	}
 	rw.WriteHeader(http.StatusOK)
 	if flusher != nil {
 		// Commit the response as chunked now: trailers only travel on
@@ -99,15 +163,20 @@ func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
 		flusher.Flush()
 	}
 
+	comp := newCompressor(lz4On)
 	// The recover boundary keeps one request's panic — a bug in a stage
 	// implementation, a malformed plan the decoder let through — from
 	// taking the worker process (and every other tenant's chains) down.
 	execErr := func() (err error) {
 		defer runtime.Contain("worker exec", &err)
-		if spec.Path != "" {
-			return w.execRange(rw, flusher, chain, spec)
+		switch {
+		case spec.Path != "":
+			return w.execRange(rw, flusher, chain, spec, comp)
+		case spec.Streamed:
+			return w.execStreamed(r.Context(), rw, flusher, chain, spec, env, r.Body, lz4On, comp)
+		default:
+			return w.execFramed(rw, flusher, chain, r.Body, lz4On, comp)
 		}
-		return w.execFramed(rw, flusher, chain, r.Body)
 	}()
 	code := 0
 	if execErr != nil {
@@ -118,31 +187,69 @@ func (w *Worker) handleExec(rw http.ResponseWriter, r *http.Request) {
 	rw.Header().Set("X-Pash-Exit-Code", fmt.Sprintf("%d", code))
 }
 
+// decodePlan decodes and validates one plan, returning the spec and —
+// for shapes with a linear stage chain — the env-free chain template.
+// Tree shapes return a nil chain but still have every branch and
+// aggregate command name validated here, so a bad plan fails the
+// request before the response commits.
+func (w *Worker) decodePlan(raw []byte) (*dfg.RemoteSpec, *runtime.StageChain, error) {
+	spec, err := dfg.DecodePlan(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(spec.Stages) > 0 {
+		chain, err := runtime.NewStageChain(w.reg, spec.Stages, w.dir, nil, io.Discard)
+		if err != nil {
+			return nil, nil, err
+		}
+		return spec, chain, nil
+	}
+	for _, br := range spec.Branches {
+		for _, st := range br {
+			if _, ok := w.reg.Lookup(st.Name); !ok {
+				return nil, nil, fmt.Errorf("dist: plan branch: unknown command %q", st.Name)
+			}
+		}
+	}
+	if spec.Agg != nil {
+		if _, ok := w.reg.Lookup(spec.Agg.Name); !ok {
+			return nil, nil, fmt.Errorf("dist: plan aggregate: unknown command %q", spec.Agg.Name)
+		}
+	}
+	return spec, nil, nil
+}
+
 // execFramed is the chunk-relay loop: one output frame per input
 // frame, flushed eagerly so the coordinator's acknowledgement window
 // keeps moving.
-func (w *Worker) execFramed(rw io.Writer, flusher http.Flusher, chain *runtime.StageChain, body io.Reader) error {
+func (w *Worker) execFramed(rw io.Writer, flusher http.Flusher, chain *runtime.StageChain, body io.Reader, tagged bool, comp *compressor) error {
 	for {
-		in, err := readFrame(body)
+		fr, err := readFrame(body)
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
 			return err
 		}
+		in, wire, err := decodeDataPayload(fr, tagged)
+		if err != nil {
+			return err
+		}
 		w.chunksIn.Add(1)
 		w.bytesIn.Add(int64(len(in)))
+		w.wireBytesIn.Add(int64(wire))
 		out, err := chain.ApplyChunk(in)
 		commands.PutBlock(in)
 		if err != nil {
 			return err
 		}
 		w.bytesOut.Add(int64(len(out)))
-		werr := writeFrame(rw, out)
+		wireOut, werr := comp.writeDataFrame(rw, out)
 		commands.PutBlock(out)
 		if werr != nil {
 			return werr
 		}
+		w.wireBytesOut.Add(int64(wireOut))
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -151,22 +258,121 @@ func (w *Worker) execFramed(rw io.Writer, flusher http.Flusher, chain *runtime.S
 
 // execRange self-sources the plan's file slice and streams the
 // transformed bytes back as frames.
-func (w *Worker) execRange(rw io.Writer, flusher http.Flusher, chain *runtime.StageChain, spec *dfg.RemoteSpec) error {
+func (w *Worker) execRange(rw io.Writer, flusher http.Flusher, chain *runtime.StageChain, spec *dfg.RemoteSpec, comp *compressor) error {
 	r, err := runtime.OpenRange(w.dir, spec.Path, spec.Slice, spec.Of)
 	if err != nil {
 		return err
 	}
 	defer r.Close()
-	fw := &frameStreamWriter{w: rw, flusher: flusher, bytesOut: &w.bytesOut}
+	fw := w.outputWriter(rw, flusher, comp)
 	return chain.Stream(r, fw)
 }
 
+// execStreamed runs a contiguous-stream plan: the request body carries
+// each input stream's chunks in input order with a zero-length
+// separator frame ending each, and the response is the node's single
+// output stream. A feeder goroutine demultiplexes the wire into one
+// in-process pipe per input while the chain (or aggregation tree)
+// consumes them.
+func (w *Worker) execStreamed(ctx context.Context, rw io.Writer, flusher http.Flusher, chain *runtime.StageChain, spec *dfg.RemoteSpec, env map[string]string, body io.Reader, tagged bool, comp *compressor) error {
+	k := 1
+	if spec.Agg != nil {
+		k = len(spec.Branches)
+	}
+	prs := make([]*io.PipeReader, k)
+	pws := make([]*io.PipeWriter, k)
+	ins := make([]io.Reader, k)
+	for i := range ins {
+		prs[i], pws[i] = io.Pipe()
+		ins[i] = prs[i]
+	}
+	feedDone := make(chan error, 1)
+	go func() {
+		cur := 0
+		discard := false // consumer hung up on the current stream
+		fail := func(err error) {
+			for ; cur < k; cur++ {
+				pws[cur].CloseWithError(err)
+			}
+			feedDone <- err
+		}
+		for cur < k {
+			fr, err := readFrame(body)
+			if err == io.EOF {
+				// The body ended before every stream's separator: the
+				// missing bytes must not masquerade as stream end.
+				fail(fmt.Errorf("%w: input ended inside stream %d of %d", ErrTruncatedFrame, cur, k))
+				return
+			}
+			if err != nil {
+				fail(err)
+				return
+			}
+			if len(fr) == 0 {
+				commands.PutBlock(fr)
+				pws[cur].Close()
+				cur++
+				discard = false
+				continue
+			}
+			raw, wire, err := decodeDataPayload(fr, tagged)
+			if err != nil {
+				fail(err)
+				return
+			}
+			w.chunksIn.Add(1)
+			w.bytesIn.Add(int64(len(raw)))
+			w.wireBytesIn.Add(int64(wire))
+			if !discard {
+				if _, werr := pws[cur].Write(raw); werr != nil {
+					// The consumer stopped early; swallow the rest of
+					// this stream so later streams still line up.
+					discard = true
+				}
+			}
+			commands.PutBlock(raw)
+		}
+		feedDone <- nil
+	}()
+
+	fw := w.outputWriter(rw, flusher, comp)
+	var execErr error
+	if spec.Agg != nil {
+		execErr = runtime.ExecStreamTree(ctx, w.reg, spec, ins, fw, w.dir, env, io.Discard)
+	} else {
+		execErr = chain.Stream(ins[0], fw)
+	}
+	// Unblock the feeder whatever state it is in, then wait for it: it
+	// reads the request body, which the handler must own again before
+	// returning.
+	for _, pr := range prs {
+		pr.CloseWithError(io.ErrClosedPipe)
+	}
+	feedErr := <-feedDone
+	if execErr != nil {
+		return execErr
+	}
+	return feedErr
+}
+
+// outputWriter builds the response-side frame writer with the
+// connection's compressor and the worker's meters attached.
+func (w *Worker) outputWriter(rw io.Writer, flusher http.Flusher, comp *compressor) *frameStreamWriter {
+	return &frameStreamWriter{
+		w: rw, flusher: flusher, comp: comp,
+		bytesOut: &w.bytesOut, wireOut: &w.wireBytesOut,
+	}
+}
+
 // frameStreamWriter frames a plain output stream for the wire,
-// adopting whole chunks when the producer hands them over.
+// adopting whole chunks when the producer hands them over and
+// compressing payloads when the connection negotiated it.
 type frameStreamWriter struct {
 	w        io.Writer
 	flusher  http.Flusher
+	comp     *compressor
 	bytesOut *atomic.Int64
+	wireOut  *atomic.Int64
 }
 
 func (f *frameStreamWriter) Write(p []byte) (int, error) {
@@ -189,8 +395,12 @@ func (f *frameStreamWriter) emit(p []byte) error {
 		return nil
 	}
 	f.bytesOut.Add(int64(len(p)))
-	if err := writeFrame(f.w, p); err != nil {
+	wire, err := f.comp.writeDataFrame(f.w, p)
+	if err != nil {
 		return err
+	}
+	if f.wireOut != nil {
+		f.wireOut.Add(int64(wire))
 	}
 	if f.flusher != nil {
 		f.flusher.Flush()
@@ -198,15 +408,22 @@ func (f *frameStreamWriter) emit(p []byte) error {
 	return nil
 }
 
-// WorkerMetrics is the worker's /metrics JSON document.
+// WorkerMetrics is the worker's /metrics JSON document. BytesIn and
+// BytesOut count decoded chunk bytes; the WireBytes pair counts the
+// same traffic as transmitted (tags and lz4 blocks included), so
+// WireBytesOut/BytesOut is the worker's outbound compression ratio.
 type WorkerMetrics struct {
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Requests      int64   `json:"requests"`
-	Active        int64   `json:"active"`
-	Failures      int64   `json:"failures"`
-	ChunksIn      int64   `json:"chunks_in"`
-	BytesIn       int64   `json:"bytes_in"`
-	BytesOut      int64   `json:"bytes_out"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	Requests        int64   `json:"requests"`
+	Active          int64   `json:"active"`
+	Failures        int64   `json:"failures"`
+	ChunksIn        int64   `json:"chunks_in"`
+	BytesIn         int64   `json:"bytes_in"`
+	BytesOut        int64   `json:"bytes_out"`
+	WireBytesIn     int64   `json:"bytes_in_wire"`
+	WireBytesOut    int64   `json:"bytes_out_wire"`
+	PlanCacheHits   int64   `json:"plan_cache_hits"`
+	PlanCacheMisses int64   `json:"plan_cache_misses"`
 }
 
 func (w *Worker) handleMetrics(rw http.ResponseWriter, r *http.Request) {
@@ -214,12 +431,16 @@ func (w *Worker) handleMetrics(rw http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(rw)
 	enc.SetIndent("", "  ")
 	enc.Encode(WorkerMetrics{
-		UptimeSeconds: time.Since(w.start).Seconds(),
-		Requests:      w.requests.Load(),
-		Active:        w.active.Load(),
-		Failures:      w.failures.Load(),
-		ChunksIn:      w.chunksIn.Load(),
-		BytesIn:       w.bytesIn.Load(),
-		BytesOut:      w.bytesOut.Load(),
+		UptimeSeconds:   time.Since(w.start).Seconds(),
+		Requests:        w.requests.Load(),
+		Active:          w.active.Load(),
+		Failures:        w.failures.Load(),
+		ChunksIn:        w.chunksIn.Load(),
+		BytesIn:         w.bytesIn.Load(),
+		BytesOut:        w.bytesOut.Load(),
+		WireBytesIn:     w.wireBytesIn.Load(),
+		WireBytesOut:    w.wireBytesOut.Load(),
+		PlanCacheHits:   w.planHits.Load(),
+		PlanCacheMisses: w.planMisses.Load(),
 	})
 }

@@ -103,8 +103,13 @@ func ClassifyRemoteError(err error) RemoteErrorClass {
 type RemoteRequest struct {
 	Spec *dfg.RemoteSpec
 	// In streams the node's framed input chunks; nil for file-range
-	// specs (the worker self-sources).
+	// specs (the worker self-sources) and streamed specs (which use
+	// Ins).
 	In commands.ChunkReader
+	// Ins streams a streamed spec's inputs in operand order: one entry
+	// for a linear streamed chain, one per branch for an aggregation
+	// subtree. Nil for framed and file-range specs.
+	Ins []commands.ChunkReader
 	// Out receives the node's output chunks in order.
 	Out commands.ChunkWriter
 	// Reg, Dir, Env, and Stderr configure local (fallback) execution of
@@ -127,7 +132,17 @@ func (ex *executor) runRemote(ctx context.Context, n *dfg.Node) error {
 		Env:    ex.cfg.Env,
 		Stderr: ex.stdio.Stderr,
 	}
-	if n.Remote.Path == "" {
+	switch {
+	case n.Remote.Streamed:
+		req.Ins = make([]commands.ChunkReader, len(n.In))
+		for i, e := range n.In {
+			cr, ok := ex.readers[e].(commands.ChunkReader)
+			if !ok {
+				return fmt.Errorf("runtime: remote node #%d input %d carries no chunk framing", n.ID, i)
+			}
+			req.Ins[i] = cr
+		}
+	case n.Remote.Path == "":
 		cr, ok := ex.readers[n.In[0]].(commands.ChunkReader)
 		if !ok {
 			return fmt.Errorf("runtime: remote node #%d input carries no chunk framing", n.ID)
@@ -144,6 +159,13 @@ func (ex *executor) runRemote(ctx context.Context, n *dfg.Node) error {
 // exact computation a worker would perform, over the same chunk
 // streams. The pool client uses it to fail over when a worker dies.
 func ExecRemoteLocal(ctx context.Context, req *RemoteRequest) error {
+	if req.Spec.Streamed {
+		ins := make([]io.Reader, len(req.Ins))
+		for i, cr := range req.Ins {
+			ins[i] = ChunkReaderAsReader(cr)
+		}
+		return ExecStreamSpec(ctx, req.Reg, req.Spec, ins, chunkOnlyWriter{req.Out}, req.Dir, req.Env, req.Stderr)
+	}
 	chain, err := NewStageChain(req.Reg, req.Spec.Stages, req.Dir, req.Env, req.Stderr)
 	if err != nil {
 		return err
@@ -214,6 +236,22 @@ type StageChain struct {
 	// per-stream state, so ApplyChunk builds a fresh set per chunk and
 	// Stream one set per call.
 	kernelCapable bool
+	// kpool recycles kernel sets across chunks and requests. Finish
+	// resets each kernel, so a set that completed cleanly is as good as
+	// new; error paths drop the set instead of returning it. Shared
+	// (same pointer) by WithEnv copies, so a cached chain template in
+	// the dist worker amortizes kernel construction across requests.
+	kpool *sync.Pool
+}
+
+// WithEnv returns a copy of the chain bound to env, sharing the
+// validated stages and the kernel pool. The dist worker's plan cache
+// stores an env-free chain template and binds each request's
+// environment through this without re-validating the stages.
+func (c *StageChain) WithEnv(env map[string]string) *StageChain {
+	cp := *c
+	cp.env = env
+	return &cp
 }
 
 // NewStageChain validates the stages against the registry and prepares
@@ -238,13 +276,20 @@ func NewStageChain(reg *commands.Registry, stages []dfg.FusedStage, dir string, 
 			c.kernelCapable = false
 		}
 	}
+	if c.kernelCapable {
+		c.kpool = &sync.Pool{}
+	}
 	return c, nil
 }
 
-// buildKernels instantiates one fresh kernel per stage.
+// buildKernels returns a kernel set for the chain: a pooled set when
+// one is available, a freshly instantiated one otherwise.
 func (c *StageChain) buildKernels() ([]commands.Kernel, bool) {
 	if !c.kernelCapable {
 		return nil, false
+	}
+	if v := c.kpool.Get(); v != nil {
+		return v.([]commands.Kernel), true
 	}
 	ks := make([]commands.Kernel, len(c.stages))
 	for i, st := range c.stages {
@@ -256,6 +301,11 @@ func (c *StageChain) buildKernels() ([]commands.Kernel, bool) {
 	}
 	return ks, true
 }
+
+// releaseKernels returns a kernel set to the pool. Callers only release
+// after a clean completion — Finish has reset every kernel — and drop
+// the set on error paths, where kernel state is indeterminate.
+func (c *StageChain) releaseKernels(ks []commands.Kernel) { c.kpool.Put(ks) }
 
 // ApplyChunk runs the whole chain over one chunk as an independent
 // stream (Apply + Finish per stage), returning a pooled output block
@@ -280,6 +330,7 @@ func (c *StageChain) ApplyChunk(chunk []byte) ([]byte, error) {
 		if !owned {
 			cur = append(commands.GetBlock(), chunk...)
 		}
+		c.releaseKernels(ks)
 		return cur, nil
 	}
 	cur := chunk
@@ -319,6 +370,10 @@ func (c *StageChain) Stream(r io.Reader, w io.Writer) error {
 	if ks, ok := c.buildKernels(); ok {
 		meters := make([]StageTime, len(ks))
 		err := runFusedStreaming(r, w, ks, meters)
+		if err == nil {
+			c.releaseKernels(ks)
+			return nil
+		}
 		var ee *commands.ExitError
 		if errors.As(err, &ee) {
 			return nil

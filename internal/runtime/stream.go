@@ -1,0 +1,221 @@
+package runtime
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/commands"
+	"repro/internal/dfg"
+)
+
+// This file interprets the streamed remote-spec shapes (contiguous
+// per-branch streams, see dfg.RemoteSpec.Streamed) over plain byte
+// streams. It is shared by the dist worker's /exec handler — which
+// demultiplexes wire frames into one io.Reader per input — and the
+// pool's local failover path, which replays retained input through the
+// same functions so the bytes match whatever the dead worker would
+// have produced.
+
+// ExecStreamSpec runs a streamed remote spec over whole byte streams:
+// a linear chain consumes ins[0] through its stages; an aggregation
+// subtree (spec.Agg != nil) runs one branch per input and combines the
+// branch outputs through the aggregate stage. Per-stream non-zero exit
+// statuses are normal and ignored, matching StageChain.Stream.
+func ExecStreamSpec(ctx context.Context, reg *commands.Registry, spec *dfg.RemoteSpec, ins []io.Reader, out io.Writer, dir string, env map[string]string, stderr io.Writer) error {
+	if !spec.Streamed {
+		return errors.New("runtime: spec is not streamed")
+	}
+	if spec.Agg != nil {
+		return ExecStreamTree(ctx, reg, spec, ins, out, dir, env, stderr)
+	}
+	if len(ins) != 1 {
+		return fmt.Errorf("runtime: streamed chain wants 1 input, got %d", len(ins))
+	}
+	chain, err := NewStageChain(reg, spec.Stages, dir, env, stderr)
+	if err != nil {
+		return err
+	}
+	return chain.Stream(ins[0], out)
+}
+
+// ExecStreamTree runs a streamed aggregation subtree: branch i's stage
+// chain consumes ins[i] into an eager in-process edge stream, and the
+// aggregate stage combines the branch outputs as ordered virtual-file
+// operands — exactly how a local KindAgg node consumes its inputs, so
+// the worker-side and coordinator-side interpretations are
+// byte-identical. Branch buffers are eager (unbounded) because the
+// wire delivers input streams sequentially: branch 0 may finish before
+// branch 1 has a single byte, and a blocking buffer would deadlock the
+// aggregate against the demultiplexer.
+func ExecStreamTree(ctx context.Context, reg *commands.Registry, spec *dfg.RemoteSpec, ins []io.Reader, out io.Writer, dir string, env map[string]string, stderr io.Writer) error {
+	if len(ins) != len(spec.Branches) {
+		return fmt.Errorf("runtime: streamed tree wants %d inputs, got %d", len(spec.Branches), len(ins))
+	}
+	if spec.Agg == nil || spec.Agg.Name == "" {
+		return errors.New("runtime: streamed tree has no aggregate stage")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if stderr == nil {
+		stderr = io.Discard
+	}
+	streams := make([]*edgeStream, len(ins))
+	names := make([]string, len(ins))
+	for i := range ins {
+		streams[i] = newEdgeStream(true, 0)
+		names[i] = fmt.Sprintf("%stree/%d", commands.VirtualStreamPrefix, i)
+	}
+	errs := make([]error, len(ins))
+	var wg sync.WaitGroup
+	for i, in := range ins {
+		i, in := i, in
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := streams[i].writer()
+			errs[i] = func() (err error) {
+				defer Contain(fmt.Sprintf("stream branch %d", i), &err)
+				if len(spec.Branches[i]) == 0 {
+					_, err := io.Copy(w, in)
+					return err
+				}
+				chain, err := NewStageChain(reg, spec.Branches[i], dir, env, stderr)
+				if err != nil {
+					return err
+				}
+				return chain.Stream(in, w)
+			}()
+			w.Close()
+		}()
+	}
+	fs := &streamFS{base: commands.OSFS{Dir: dir}, streams: make(map[string]io.ReadCloser, len(ins))}
+	args := make([]string, 0, len(spec.Agg.Args)+len(ins))
+	args = append(args, spec.Agg.Args...)
+	for i := range ins {
+		fs.streams[names[i]] = streams[i].reader()
+		args = append(args, names[i])
+	}
+	cctx := &commands.Context{
+		Args:   args,
+		Stdin:  bytes.NewReader(nil),
+		Stdout: out,
+		Stderr: stderr,
+		FS:     fs,
+		Env:    env,
+	}
+	aggErr := func() (err error) {
+		defer Contain("stream agg "+spec.Agg.Name, &err)
+		return reg.Run(spec.Agg.Name, cctx)
+	}()
+	// Hang up on any branch still writing (the aggregate may have
+	// stopped early); downstream-closed terminations are clean.
+	for i := range ins {
+		streams[i].reader().Close()
+	}
+	wg.Wait()
+	if aggErr != nil {
+		var ee *commands.ExitError
+		if !errors.As(aggErr, &ee) {
+			return aggErr
+		}
+	}
+	for _, err := range errs {
+		if err != nil && !isCleanTermination(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// streamFS resolves a streamed tree's virtual operand names to the
+// live branch outputs and passes everything else through to the real
+// filesystem — the worker-side analog of the executor's overlayFS.
+type streamFS struct {
+	base    commands.OSFS
+	streams map[string]io.ReadCloser
+}
+
+func (s *streamFS) Open(path string) (io.ReadCloser, error) {
+	if r, ok := s.streams[path]; ok {
+		return r, nil
+	}
+	if strings.HasPrefix(path, commands.VirtualStreamPrefix) {
+		return nil, fmt.Errorf("runtime: unknown stream %s", path)
+	}
+	return s.base.Open(path)
+}
+
+func (s *streamFS) Create(path string) (io.WriteCloser, error) {
+	if strings.HasPrefix(path, commands.VirtualStreamPrefix) {
+		return nil, fmt.Errorf("runtime: cannot create stream %s", path)
+	}
+	return s.base.Create(path)
+}
+
+func (s *streamFS) Append(path string) (io.WriteCloser, error) {
+	if strings.HasPrefix(path, commands.VirtualStreamPrefix) {
+		return nil, fmt.Errorf("runtime: cannot append to stream %s", path)
+	}
+	return s.base.Append(path)
+}
+
+// ChunkReaderAsReader adapts a chunk-framed stream to a plain
+// io.Reader for the streamed local-interpretation paths. When the
+// source already reads bytes (the executor's edge streams do), it is
+// returned as-is so chunk framing survives for the fused fast path;
+// otherwise the adapter buffers partial chunks and still exposes
+// ReadChunk for consumers that probe for it.
+func ChunkReaderAsReader(cr commands.ChunkReader) io.Reader {
+	if r, ok := cr.(io.Reader); ok {
+		return r
+	}
+	return &chunkStreamReader{cr: cr}
+}
+
+type chunkStreamReader struct {
+	cr      commands.ChunkReader
+	buf     []byte
+	release func()
+}
+
+func (r *chunkStreamReader) Read(p []byte) (int, error) {
+	for len(r.buf) == 0 {
+		r.drop()
+		b, rel, err := r.cr.ReadChunk()
+		if err != nil {
+			return 0, err
+		}
+		r.buf, r.release = b, rel
+	}
+	n := copy(p, r.buf)
+	r.buf = r.buf[n:]
+	if len(r.buf) == 0 {
+		r.drop()
+	}
+	return n, nil
+}
+
+// ReadChunk passes framing through when no partial chunk is buffered;
+// a buffered remainder is handed off as one owned chunk.
+func (r *chunkStreamReader) ReadChunk() ([]byte, func(), error) {
+	if len(r.buf) > 0 {
+		blk := append(commands.GetBlock(), r.buf...)
+		r.buf = nil
+		r.drop()
+		return blk, func() { commands.PutBlock(blk) }, nil
+	}
+	return r.cr.ReadChunk()
+}
+
+func (r *chunkStreamReader) drop() {
+	if r.release != nil {
+		r.release()
+		r.release = nil
+	}
+}

@@ -480,6 +480,23 @@ type Metrics struct {
 	// WorkerTransitions counts worker state transitions (down /
 	// rejoined / degraded / restored) — the prober's visible output.
 	WorkerTransitions *pash.WorkerTransitions `json:"worker_transitions,omitempty"`
+	// Wire aggregates the pool's wire-level meters across all workers:
+	// payload bytes before framing vs bytes as transmitted (tags and
+	// lz4 blocks included, both directions summed) and the fleet-wide
+	// plan-cache verdicts.
+	Wire *WireTotals `json:"wire,omitempty"`
+}
+
+// WireTotals is the fleet-wide wire summary in /metrics.
+type WireTotals struct {
+	BytesRaw  int64 `json:"bytes_raw"`
+	BytesWire int64 `json:"bytes_wire"`
+	// SavedBytes is BytesRaw - BytesWire: what compression kept off
+	// the network (negative only if every block were incompressible
+	// enough for the tag overhead to dominate).
+	SavedBytes      int64 `json:"saved_bytes"`
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
 }
 
 // Snapshot gathers the current metrics.
@@ -509,6 +526,15 @@ func (s *Server) Snapshot() Metrics {
 		m.Workers = s.pool.Stats()
 		t := s.pool.Transitions()
 		m.WorkerTransitions = &t
+		var wt WireTotals
+		for _, ws := range m.Workers {
+			wt.BytesRaw += ws.BytesOut + ws.BytesIn
+			wt.BytesWire += ws.WireBytesOut + ws.WireBytesIn
+			wt.PlanCacheHits += ws.PlanCacheHits
+			wt.PlanCacheMisses += ws.PlanCacheMisses
+		}
+		wt.SavedBytes = wt.BytesRaw - wt.BytesWire
+		m.Wire = &wt
 	}
 	return m
 }
