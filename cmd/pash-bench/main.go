@@ -93,6 +93,7 @@ func main() {
 		distFlg  = flag.Bool("dist", false, "measure the distributed data plane: coordinator overhead vs local")
 		chaosFlg = flag.Bool("chaos", false, "measure fault-recovery latency per fault class (see BENCH_chaos.json)")
 		overFlg  = flag.Bool("overload", false, "measure shed rate and latency under 4x oversubscription plus drain latency (see BENCH_overload.json)")
+		strmFlg  = flag.Bool("stream", false, "measure streaming execution: rows/sec over a follow source, emit latency, checkpoint overhead (see BENCH_stream.json)")
 	)
 	flag.Parse()
 	switch {
@@ -104,6 +105,8 @@ func main() {
 		runChaos(*scale)
 	case *overFlg:
 		runOverload(*scale)
+	case *strmFlg:
+		runStreamBench(*scale)
 	case *table == 1:
 		pash.WriteTable1(os.Stdout)
 	case *table == 2:

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/pash"
+)
+
+// runStreamBench measures the streaming execution subsystem against a
+// synthetic follow source: sustained rows/sec, window-emit latency
+// p50/p99, checkpoint overhead, and the ratio to the batch data plane
+// over the same input (the streaming tax). See BENCH_stream.json.
+func runStreamBench(scale int) {
+	dir := tmpdir()
+	defer os.RemoveAll(dir)
+
+	const width = 4
+	script := "grep -c the"
+	data := distInput(scale << 20) // ~scale MiB of word text
+	rows := int64(bytes.Count(data, []byte{'\n'}))
+
+	// Batch reference: the same script over the same bytes, finite.
+	sess := pash.NewSession(pash.DefaultOptions(width))
+	sess.Dir = dir
+	t0 := time.Now()
+	if _, err := sess.Run(context.Background(), script, bytes.NewReader(data), io.Discard, os.Stderr); err != nil {
+		die(err)
+	}
+	batchWall := time.Since(t0)
+	batchRate := float64(rows) / batchWall.Seconds()
+
+	// Streaming runs: a writer goroutine grows the follow file while the
+	// job tails it; the run ends when every input byte has been windowed.
+	streamOnce := func(checkpoint bool) (time.Duration, pash.StreamStats) {
+		path := filepath.Join(dir, fmt.Sprintf("follow-%v.log", checkpoint))
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			die(err)
+		}
+		sc := pash.StreamConfig{
+			FollowPath: path,
+			Poll:       time.Millisecond,
+			// Size-triggered windows in steady state; the time trigger
+			// flushes the sub-window tail once the writer finishes.
+			Interval:    50 * time.Millisecond,
+			WindowBytes: 256 << 10,
+		}
+		if checkpoint {
+			sc.CheckpointPath = path + ".ckpt" // save after every window
+		}
+		start := time.Now()
+		job, err := sess.Start(context.Background(), script,
+			pash.JobIO{Stdout: io.Discard}, pash.WithStreamInput(sc))
+		if err != nil {
+			die(err)
+		}
+		go func() {
+			f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				die(err)
+			}
+			defer f.Close()
+			for chunk := data; len(chunk) > 0; {
+				n := 64 << 10
+				if n > len(chunk) {
+					n = len(chunk)
+				}
+				if _, err := f.Write(chunk[:n]); err != nil {
+					die(err)
+				}
+				chunk = chunk[n:]
+			}
+		}()
+		for {
+			st := job.Stats()
+			if st.Stream != nil && st.Stream.Bytes >= int64(len(data)) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		wall := time.Since(start)
+		st := job.Stats()
+		job.Cancel()
+		job.Wait()
+		return wall, *st.Stream
+	}
+
+	plainWall, plainSt := streamOnce(false)
+	ckptWall, ckptSt := streamOnce(true)
+
+	streamRate := float64(rows) / plainWall.Seconds()
+	ratio := batchRate / streamRate
+	overheadPct := 0.0
+	if ckptWall > 0 {
+		overheadPct = 100 * float64(ckptSt.CheckpointWallMs) / float64(ckptWall.Milliseconds())
+	}
+
+	fmt.Printf("stream bench: %d rows (%d MiB), script %q, width %d\n", rows, len(data)>>20, script, width)
+	fmt.Printf("%-26s %12s\n", "metric", "value")
+	fmt.Printf("%-26s %12.0f\n", "batch rows/sec", batchRate)
+	fmt.Printf("%-26s %12.0f\n", "stream rows/sec", streamRate)
+	fmt.Printf("%-26s %12.2fx\n", "batch/stream ratio", ratio)
+	fmt.Printf("%-26s %12d\n", "windows", plainSt.Windows)
+	fmt.Printf("%-26s %12.2f\n", "emit latency p50 (ms)", plainSt.EmitP50Ms)
+	fmt.Printf("%-26s %12.2f\n", "emit latency p99 (ms)", plainSt.EmitP99Ms)
+	fmt.Printf("%-26s %12d\n", "checkpoint saves", ckptSt.CheckpointSaves)
+	fmt.Printf("%-26s %11.1f%%\n", "checkpoint overhead", overheadPct)
+	if ratio > 2 {
+		fmt.Fprintf(os.Stderr, "pash-bench: WARNING: streaming is %.2fx slower than batch (acceptance bound is 2x)\n", ratio)
+	}
+
+	record(benchRecord{Bench: "stream-follow", Config: "batch-ref", Width: width, Metric: "rows_per_sec", Value: batchRate})
+	record(benchRecord{Bench: "stream-follow", Config: "stream", Width: width, Metric: "rows_per_sec", Value: streamRate})
+	record(benchRecord{Bench: "stream-follow", Config: "stream", Width: width, Metric: "batch_stream_ratio", Value: ratio})
+	record(benchRecord{Bench: "stream-follow", Config: "stream", Width: width, Metric: "windows", Value: float64(plainSt.Windows)})
+	record(benchRecord{Bench: "stream-follow", Config: "stream", Width: width, Metric: "emit_p50_ms", Value: plainSt.EmitP50Ms})
+	record(benchRecord{Bench: "stream-follow", Config: "stream", Width: width, Metric: "emit_p99_ms", Value: plainSt.EmitP99Ms})
+	record(benchRecord{Bench: "stream-follow", Config: "stream-ckpt", Width: width, Metric: "checkpoint_saves", Value: float64(ckptSt.CheckpointSaves)})
+	record(benchRecord{Bench: "stream-follow", Config: "stream-ckpt", Width: width, Metric: "checkpoint_overhead_pct", Value: overheadPct})
+}

@@ -19,6 +19,22 @@
 // /metrics lists a live row per in-flight job. Invalid per-request
 // options and unparsable scripts are rejected with 400.
 //
+// # Streaming
+//
+// POST /stream runs a streamable pipeline continuously over an
+// unbounded input — the request body (chunked uploads long-poll; body
+// EOF ends the job with exit 0) or a server-side file tailed with
+// rotation detection via ?follow=/path. Windowed emissions stream
+// down as they close (?window=1s time trigger, ?window-bytes=N
+// deterministic size trigger); ?checkpoint=PATH enables checkpointed
+// failover and ?resume=1 continues from the checkpoint, replaying
+// only the post-checkpoint suffix. Unstreamable scripts get 400
+// before the response commits; streaming job rows in /metrics carry
+// live rows/sec, window lag, and checkpoint age.
+//
+//	# running count of ERR lines in a growing log, every second:
+//	curl -sN -X POST 'http://localhost:8721/stream?script=grep%20-c%20ERR&follow=/var/log/app.log&window=1s'
+//
 // # Overload behaviour
 //
 // Every job runs under the resource budgets given by -job-timeout,

@@ -208,9 +208,34 @@
 // coordinator's /metrics; workers register at runtime via POST
 // /workers/register, with bounded-retry -join on the worker side.
 //
+// # Streaming execution
+//
+// pash.WithStreamInput (and pash-serve's POST /stream) runs a job
+// continuously over an unbounded input: a `tail -F`-style follow
+// source with rotation detection, or any reader (socket, request
+// body). The script must be streamable — one pipeline of stateless
+// stages, optionally ending in an associative aggregation — and is
+// compiled once into a core.StreamPlan; Session.CheckStream answers
+// the shape question without starting a job (pash.ErrNotStreamable).
+// internal/stream chops the source into newline-aligned windows
+// (interval trigger, plus a deterministic size trigger) and executes
+// each window as a normal finite batch region through the plan cache,
+// so fusion, rr split, agg trees, and the distributed worker plane
+// serve streaming unchanged. All-stateless pipelines emit each
+// window's output as a delta; aggregation tails fold window partials
+// through the aggregate commands themselves and emit the running
+// value every window. Periodic checkpoints (fold state + source
+// offset at a window boundary) make a restarted job resume replaying
+// only the post-checkpoint suffix. Streaming jobs are exempt from
+// WallTimeout; MaxPipeMemory becomes a pause-the-source backpressure
+// bound; width is held as a revocable scheduler lease
+// (runtime.WidthLease) reassessed at window boundaries; and /metrics
+// job rows carry live rows/sec, window lag, and checkpoint age.
+// `pash-bench -stream` measures the streaming tax (BENCH_stream.json).
+//
 // internal/runtime/README.md documents the ownership contract, the
 // framing protocol, the fusion contract, the tree layout, the
 // scheduler's admission rules, the distributed wire format and failover
-// contract, and how the blocked-time meters feed the multicore
-// simulator.
+// contract, the streaming source/window/checkpoint contracts, and how
+// the blocked-time meters feed the multicore simulator.
 package repro

@@ -33,6 +33,10 @@ type Interp struct {
 	budget *runtime.Budget
 	// sandbox confines all file access to dir (untrusted scripts).
 	sandbox bool
+	// traffic accumulates live data-plane movement across every region
+	// this interpreter (and its nested interpreters) executes, so a
+	// running job's stats show bytes moved so far instead of zeros.
+	traffic *runtime.Traffic
 
 	jobMu sync.Mutex
 	jobs  []chan jobResult
@@ -65,6 +69,11 @@ type InterpStats struct {
 	// costs the full compile+optimize pass).
 	PlanHits   int
 	PlanMisses int
+	// BytesMoved / ChunksMoved total the live data-plane traffic across
+	// the interpreter's regions. They are filled by StatsSnapshot (from
+	// the live meter), so they are meaningful mid-run, not only at exit.
+	BytesMoved  int64
+	ChunksMoved int64
 }
 
 // RegionProfile is one executed region's graph plus measured node times.
@@ -87,7 +96,19 @@ func NewInterp(c *Compiler, dir string, vars map[string]string, stdio runtime.St
 	if stdio.Stderr == nil {
 		stdio.Stderr = io.Discard
 	}
-	return &Interp{c: c, env: env, dir: dir, stdio: stdio}
+	return &Interp{c: c, env: env, dir: dir, stdio: stdio, traffic: &runtime.Traffic{}}
+}
+
+// StatsSnapshot returns a consistent copy of the interpreter's region
+// metrics plus the live traffic totals. Unlike reading Stats directly,
+// it is safe while the script is still running — the Job API uses it to
+// answer Stats() on in-flight (and never-finishing streaming) jobs.
+func (in *Interp) StatsSnapshot() InterpStats {
+	in.statsMu.Lock()
+	st := in.Stats
+	in.statsMu.Unlock()
+	st.BytesMoved, st.ChunksMoved = in.traffic.Moved()
+	return st
 }
 
 // UseBudget attaches a job's resource accounting (and sandbox flag) to
@@ -268,7 +289,7 @@ func (in *Interp) runCommand(ctx context.Context, cmd shell.Command) (int, error
 			}
 		}
 	case *shell.Subshell:
-		sub := &Interp{c: in.c, env: in.env.Child(), dir: in.dir, stdio: in.stdio, budget: in.budget, sandbox: in.sandbox}
+		sub := &Interp{c: in.c, env: in.env.Child(), dir: in.dir, stdio: in.stdio, budget: in.budget, sandbox: in.sandbox, traffic: in.traffic}
 		code, err := sub.runList(ctx, cmd.Body)
 		if _, werr := sub.waitJobs(); err == nil {
 			err = werr
@@ -298,7 +319,7 @@ func (in *Interp) runCompoundPipeline(ctx context.Context, p *shell.Pipeline) (i
 		// Not really a pipeline — a lone negated compound (`! { ...; }`).
 		// POSIX runs it in the current environment, so assignments
 		// persist; only real multi-stage pipelines get subshell scopes.
-		sub := &Interp{c: in.c, env: in.env, dir: in.dir, stdio: in.stdio, budget: in.budget, sandbox: in.sandbox}
+		sub := &Interp{c: in.c, env: in.env, dir: in.dir, stdio: in.stdio, budget: in.budget, sandbox: in.sandbox, traffic: in.traffic}
 		code, err := sub.runCommand(ctx, p.Cmds[0])
 		if _, werr := sub.waitJobs(); err == nil {
 			err = werr
@@ -330,7 +351,7 @@ func (in *Interp) runCompoundPipeline(ctx context.Context, p *shell.Pipeline) (i
 			nextReader, pw = io.Pipe()
 			stdio.Stdout = pw
 		}
-		sub := &Interp{c: in.c, env: in.env.Child(), dir: in.dir, stdio: stdio, budget: in.budget, sandbox: in.sandbox}
+		sub := &Interp{c: in.c, env: in.env.Child(), dir: in.dir, stdio: stdio, budget: in.budget, sandbox: in.sandbox, traffic: in.traffic}
 		wg.Add(1)
 		go func(i int, c shell.Command, sub *Interp, pw *io.PipeWriter, myInput *io.PipeReader) {
 			defer wg.Done()
@@ -389,6 +410,7 @@ func (in *Interp) expander() *shell.Expander {
 				stdio:   runtime.StdIO{Stdin: strings.NewReader(""), Stdout: &out, Stderr: in.stdio.Stderr},
 				budget:  in.budget,
 				sandbox: in.sandbox,
+				traffic: in.traffic,
 			}
 			list, err := shell.Parse(src)
 			if err != nil {
@@ -632,6 +654,7 @@ func (in *Interp) runPipeline(ctx context.Context, simples []*shell.Simple) (int
 		Env:             in.envSnapshot(),
 		Budget:          in.budget,
 		Sandbox:         in.sandbox,
+		Traffic:         in.traffic,
 	}
 	if in.c.Workers != nil {
 		rcfg.Remote = in.c.Workers

@@ -251,6 +251,11 @@ type Graph struct {
 	Nodes  []*Node
 	Edges  []*Edge
 	nextID int
+	// Window, when set, marks this plan as one leg of a streaming
+	// execution: the graph runs once per window of an unbounded input,
+	// and the spec says how windows trigger and how their results
+	// compose. See Windowize.
+	Window *WindowSpec
 }
 
 // New returns an empty graph.

@@ -82,6 +82,9 @@ func (g *Graph) Validate() error {
 			return err
 		}
 	}
+	if err := g.validateWindow(); err != nil {
+		return err
+	}
 	return g.checkAcyclic()
 }
 

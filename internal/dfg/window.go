@@ -1,0 +1,152 @@
+package dfg
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// The window operator turns a finite-input dataflow graph into one leg
+// of an unbounded streaming execution. It deliberately does not change
+// the graph's node structure: a windowed plan is the *same* template
+// the batch planner produced — rr split, fused stateless chains, the
+// associative agg-tree fan-in — executed once per window of the input.
+// What the operator adds is the contract around those executions: how
+// the unbounded input is chopped into windows (interval/size triggers,
+// newline-aligned), and how consecutive window results compose into
+// the stream's running answer (delta concatenation for all-stateless
+// pipelines, an associative fold through the very same aggregate
+// commands the agg trees use for cumulative pipelines). Keeping the
+// per-window graph identical to the batch graph is what lets the plan
+// cache, the scheduler, and the distributed worker plane serve
+// streaming jobs unchanged.
+
+// EmitMode says how consecutive window results compose into the
+// stream's output.
+type EmitMode int
+
+const (
+	// EmitDelta appends each window's output to the stream: sound when
+	// every stage is stateless, so the concatenation of window outputs
+	// equals the batch output over the same prefix.
+	EmitDelta EmitMode = iota
+	// EmitCumulative folds each window's partial result into carried
+	// state with the Combine pipeline and emits the running value on
+	// every window — `tail -f log | grep ERR | wc -l` emitting a
+	// running count per tick.
+	EmitCumulative
+)
+
+// String renders the emit mode for metrics and debugging.
+func (m EmitMode) String() string {
+	if m == EmitCumulative {
+		return "cumulative"
+	}
+	return "delta"
+}
+
+// CombineStage is one stage of the cumulative fold pipeline. The first
+// stage receives the carried state and the new window's partial result
+// as its two operands (exactly how an agg-tree interior node receives
+// its children); each later stage reads the previous stage's stdout.
+// A terminal `wc -l` folds with a single pash-agg-wc stage; a terminal
+// `sort | head -n K` top-k needs two: `sort -m` then `head -n K`.
+type CombineStage struct {
+	Name string
+	Args []string
+}
+
+// WindowSpec is the dfg-level window operator: the trigger policy plus
+// the emit/composition contract for one streaming plan.
+type WindowSpec struct {
+	// Interval is the time trigger: a window closes when it has been
+	// open this long and holds at least one complete line.
+	Interval time.Duration
+	// MaxBytes is the size trigger: a window closes early once its
+	// payload reaches this many bytes. Size triggers make window
+	// boundaries deterministic for a given input, which replay-exact
+	// tests rely on. 0 disables the size trigger.
+	MaxBytes int64
+	// Emit selects delta or cumulative composition.
+	Emit EmitMode
+	// Combine is the cumulative fold pipeline (empty for EmitDelta).
+	Combine []CombineStage
+}
+
+// String summarizes the spec for metrics rows and dot output.
+func (w *WindowSpec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "window %s", w.Emit)
+	if w.Interval > 0 {
+		fmt.Fprintf(&b, " every %s", w.Interval)
+	}
+	if w.MaxBytes > 0 {
+		fmt.Fprintf(&b, " max %dB", w.MaxBytes)
+	}
+	for i, c := range w.Combine {
+		if i == 0 {
+			b.WriteString(" via ")
+		} else {
+			b.WriteString(" | ")
+		}
+		b.WriteString(strings.TrimSpace(c.Name + " " + strings.Join(c.Args, " ")))
+	}
+	return b.String()
+}
+
+// Windowize attaches the window operator to a planned graph, checking
+// that the graph has the shape streaming needs: its input must be the
+// script's standard input (the windower feeds each window through that
+// binding) and its primary output must be stdout (emissions stream to
+// the job's output). Cumulative mode must carry a combine pipeline.
+// The spec is shared, not copied — treat it as immutable once attached.
+func Windowize(g *Graph, spec *WindowSpec) error {
+	if spec == nil {
+		return fmt.Errorf("dfg: Windowize needs a spec")
+	}
+	stdin := false
+	for _, e := range g.InputEdges() {
+		switch e.Source.Kind {
+		case BindStdin:
+			stdin = true
+		case BindFile, BindLiteral:
+			// File and heredoc inputs are fine alongside stdin (grep
+			// patterns from a file); a graph with *only* those never
+			// consumes the stream.
+		}
+	}
+	if !stdin {
+		return fmt.Errorf("dfg: windowed graph does not read standard input")
+	}
+	stdout := false
+	for _, e := range g.OutputEdges() {
+		if e.Sink.Kind == BindStdout {
+			stdout = true
+		}
+	}
+	if !stdout {
+		return fmt.Errorf("dfg: windowed graph does not write standard output")
+	}
+	if spec.Emit == EmitCumulative && len(spec.Combine) == 0 {
+		return fmt.Errorf("dfg: cumulative window needs a combine pipeline")
+	}
+	for _, c := range spec.Combine {
+		if c.Name == "" {
+			return fmt.Errorf("dfg: combine stage with no command name")
+		}
+	}
+	g.Window = spec
+	return nil
+}
+
+// validateWindow re-checks the attached operator's invariants as part
+// of Graph.Validate.
+func (g *Graph) validateWindow() error {
+	if g.Window == nil {
+		return nil
+	}
+	if g.Window.Emit == EmitCumulative && len(g.Window.Combine) == 0 {
+		return fmt.Errorf("dfg: cumulative window needs a combine pipeline")
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package dfg
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/annot"
+)
+
+// stdinChain builds stdin -> commands... -> stdout, the shape a
+// streaming plan has.
+func stdinChain(t *testing.T, specs ...*Node) *Graph {
+	t.Helper()
+	g := New()
+	var prev *Node
+	for i, n := range specs {
+		g.AddNode(n)
+		if i == 0 {
+			e := g.AddEdge(&Edge{Source: Binding{Kind: BindStdin}, To: n})
+			n.In = append(n.In, e)
+			n.StdinInput = 0
+		} else {
+			g.Connect(prev, n)
+			n.StdinInput = len(n.In) - 1
+		}
+		prev = n
+	}
+	e := g.AddEdge(&Edge{From: prev, Sink: Binding{Kind: BindStdout}})
+	prev.Out = append(prev.Out, e)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("stdinChain invalid: %v", err)
+	}
+	return g
+}
+
+func TestWindowizeShapeRules(t *testing.T) {
+	delta := &WindowSpec{Interval: time.Second}
+
+	// The happy shape: stdin in, stdout out.
+	g := stdinChain(t, sNode("grep", "x"), sNode("tr", "a", "b"))
+	if err := Windowize(g, delta); err != nil {
+		t.Fatalf("Windowize on stdin->stdout chain: %v", err)
+	}
+	if g.Window != delta {
+		t.Error("Window not attached")
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("windowed graph invalid: %v", err)
+	}
+
+	// A file-fed graph never consumes the stream.
+	fileG := chain(t, sNode("grep", "x"))
+	if err := Windowize(fileG, delta); err == nil {
+		t.Error("Windowize accepted a graph that does not read stdin")
+	}
+
+	// Output must be stdout.
+	fg := stdinChain(t, sNode("grep", "x"))
+	fg.OutputEdges()[0].Sink = Binding{Kind: BindFile, Path: "out.txt"}
+	if err := Windowize(fg, delta); err == nil {
+		t.Error("Windowize accepted a graph that does not write stdout")
+	}
+
+	if err := Windowize(stdinChain(t, sNode("grep", "x")), nil); err == nil {
+		t.Error("Windowize accepted a nil spec")
+	}
+}
+
+func TestWindowizeCumulativeNeedsCombine(t *testing.T) {
+	g := stdinChain(t, sNode("grep", "x"), NewNode(KindCommand, "wc", litArgs([]string{"-l"}), annot.Pure))
+	bare := &WindowSpec{Emit: EmitCumulative}
+	if err := Windowize(g, bare); err == nil {
+		t.Error("cumulative spec with no combine pipeline accepted")
+	}
+	noName := &WindowSpec{Emit: EmitCumulative, Combine: []CombineStage{{Name: ""}}}
+	if err := Windowize(g, noName); err == nil {
+		t.Error("combine stage with empty command name accepted")
+	}
+	ok := &WindowSpec{Emit: EmitCumulative, Combine: []CombineStage{{Name: "pash-agg-wc"}}}
+	if err := Windowize(g, ok); err != nil {
+		t.Fatalf("valid cumulative spec rejected: %v", err)
+	}
+	// Validate re-checks the attached operator.
+	g.Window.Combine = nil
+	if err := g.Validate(); err == nil {
+		t.Error("Validate passed a cumulative window stripped of its combine pipeline")
+	}
+}
+
+func TestWindowSpecSharedByClone(t *testing.T) {
+	g := stdinChain(t, sNode("grep", "x"))
+	spec := &WindowSpec{Interval: 250 * time.Millisecond, MaxBytes: 1 << 20}
+	if err := Windowize(g, spec); err != nil {
+		t.Fatal(err)
+	}
+	if c := g.Clone(); c.Window != spec {
+		t.Error("Clone must share the window spec (it is immutable once attached)")
+	}
+}
+
+func TestWindowSpecString(t *testing.T) {
+	spec := &WindowSpec{
+		Interval: time.Second,
+		MaxBytes: 4096,
+		Emit:     EmitCumulative,
+		Combine:  []CombineStage{{Name: "sort", Args: []string{"-m"}}, {Name: "head", Args: []string{"-n", "5"}}},
+	}
+	s := spec.String()
+	for _, want := range []string{"cumulative", "1s", "4096B", "sort -m", "head -n 5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	if got := (&WindowSpec{}).String(); !strings.Contains(got, "delta") {
+		t.Errorf("zero spec String() = %q", got)
+	}
+}

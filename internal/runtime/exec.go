@@ -61,6 +61,9 @@ type Config struct {
 	// charge queued payload against its pipe-memory ceiling. nil =
 	// unlimited.
 	Budget *Budget
+	// Traffic, when set, receives live byte/chunk movement as pipes
+	// enqueue — the running-job view of what Result reports at the end.
+	Traffic *Traffic
 	// Sandbox confines command file access to Dir (absolute paths and
 	// ".." escapes fail) — the execution half of JobLimits.Sandbox.
 	Sandbox bool
@@ -350,6 +353,7 @@ func (ex *executor) materialize(e *dfg.Edge, osfs commands.OSFS) error {
 		s.p.readMeter = ex.meters[e.To]
 		s.p.writeMeter = ex.meters[e.From]
 		s.p.budget = ex.cfg.Budget
+		s.p.traffic = ex.cfg.Traffic
 		ex.readers[e] = s.reader()
 		ex.writers[e] = s.writer()
 		ex.pipes = append(ex.pipes, s.p)

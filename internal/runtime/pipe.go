@@ -69,6 +69,11 @@ type pipe struct {
 	// block pool no longer is the only line of defense.
 	budget *Budget
 
+	// traffic, when set, mirrors every enqueue into the owning job's
+	// live meter, so observers see bytes/chunks moved while the graph is
+	// still running (bytesMoved/chunksMoved are only summed at the end).
+	traffic *Traffic
+
 	bytesMoved  int64 // total payload bytes ever enqueued (under mu)
 	chunksMoved int64 // total blocks ever enqueued (under mu)
 }
@@ -98,6 +103,7 @@ func (p *pipe) enqueue(b []byte) {
 	p.size += len(b)
 	p.bytesMoved += int64(len(b))
 	p.chunksMoved++
+	p.traffic.note(len(b))
 	p.rwait.Signal()
 }
 

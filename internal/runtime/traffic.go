@@ -1,0 +1,31 @@
+package runtime
+
+import "sync/atomic"
+
+// Traffic is a live, lock-free meter of data-plane movement: payload
+// bytes and discrete blocks enqueued into the graph's internal pipes.
+// Result carries the same totals after an execution finishes; Traffic
+// exists for observers that cannot wait — Job.Stats on a running job,
+// the /metrics rows of a streaming job that never finishes. Attach one
+// via Config.Traffic; executions sharing a meter accumulate into it.
+type Traffic struct {
+	bytes  atomic.Int64
+	chunks atomic.Int64
+}
+
+// note records one enqueued block of n payload bytes.
+func (t *Traffic) note(n int) {
+	if t == nil {
+		return
+	}
+	t.bytes.Add(int64(n))
+	t.chunks.Add(1)
+}
+
+// Moved reports the lifetime totals: payload bytes and blocks enqueued.
+func (t *Traffic) Moved() (bytes, chunks int64) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.bytes.Load(), t.chunks.Load()
+}

@@ -81,12 +81,13 @@ type Server struct {
 	drainOnce sync.Once
 	drainCh   chan struct{}
 
-	requests  atomic.Int64
-	active    atomic.Int64
-	failures  atomic.Int64
-	cancelled atomic.Int64
-	sheds     atomic.Int64
-	bytesOut  atomic.Int64
+	requests   atomic.Int64
+	active     atomic.Int64
+	failures   atomic.Int64
+	cancelled  atomic.Int64
+	sheds      atomic.Int64
+	bytesOut   atomic.Int64
+	streamJobs atomic.Int64
 }
 
 // New builds a server over the given session. If sched is non-nil it is
@@ -157,6 +158,7 @@ func (s *Server) StartProber(ctx context.Context) (stop func()) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/stream", s.handleStream)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/workers", s.handleWorkers)
 	mux.HandleFunc("/workers/register", s.handleRegisterWorker)
@@ -465,6 +467,8 @@ type Metrics struct {
 	Sheds    int64 `json:"sheds"`
 	Draining bool  `json:"draining"`
 	BytesOut int64 `json:"bytes_out"`
+	// Streams counts streaming jobs started via /stream (lifetime).
+	Streams int64 `json:"streams,omitempty"`
 	// Panics is the process-wide containment ring: panics absorbed and
 	// converted into job-scoped errors.
 	Panics pash.PanicStats `json:"panics"`
@@ -511,6 +515,7 @@ func (s *Server) Snapshot() Metrics {
 		Sheds:         s.sheds.Load(),
 		Draining:      s.draining.Load(),
 		BytesOut:      s.bytesOut.Load(),
+		Streams:       s.streamJobs.Load(),
 		Panics:        pash.Panics(),
 		PlanCache:     s.sess.PlanCacheStats(),
 		Jobs:          s.sess.Jobs(),

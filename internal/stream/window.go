@@ -1,0 +1,259 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// windower chops a Source into newline-aligned windows under two
+// triggers: a size trigger (deterministic — window boundaries depend
+// only on the input bytes, which replay-exact failover tests rely on)
+// and a time trigger (a window closes after Interval if it holds at
+// least one complete line). A dedicated reader goroutine pulls from
+// the source through a byte-budgeted hand-off: when buffered bytes
+// would exceed MaxBuffer the reader blocks — the source is paused, not
+// killed. That is the streaming meaning of MaxPipeMemory: for a batch
+// job breaching the pipe-memory budget kills the job (the input is
+// finite, the job is wedged); for a streaming job the input is endless
+// by design, so the bound throttles intake instead.
+type windower struct {
+	src      Source
+	interval time.Duration
+	maxBytes int64
+
+	chunks chan []byte
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	buffered  int64
+	maxBuffer int64
+
+	pauses   atomic.Int64
+	bufGauge atomic.Int64
+
+	// pending holds complete lines not yet emitted; carry holds the
+	// trailing partial line.
+	pending []byte
+	carry   []byte
+
+	// boundary is the source offset at the end of the last emitted
+	// window: initial offset + bytes emitted in windows. Checkpoints
+	// record this — resuming re-reads pending+carry, which no emitted
+	// window covered.
+	boundary atomic.Int64
+
+	readErr  error
+	errOnce  sync.Once
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+const readChunk = 32 << 10
+
+func newWindower(src Source, interval time.Duration, maxBytes, maxBuffer int64, startOffset int64) *windower {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	w := &windower{
+		src:       src,
+		interval:  interval,
+		maxBytes:  maxBytes,
+		maxBuffer: maxBuffer,
+		chunks:    make(chan []byte, 1),
+		done:      make(chan struct{}),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	w.boundary.Store(startOffset)
+	go w.read()
+	return w
+}
+
+// read is the source-side goroutine: it owns all Source.Read calls and
+// parks (pausing the source) whenever the consumer is behind budget.
+func (w *windower) read() {
+	defer close(w.chunks)
+	buf := make([]byte, readChunk)
+	for {
+		n, err := w.src.Read(buf)
+		if n > 0 {
+			c := append([]byte(nil), buf[:n]...)
+			if !w.acquire(int64(len(c))) {
+				return
+			}
+			select {
+			case w.chunks <- c:
+			case <-w.done:
+				return
+			}
+		}
+		if err != nil {
+			w.errOnce.Do(func() { w.readErr = err })
+			return
+		}
+	}
+}
+
+// acquire blocks until len fits under the buffer budget (or the
+// windower stops). Each wait counts one pause.
+func (w *windower) acquire(n int64) bool {
+	if w.maxBuffer <= 0 {
+		w.bufGauge.Add(n)
+		return true
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	waited := false
+	for w.buffered > 0 && w.buffered+n > w.maxBuffer {
+		if !waited {
+			waited = true
+			w.pauses.Add(1)
+		}
+		select {
+		case <-w.done:
+			return false
+		default:
+		}
+		w.cond.Wait()
+	}
+	select {
+	case <-w.done:
+		return false
+	default:
+	}
+	w.buffered += n
+	w.bufGauge.Store(w.buffered)
+	return true
+}
+
+// release returns consumed bytes to the budget, unparking the reader.
+func (w *windower) release(n int64) {
+	if w.maxBuffer <= 0 {
+		w.bufGauge.Add(-n)
+		return
+	}
+	w.mu.Lock()
+	w.buffered -= n
+	w.bufGauge.Store(w.buffered)
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+// ingest folds a raw chunk into pending/carry, keeping pending a run
+// of complete lines.
+func (w *windower) ingest(c []byte) {
+	w.carry = append(w.carry, c...)
+	if i := bytes.LastIndexByte(w.carry, '\n'); i >= 0 {
+		w.pending = append(w.pending, w.carry[:i+1]...)
+		w.carry = w.carry[i+1:]
+	}
+}
+
+// cut returns the next size-triggered window from pending, or nil when
+// pending hasn't reached maxBytes. The boundary is the first line end
+// at or past maxBytes, so for a given input the windows are identical
+// regardless of how reads chunked it.
+func (w *windower) cut() []byte {
+	if w.maxBytes <= 0 || int64(len(w.pending)) < w.maxBytes {
+		return nil
+	}
+	i := bytes.IndexByte(w.pending[w.maxBytes-1:], '\n')
+	end := int(w.maxBytes) - 1 + i // absolute index of that '\n'
+	win := append([]byte(nil), w.pending[:end+1]...)
+	w.pending = append(w.pending[:0], w.pending[end+1:]...)
+	return win
+}
+
+// takeAll drains pending (time trigger / final flush).
+func (w *windower) takeAll(includeCarry bool) []byte {
+	var win []byte
+	if len(w.pending) > 0 {
+		win = append(win, w.pending...)
+		w.pending = w.pending[:0]
+	}
+	if includeCarry && len(w.carry) > 0 {
+		win = append(win, w.carry...)
+		w.carry = w.carry[:0]
+	}
+	return win
+}
+
+// Next blocks until a window closes. It returns the window payload and
+// final=true when the source ended (clean EOF or error — Err()
+// distinguishes them); the final window may be empty. The source
+// offset of the window's end is recorded in boundary.
+func (w *windower) Next(ctx context.Context) (win []byte, final bool, err error) {
+	// Serve a size-triggered window already buffered before touching
+	// the channel.
+	if v := w.cut(); v != nil {
+		w.boundary.Add(int64(len(v)))
+		return v, false, nil
+	}
+	timer := time.NewTimer(w.interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		case <-timer.C:
+			if v := w.takeAll(false); len(v) > 0 {
+				w.boundary.Add(int64(len(v)))
+				return v, false, nil
+			}
+			timer.Reset(w.interval)
+		case c, ok := <-w.chunks:
+			if !ok {
+				// Source ended: flush everything, including an
+				// unterminated last line.
+				v := w.takeAll(true)
+				w.boundary.Add(int64(len(v)))
+				return v, true, w.Err()
+			}
+			w.release(int64(len(c)))
+			w.ingest(c)
+			if v := w.cut(); v != nil {
+				w.boundary.Add(int64(len(v)))
+				return v, false, nil
+			}
+		}
+	}
+}
+
+// Boundary is the source offset at the last emitted window's end — the
+// checkpointable position.
+func (w *windower) Boundary() int64 { return w.boundary.Load() }
+
+// Pauses reports how many times backpressure paused the source.
+func (w *windower) Pauses() int64 { return w.pauses.Load() }
+
+// Buffered reports bytes currently buffered ahead of the consumer.
+func (w *windower) Buffered() int64 { return w.bufGauge.Load() }
+
+// Err reports the source's terminal error, with io.EOF mapped to nil
+// (clean end of stream).
+func (w *windower) Err() error {
+	w.errOnce.Do(func() {})
+	if w.readErr == nil || errors.Is(w.readErr, io.EOF) {
+		return nil
+	}
+	return errSourceGone(w.readErr)
+}
+
+// stop tears the windower down: unparks a paused reader and detaches
+// from the source (the caller closes the Source itself, which unblocks
+// a blocked Read).
+func (w *windower) stop() {
+	w.stopOnce.Do(func() {
+		close(w.done)
+		w.cond.Broadcast()
+		// Drain so the reader isn't wedged on a full channel.
+		go func() {
+			for range w.chunks {
+			}
+		}()
+	})
+}

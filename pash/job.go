@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/runtime"
 	"repro/internal/shell"
+	"repro/internal/stream"
 )
 
 // JobIO binds a job's standard streams. A nil Stdin reads as empty; nil
@@ -48,6 +49,9 @@ type startConfig struct {
 	// for this job; the job releases it on completion instead of
 	// admitting itself.
 	admitted func()
+	// stream, when set, runs the job as a streaming execution over an
+	// unbounded source (WithStreamInput).
+	stream *StreamConfig
 }
 
 // WithOptions overrides the session's planning options for this job
@@ -98,12 +102,21 @@ type Job struct {
 	budget   *runtime.Budget
 	admitted func()
 
+	stream *StreamConfig
+
 	mu       sync.Mutex
 	finished bool
 	code     int
 	err      error
 	wall     time.Duration
 	interp   core.InterpStats
+	// live holds the interpreter while a batch job runs, so Stats can
+	// snapshot real region/traffic counters instead of zeros.
+	live *core.Interp
+	// runner/splan/straffic hold the streaming execution's live state.
+	runner   *stream.Runner
+	splan    *core.StreamPlan
+	straffic *runtime.Traffic
 }
 
 // JobStats is a point-in-time view of a job, live while it runs and
@@ -123,6 +136,10 @@ type JobStats struct {
 	// Budget is its live (or final) consumption against them.
 	Limits JobLimits   `json:"limits"`
 	Budget BudgetUsage `json:"budget"`
+	// Stream carries the streaming runner's live metrics (rows/sec,
+	// window lag, checkpoint age) for jobs started with
+	// WithStreamInput; nil for batch jobs.
+	Stream *StreamStats `json:"stream,omitempty"`
 }
 
 // Start parses and launches a script, returning a handle immediately.
@@ -161,6 +178,15 @@ func (s *Session) Start(ctx context.Context, src string, stdio JobIO, opts ...St
 		ctx = context.Background()
 	}
 	jctx, cancel := context.WithCancel(ctx)
+	blimits := cfg.limits
+	if cfg.stream != nil {
+		// Streaming lifecycle: MaxPipeMemory bounds the windower's
+		// source buffer with pause-the-source semantics instead of
+		// arming the first-breach-kills pipe budget, and WallTimeout
+		// does not apply to an input that is unbounded by design.
+		blimits.MaxPipeMemory = 0
+		blimits.WallTimeout = 0
+	}
 	j := &Job{
 		id:       jobIDs.Add(1),
 		sess:     s,
@@ -170,8 +196,9 @@ func (s *Session) Start(ctx context.Context, src string, stdio JobIO, opts ...St
 		done:     make(chan struct{}),
 		started:  time.Now(),
 		limits:   cfg.limits,
-		budget:   runtime.NewBudget(cfg.limits),
+		budget:   runtime.NewBudget(blimits),
 		admitted: cfg.admitted,
+		stream:   cfg.stream,
 	}
 	s.trackJob(j)
 	go j.run(jctx, c, s.Dir, s.Vars, stdio)
@@ -198,6 +225,10 @@ func (j *Job) run(ctx context.Context, c *core.Compiler, dir string, vars map[st
 		}
 		defer release()
 	}
+	if j.stream != nil {
+		j.runStream(ctx, c, dir, vars, stdio)
+		return
+	}
 	// Wall-clock budget: the timer attributes the kill to the budget
 	// before cancelling, so the breach outranks the generic 130.
 	if j.limits.WallTimeout > 0 {
@@ -217,6 +248,11 @@ func (j *Job) run(ctx context.Context, c *core.Compiler, dir string, vars map[st
 	in := core.NewInterp(c, dir, vars,
 		runtime.StdIO{Stdin: stdio.Stdin, Stdout: stdout, Stderr: stdio.Stderr})
 	in.UseBudget(j.budget, j.limits.Sandbox)
+	// Publish the interpreter so Stats reports live region and traffic
+	// counters while the job runs, not zeros-until-Wait.
+	j.mu.Lock()
+	j.live = in
+	j.mu.Unlock()
 	// Reuse the list Start already parsed for validation. The recover
 	// boundary turns a panic anywhere in the interpreter's own frame —
 	// including user extension code running inline — into this job's
@@ -235,7 +271,7 @@ func (j *Job) run(ctx context.Context, c *core.Compiler, dir string, vars map[st
 	} else if err != nil && errors.Is(err, ErrBudgetExceeded) {
 		code = ExitBudgetExceeded
 	}
-	j.finish(code, err, in.Stats)
+	j.finish(code, err, in.StatsSnapshot())
 }
 
 func (j *Job) finish(code int, err error, st core.InterpStats) {
@@ -300,6 +336,26 @@ func (j *Job) Stats() JobStats {
 	} else {
 		st.Running = true
 		st.WallSeconds = time.Since(j.started).Seconds()
+		// Live counters: a running batch job reports its interpreter's
+		// current regions and bytes/chunks moved; a running streaming
+		// job reports the plan-cache and traffic meters directly.
+		switch {
+		case j.live != nil:
+			st.Interp = j.live.StatsSnapshot()
+		case j.runner != nil:
+			st.Interp.Regions = int(j.runner.Stats().Windows)
+			if j.splan != nil {
+				h, m := j.splan.PlanHits()
+				st.Interp.PlanHits, st.Interp.PlanMisses = int(h), int(m)
+			}
+			if j.straffic != nil {
+				st.Interp.BytesMoved, st.Interp.ChunksMoved = j.straffic.Moved()
+			}
+		}
+	}
+	if j.runner != nil {
+		ss := j.runner.Stats()
+		st.Stream = &ss
 	}
 	return st
 }
