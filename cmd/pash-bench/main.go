@@ -94,9 +94,12 @@ func main() {
 		chaosFlg = flag.Bool("chaos", false, "measure fault-recovery latency per fault class (see BENCH_chaos.json)")
 		overFlg  = flag.Bool("overload", false, "measure shed rate and latency under 4x oversubscription plus drain latency (see BENCH_overload.json)")
 		strmFlg  = flag.Bool("stream", false, "measure streaming execution: rows/sec over a follow source, emit latency, checkpoint overhead (see BENCH_stream.json)")
+		serveFlg = flag.Bool("serve", false, "measure the multi-tenant front door: 10k+ clients under uniform and hot-key tenant distributions plus noisy-neighbor isolation (see BENCH_serve.json)")
 	)
 	flag.Parse()
 	switch {
+	case *serveFlg:
+		runServeBench(*scale)
 	case *control:
 		runControl(*scale)
 	case *distFlg:

@@ -42,7 +42,34 @@
 // only that job (exit status 125 in the trailer). Admission is bounded:
 // at most -queue requests wait for a script slot, none longer than
 // -queue-wait, and excess load is shed with 503 + Retry-After instead
-// of queueing without bound.
+// of queueing without bound. The Retry-After hint is derived from live
+// scheduler state (queue depth × average slot-hold time), not a
+// constant.
+//
+// # Tenants
+//
+// Each request carries a tenant identity: the X-Pash-Tenant header,
+// the tenant= query parameter, or -tenant-default when both are
+// absent. Identity is the admission key — queued slots are granted
+// round-robin across tenants, so one tenant's burst cannot starve
+// another's — and, when governance is enabled, the accounting key:
+//
+//	pash-serve -listen :8721 -tenant-quota 10000 -tenant-rate 50 -tenant-burst 100 \
+//	    -meter-commit usage.jsonl
+//	curl -s -H 'X-Pash-Tenant: alice' --data-binary 'seq 9 | wc -l' http://localhost:8721/run
+//
+// -tenant-quota caps a tenant's lifetime admitted jobs; -tenant-rate /
+// -tenant-burst bound its admission rate (token bucket). Refusals are
+// distinguishable by status code and the X-Pash-Shed-Cause header:
+// 403 "quota" (quota exhausted; no Retry-After, waiting will not
+// help), 429 "rate" (rate limited; Retry-After says when the bucket
+// next conforms), 503 "capacity" (machine saturated or draining;
+// Retry-After derived from scheduler state). Usage is metered per
+// tenant (jobs, wall time, data-plane bytes) with O(1) in-memory
+// accounting; the net effect is committed in the background to the
+// -meter-commit JSONL file on watermark crossings — commit
+// information, not traffic — and /metrics carries a live row per
+// tenant (admitted, sheds by cause, usage vs quota, commits).
 //
 // # Graceful drain
 //
@@ -107,6 +134,13 @@ func main() {
 	maxPipeMem := flag.Int64("max-pipe-memory", 0, "per-job queued pipe memory budget in bytes (0 = unlimited)")
 	maxProcs := flag.Int("max-procs", 0, "per-job region width cap (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain deadline for in-flight jobs")
+	tenantDefault := flag.String("tenant-default", "anonymous", "tenant identity for requests without X-Pash-Tenant")
+	tenantQuota := flag.Int64("tenant-quota", 0, "per-tenant lifetime job quota (0 = unlimited)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission rate in jobs/second (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant admission burst in jobs (0 = derived from -tenant-rate)")
+	meterCommit := flag.String("meter-commit", "", "JSONL file receiving committed per-tenant usage (empty = in-memory only)")
+	meterWatermark := flag.Int64("meter-watermark", 64, "uncommitted jobs per tenant that trigger a background usage commit")
+	meterInterval := flag.Duration("meter-interval", 50*time.Millisecond, "background usage committer tick")
 	dir := flag.String("dir", "", "working directory for script file access")
 	workerMode := flag.Bool("worker", false, "run as a data-plane worker (serve /exec only)")
 	workers := flag.String("workers", "", "comma-separated worker addresses to coordinate")
@@ -183,6 +217,34 @@ func main() {
 		MaxPipeMemory:  *maxPipeMem,
 		MaxProcs:       *maxProcs,
 	})
+	srv.SetDefaultTenant(*tenantDefault)
+
+	// Tenant governance: attach a meter whenever any quota, rate, or
+	// commit sink is configured (a bare meter would only add unused
+	// rows). The committer runs for the daemon's life and flushes
+	// outstanding usage deltas on stop.
+	if *tenantQuota > 0 || *tenantRate > 0 || *meterCommit != "" {
+		mc := pash.MeterConfig{
+			DefaultQuota:   *tenantQuota,
+			Rate:           *tenantRate,
+			Burst:          *tenantBurst,
+			HighWatermark:  *meterWatermark,
+			CommitInterval: *meterInterval,
+		}
+		if *meterCommit != "" {
+			sink, err := pash.NewMeterFileSink(*meterCommit)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pash-serve: -meter-commit:", err)
+				os.Exit(2)
+			}
+			defer sink.Close()
+			mc.Sink = sink
+		}
+		mtr := pash.NewMeter(mc)
+		stopMeter := mtr.Start()
+		defer stopMeter()
+		srv.SetMeter(mtr)
+	}
 
 	// Pool.Add normalizes and skips empty pieces, so the raw split is
 	// safe. Attach even when empty: workers can register themselves

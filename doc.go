@@ -126,6 +126,27 @@
 // (BENCH_overload.json). internal/runtime/README.md ("The coordinator
 // failure model") documents the contracts.
 //
+// # The tenant front door
+//
+// At daemon scale admission carries an identity: each pash-serve
+// request resolves a tenant (X-Pash-Tenant header, tenant= parameter,
+// or -tenant-default), which becomes the scheduler's admission key —
+// waiters queue per tenant and freed slots rotate round-robin across
+// tenants (Scheduler.AdmitKey), bounding a quiet tenant's wait at ~one
+// slot turnover under any other tenant's flood. internal/meter adds
+// governance on the same identity: per-tenant job quotas and GCRA rate
+// limits checked O(1) and allocation-free before scheduler admission,
+// with refusals distinguishable by status and X-Pash-Shed-Cause (403
+// quota, 429 rate, 503 capacity; Retry-After derived from live
+// scheduler state). Usage (jobs, wall time, data-plane bytes) follows
+// the VSA idiom — a committed scalar base plus an atomic in-memory net
+// delta, folded to a pluggable JSONL sink only on watermark crossings
+// with hysteresis ("commit information, not traffic") — and /metrics
+// carries a row per tenant. `pash-bench -serve` load-tests the front
+// door at 10k+ in-process clients under uniform and hot-key tenant
+// distributions and gates noisy-neighbor isolation
+// (BENCH_serve.json).
+//
 // # Extending pash
 //
 // The typed extension API (pash.CommandSpec) makes a user command a

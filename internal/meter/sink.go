@@ -1,0 +1,63 @@
+package meter
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"time"
+)
+
+// CommitRecord is one tenant's committed net effect: the delta folded
+// by this commit plus the resulting running total. "Commit information,
+// not traffic" — a sink sees one record per watermark crossing, not one
+// per request.
+type CommitRecord struct {
+	Time   time.Time `json:"time"`
+	Tenant string    `json:"tenant"`
+	Net    Usage     `json:"net"`
+	Total  Usage     `json:"total"`
+}
+
+// Sink receives committed net deltas. Commit is called from the single
+// background committer goroutine (and from Flush), never from the
+// admission hot path, so a sink may block on I/O.
+type Sink interface {
+	Commit([]CommitRecord) error
+}
+
+// FileSink appends commit records as JSON lines to a file — the
+// simplest durable sink. Safe for concurrent Commit calls.
+type FileSink struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// NewFileSink opens (creating or appending) the JSONL commit log at
+// path.
+func NewFileSink(path string) (*FileSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileSink{f: f}, nil
+}
+
+// Commit appends one JSON line per record.
+func (s *FileSink) Commit(recs []CommitRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	enc := json.NewEncoder(s.f)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

@@ -337,3 +337,214 @@ func TestWidthLeaseDegradesUnderQueueAndRestores(t *testing.T) {
 		t.Errorf("reassess after release = %d, want 1", w)
 	}
 }
+
+// A quiet tenant's admission must not queue behind a noisy tenant's
+// backlog: freed slots rotate round-robin across keys, so the quiet
+// waiter is granted within the first two grants no matter how deep the
+// noisy queue is (structural head-of-line regression).
+func TestSchedulerRoundRobinAcrossKeys(t *testing.T) {
+	s := NewScheduler(4)
+	s.SetMaxScripts(1)
+	occupy, err := s.AdmitKey(context.Background(), "noisy")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const backlog = 40
+	type grant struct {
+		key string
+		rel func()
+	}
+	grants := make(chan grant, backlog+1)
+	var wg sync.WaitGroup
+	enqueue := func(key string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := s.AdmitKey(context.Background(), key)
+			if err != nil {
+				t.Errorf("AdmitKey(%s): %v", key, err)
+				return
+			}
+			grants <- grant{key, rel}
+		}()
+		// Each waiter must be queued before the next enqueues so the
+		// noisy backlog is strictly ahead of the quiet waiter.
+		waitForQueued(t, s, func(n int64) bool { return n >= 1 })
+	}
+	start := s.queued.Load()
+	for i := 0; i < backlog; i++ {
+		enqueue("noisy")
+	}
+	waitForQueued(t, s, func(n int64) bool { return n-start >= backlog })
+	enqueue("quiet")
+	waitForQueued(t, s, func(n int64) bool { return n-start >= backlog+1 })
+
+	// Release the slot and drain grants one at a time: the quiet tenant
+	// must be granted first or second (round-robin alternates keys),
+	// never behind the 40-deep noisy backlog.
+	occupy()
+	quietAt := 0
+	for i := 1; i <= backlog+1; i++ {
+		g := <-grants
+		if g.key == "quiet" {
+			quietAt = i
+		}
+		g.rel()
+	}
+	wg.Wait()
+	if quietAt == 0 || quietAt > 2 {
+		t.Fatalf("quiet tenant granted at position %d, want <= 2", quietAt)
+	}
+}
+
+// waitForQueued polls the queue depth until cond holds (the enqueue
+// happens inside a goroutine; there is no other join point).
+func waitForQueued(t *testing.T, s *Scheduler, cond func(int64) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond(s.queued.Load()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached target (now %d)", s.queued.Load())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Timing companion to the structural test: while a noisy tenant keeps
+// a deep backlog queued, a quiet tenant's admission waits are bounded
+// by ~one slot-hold time, not by the backlog length. Bounds are
+// generous (CI-safe) — the FIFO behaviour this regresses against would
+// wait tens of holds, two orders of magnitude past the assert.
+func TestSchedulerQuietTenantWaitBounded(t *testing.T) {
+	const hold = 2 * time.Millisecond
+	s := NewScheduler(4)
+	s.SetMaxScripts(1)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Noisy tenant: keep ~30 admissions queued at all times, each
+	// holding the slot when granted.
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rel, err := s.AdmitKey(context.Background(), "noisy")
+				if err != nil {
+					return
+				}
+				time.Sleep(hold)
+				rel()
+			}
+		}()
+	}
+	waitForQueued(t, s, func(n int64) bool { return n >= 10 })
+
+	// Quiet tenant: sequential admissions, measuring each wait.
+	var worst time.Duration
+	for i := 0; i < 20; i++ {
+		begin := time.Now()
+		rel, err := s.AdmitKey(context.Background(), "quiet")
+		waited := time.Since(begin)
+		if err != nil {
+			t.Fatalf("quiet admission %d: %v", i, err)
+		}
+		rel()
+		if waited > worst {
+			worst = waited
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Round-robin bounds the quiet wait near one hold (plus scheduling
+	// noise); strict FIFO behind a 30-deep backlog would be >= 30*hold.
+	if limit := 15 * hold; worst > limit {
+		t.Fatalf("quiet tenant worst admission wait %v exceeds %v (head-of-line starvation)", worst, limit)
+	}
+}
+
+// EstimateWait derives the Retry-After hint from live state: clamped
+// to the 1s floor when idle or unmeasured, and growing with queue
+// depth once slot-hold times are known.
+func TestSchedulerEstimateWait(t *testing.T) {
+	s := NewScheduler(4)
+	s.SetMaxScripts(1)
+	if got := s.EstimateWait(); got != time.Second {
+		t.Fatalf("idle EstimateWait = %v, want the 1s floor", got)
+	}
+	// Feed the EWMA a known hold time, then pile up queued work.
+	s.holdEWMA.Store(int64(10 * time.Second))
+	rel, err := s.Admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	cancels := make([]context.CancelFunc, 0, 5)
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancels = append(cancels, cancel)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if r, err := s.AdmitKey(ctx, "t"); err == nil {
+				r()
+			}
+		}()
+	}
+	waitForQueued(t, s, func(n int64) bool { return n >= 5 })
+	// 5 queued + 1 active + 1 = 7 ahead, one slot, 10s hold each.
+	if got, want := s.EstimateWait(), 70*time.Second; got != want {
+		t.Fatalf("loaded EstimateWait = %v, want %v", got, want)
+	}
+	rel()
+	for _, c := range cancels {
+		c()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.EstWait <= 0 || st.HoldEWMA <= 0 {
+		t.Fatalf("stats missing wait-estimate fields: %+v", st)
+	}
+}
+
+// The PR-7 queued-cancel regression, extended across admission keys: a
+// keyed waiter whose cancellation races its grant must hand the slot
+// back to the next key's waiter, never strand it.
+func TestSchedulerKeyedCancelReturnsSlot(t *testing.T) {
+	s := NewScheduler(4)
+	s.SetMaxScripts(1)
+	for round := 0; round < 50; round++ {
+		rel, err := s.AdmitKey(context.Background(), "a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		racedDone := make(chan struct{})
+		go func() {
+			defer close(racedDone)
+			if r, err := s.AdmitKey(ctx, "b"); err == nil {
+				r()
+			}
+		}()
+		waitForQueued(t, s, func(n int64) bool { return n >= 1 })
+		// Race the grant against the cancellation.
+		go rel()
+		cancel()
+		<-racedDone
+		// Whatever won, the slot must be whole again: a third keyed
+		// admission succeeds immediately.
+		ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		rel3, err := s.AdmitKey(ctx2, "c")
+		cancel2()
+		if err != nil {
+			t.Fatalf("round %d: slot stranded after racing cancel: %v", round, err)
+		}
+		rel3()
+	}
+}

@@ -34,6 +34,22 @@
 // Scripts that fail to parse are rejected with 400 (the Job API
 // validates syntax synchronously, before the response commits).
 //
+// Requests carry a tenant identity (X-Pash-Tenant header or tenant=
+// parameter; a configurable default otherwise). With a meter attached
+// the identity is governed — per-tenant job quota and rate limit —
+// and with a scheduler it is the admission key: slots are granted
+// round-robin across tenants with queued work, so one tenant's burst
+// cannot starve another's. Refusals are distinguishable by status and
+// the X-Pash-Shed-Cause header:
+//
+//	403 quota     the tenant's job quota is exhausted (no Retry-After;
+//	              waiting will not help)
+//	429 rate      the tenant's rate limit refused the request;
+//	              Retry-After says when the bucket next conforms
+//	503 capacity  the machine is saturated or draining; Retry-After is
+//	              derived from live scheduler state (queue depth × EWMA
+//	              slot-hold time, clamped)
+//
 // GET /metrics returns a JSON snapshot of plan-cache, scheduler,
 // throughput, and per-job counters; GET /healthz returns 200 "ok".
 //
@@ -67,15 +83,19 @@ type Server struct {
 	sess  *pash.Session
 	sched *pash.Scheduler
 	pool  *pash.WorkerPool
+	mtr   *pash.Meter
 	start time.Time
 
 	// limits is the default per-job resource budget applied to every
 	// request (zero = unlimited). Set with SetDefaultLimits before
 	// serving.
 	limits pash.JobLimits
-	// retryAfter is the Retry-After hint (seconds) sent with shed
-	// responses.
+	// retryAfter is the fallback Retry-After hint (seconds) for shed
+	// responses when no scheduler state is available to derive one.
 	retryAfter int
+	// tenantDefault is the identity assigned to requests that carry no
+	// X-Pash-Tenant header or tenant= parameter.
+	tenantDefault string
 
 	draining  atomic.Bool
 	drainOnce sync.Once
@@ -98,17 +118,59 @@ func New(sess *pash.Session, sched *pash.Scheduler) *Server {
 		sess.UseScheduler(sched)
 	}
 	return &Server{
-		sess:       sess,
-		sched:      sched,
-		start:      time.Now(),
-		retryAfter: 1,
-		drainCh:    make(chan struct{}),
+		sess:          sess,
+		sched:         sched,
+		start:         time.Now(),
+		retryAfter:    1,
+		tenantDefault: "anonymous",
+		drainCh:       make(chan struct{}),
 	}
 }
 
 // SetDefaultLimits installs the per-job resource budget every request
 // runs under (zero = unlimited). Call before serving.
 func (s *Server) SetDefaultLimits(l pash.JobLimits) { s.limits = l }
+
+// SetMeter attaches the tenant governance plane: every request passes
+// its tenant's quota and rate gates before scheduler admission, and
+// /metrics grows per-tenant rows. Call before serving.
+func (s *Server) SetMeter(m *pash.Meter) { s.mtr = m }
+
+// SetDefaultTenant names the identity assigned to requests that carry
+// no X-Pash-Tenant header or tenant= parameter (default "anonymous").
+func (s *Server) SetDefaultTenant(name string) {
+	if name != "" {
+		s.tenantDefault = name
+	}
+}
+
+// tenantFor resolves a request's tenant identity: X-Pash-Tenant header
+// first, tenant= query parameter second, the configured default last.
+func (s *Server) tenantFor(r *http.Request) string {
+	if t := r.Header.Get("X-Pash-Tenant"); t != "" {
+		return t
+	}
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		return t
+	}
+	return s.tenantDefault
+}
+
+// retryAfterSeconds derives the Retry-After hint from live scheduler
+// state — estimated admission wait under the current queue depth and
+// EWMA slot-hold time, clamped — falling back to the static default
+// when the daemon runs without a scheduler.
+func (s *Server) retryAfterSeconds() int {
+	if s.sched != nil {
+		d := s.sched.EstimateWait()
+		secs := int((d + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		return secs
+	}
+	return s.retryAfter
+}
 
 // Drain flips the server into drain mode: new /run requests are shed
 // with 503 while in-flight jobs run to completion. It is idempotent;
@@ -123,11 +185,91 @@ func (s *Server) Drain() {
 // (by signal or by POST /drain).
 func (s *Server) DrainRequested() <-chan struct{} { return s.drainCh }
 
-// shed refuses a request with 503 + Retry-After, counting it.
-func (s *Server) shed(w http.ResponseWriter, reason string) {
+// shed refuses a request, counting it and stamping the cause so
+// clients can tell "you are over quota" (403, no retry will help) from
+// "slow down" (429) from "the machine is saturated" (503). Rate and
+// capacity sheds carry a Retry-After hint; for capacity it is derived
+// from live scheduler state, not a constant.
+func (s *Server) shed(w http.ResponseWriter, cause pash.ShedCause, status, retryAfter int, reason string) {
 	s.sheds.Add(1)
-	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter))
-	http.Error(w, reason, http.StatusServiceUnavailable)
+	w.Header().Set("X-Pash-Shed-Cause", string(cause))
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
+	http.Error(w, reason, status)
+}
+
+// shedCapacity refuses with 503 + derived Retry-After (saturation and
+// drain sheds both: a draining daemon's clients should retry elsewhere
+// or later, so the hint stays present).
+func (s *Server) shedCapacity(w http.ResponseWriter, reason string) {
+	s.shed(w, pash.ShedCapacity, http.StatusServiceUnavailable, s.retryAfterSeconds(), reason)
+}
+
+// admitFrontDoor runs the request through the tenant quota/rate gates
+// and scheduler admission, in that order — governance refusals are
+// cheap and must not consume a queue slot, width token, or plan-cache
+// entry. It answers the request itself on refusal (ok=false). On
+// ok=true the caller owns release (nil without a scheduler) and must
+// hand it to the job or call it; trow (nil without a meter) has been
+// charged one job, which every no-run path below refunds.
+func (s *Server) admitFrontDoor(w http.ResponseWriter, r *http.Request) (tenant string, trow *pash.Tenant, release func(), ok bool) {
+	tenant = s.tenantFor(r)
+	if s.mtr != nil {
+		trow = s.mtr.Tenant(tenant)
+		cause, retry := trow.Admit()
+		switch cause {
+		case pash.ShedQuota:
+			s.shed(w, cause, http.StatusForbidden, 0,
+				fmt.Sprintf("tenant %q quota exhausted", tenant))
+			return "", nil, nil, false
+		case pash.ShedRate:
+			secs := int((retry + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			s.shed(w, cause, http.StatusTooManyRequests, secs,
+				fmt.Sprintf("tenant %q rate limited", tenant))
+			return "", nil, nil, false
+		}
+	}
+	if s.sched != nil {
+		rel, err := s.sched.AdmitKey(r.Context(), tenant)
+		if err != nil {
+			if trow != nil {
+				trow.NoteCapacityShed()
+			}
+			if errors.Is(err, pash.ErrAdmissionShed) {
+				s.shedCapacity(w, err.Error())
+			} else {
+				// The client hung up while queued; nothing to answer.
+				s.cancelled.Add(1)
+			}
+			return "", nil, nil, false
+		}
+		// Double drain check: a drain begun while this request was
+		// queued must not start new work.
+		if s.draining.Load() {
+			rel()
+			if trow != nil {
+				trow.NoteCapacityShed()
+			}
+			s.shedCapacity(w, "draining")
+			return "", nil, nil, false
+		}
+		release = rel
+	}
+	return tenant, trow, release, true
+}
+
+// chargeJob meters a finished job's wall time and data-plane bytes to
+// its tenant (the job itself was charged at admission).
+func chargeJob(trow *pash.Tenant, job *pash.Job) {
+	if trow == nil {
+		return
+	}
+	st := job.Stats()
+	trow.Charge(int64(st.WallSeconds*float64(time.Second)), st.Interp.BytesMoved)
 }
 
 // Session exposes the shared session (test hook).
@@ -338,7 +480,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	s.requests.Add(1)
 	if s.draining.Load() {
-		s.shed(w, "draining")
+		s.shedCapacity(w, "draining")
 		return
 	}
 	s.active.Add(1)
@@ -382,31 +524,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		startOpts = append(startOpts, pash.WithLimits(s.limits))
 	}
 
-	// Admission happens here, before the response commits: a saturated
-	// scheduler sheds with 503 + Retry-After while the status line can
-	// still say so. The job inherits the slot (WithAdmitted) instead of
+	// Admission happens here, before the response commits: tenant quota
+	// and rate gates first (403/429 — governance refusals never touch
+	// the scheduler queue, width pool, or plan cache), then scheduler
+	// admission under the tenant's key (503 + derived Retry-After on
+	// saturation). The job inherits the slot (WithAdmitted) instead of
 	// admitting a second time.
-	var admitRelease func()
-	if s.sched != nil {
-		release, err := s.sched.Admit(r.Context())
-		if err != nil {
-			if errors.Is(err, pash.ErrAdmissionShed) {
-				s.shed(w, err.Error())
-			} else {
-				// The client hung up while queued; nothing to answer.
-				s.cancelled.Add(1)
-			}
-			return
-		}
-		// Double drain check: a drain begun while this request was
-		// queued must not start new work.
-		if s.draining.Load() {
-			release()
-			s.shed(w, "draining")
-			return
-		}
-		admitRelease = release
-		startOpts = append(startOpts, pash.WithAdmitted(release))
+	tenant, trow, admitRelease, ok := s.admitFrontDoor(w, r)
+	if !ok {
+		return
+	}
+	startOpts = append(startOpts, pash.WithTenant(tenant))
+	if admitRelease != nil {
+		startOpts = append(startOpts, pash.WithAdmitted(admitRelease))
 	}
 
 	// The script reads the request body (stdin) while streaming the
@@ -427,6 +557,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			// The job never started, so it cannot release the slot.
 			admitRelease()
 		}
+		if trow != nil {
+			// Nor did it consume the tenant's quota reserve.
+			trow.RefundJob()
+		}
 		s.failures.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -444,6 +578,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	close(ready)
 
 	code, err := job.Wait()
+	chargeJob(trow, job)
 	w.Header().Set("X-Pash-Exit-Code", fmt.Sprintf("%d", code))
 	if err != nil {
 		if r.Context().Err() != nil {
@@ -462,8 +597,9 @@ type Metrics struct {
 	Active        int64   `json:"active"`
 	Failures      int64   `json:"failures"`
 	Cancelled     int64   `json:"cancelled"`
-	// Sheds counts requests refused with 503 (queue full, wait deadline,
-	// or draining); Draining reports drain mode.
+	// Sheds counts all refused requests across causes — quota (403),
+	// rate (429), and capacity/drain (503); the per-tenant rows under
+	// Meter break them out by cause. Draining reports drain mode.
 	Sheds    int64 `json:"sheds"`
 	Draining bool  `json:"draining"`
 	BytesOut int64 `json:"bytes_out"`
@@ -476,6 +612,10 @@ type Metrics struct {
 	ThroughputBPS float64              `json:"throughput_bps"`
 	PlanCache     pash.PlanCacheStats  `json:"plan_cache"`
 	Scheduler     *pash.SchedulerStats `json:"scheduler,omitempty"`
+	// Meter carries the tenant governance rows: per-tenant admitted,
+	// sheds by cause, usage vs quota, and commit counts (only when a
+	// meter is attached).
+	Meter *pash.MeterStats `json:"meter,omitempty"`
 	// Jobs lists the in-flight jobs, one live row each.
 	Jobs []pash.JobStats `json:"jobs,omitempty"`
 	// Workers lists the distribution pool's per-worker meter rows (only
@@ -526,6 +666,10 @@ func (s *Server) Snapshot() Metrics {
 	if s.sched != nil {
 		st := s.sched.Stats()
 		m.Scheduler = &st
+	}
+	if s.mtr != nil {
+		ms := s.mtr.Snapshot()
+		m.Meter = &ms
 	}
 	if s.pool != nil {
 		m.Workers = s.pool.Stats()

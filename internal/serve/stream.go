@@ -103,7 +103,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	s.requests.Add(1)
 	if s.draining.Load() {
-		s.shed(w, "draining")
+		s.shedCapacity(w, "draining")
 		return
 	}
 	s.active.Add(1)
@@ -156,28 +156,18 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		startOpts = append(startOpts, pash.WithLimits(s.limits))
 	}
 
-	// Admission mirrors /run: decided before the response commits. The
-	// job holds the slot for its whole (unbounded) life, but its width
-	// tokens are a revocable lease — Reassess at each window boundary
-	// sheds extra width while later admissions queue.
-	var admitRelease func()
-	if s.sched != nil {
-		release, err := s.sched.Admit(r.Context())
-		if err != nil {
-			if errors.Is(err, pash.ErrAdmissionShed) {
-				s.shed(w, err.Error())
-			} else {
-				s.cancelled.Add(1)
-			}
-			return
-		}
-		if s.draining.Load() {
-			release()
-			s.shed(w, "draining")
-			return
-		}
-		admitRelease = release
-		startOpts = append(startOpts, pash.WithAdmitted(release))
+	// Admission mirrors /run: tenant quota/rate gates, then scheduler
+	// admission under the tenant's key, all decided before the response
+	// commits. The job holds the slot for its whole (unbounded) life,
+	// but its width tokens are a revocable lease — Reassess at each
+	// window boundary sheds extra width while later admissions queue.
+	tenant, trow, admitRelease, ok := s.admitFrontDoor(w, r)
+	if !ok {
+		return
+	}
+	startOpts = append(startOpts, pash.WithTenant(tenant))
+	if admitRelease != nil {
+		startOpts = append(startOpts, pash.WithAdmitted(admitRelease))
 	}
 
 	// Emissions stream down while (in body-source mode) the source
@@ -191,6 +181,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if admitRelease != nil {
 			admitRelease()
+		}
+		if trow != nil {
+			trow.RefundJob()
 		}
 		s.failures.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -207,6 +200,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	close(ready)
 
 	code, err := job.Wait()
+	chargeJob(trow, job)
 	w.Header().Set("X-Pash-Exit-Code", fmt.Sprintf("%d", code))
 	if err != nil {
 		if r.Context().Err() != nil {

@@ -52,6 +52,8 @@ type startConfig struct {
 	// stream, when set, runs the job as a streaming execution over an
 	// unbounded source (WithStreamInput).
 	stream *StreamConfig
+	// tenant is the admission key for fair scheduling ("" = anonymous).
+	tenant string
 }
 
 // WithOptions overrides the session's planning options for this job
@@ -85,6 +87,14 @@ func WithAdmitted(release func()) StartOption {
 	return func(c *startConfig) { c.admitted = release }
 }
 
+// WithTenant tags the job with a tenant identity: its admission queues
+// under that key (the scheduler round-robins across keys, so one
+// tenant's backlog cannot starve another's) and the tenant rides the
+// job's stats row. Empty means anonymous.
+func WithTenant(name string) StartOption {
+	return func(c *startConfig) { c.tenant = name }
+}
+
 // jobIDs hands out process-wide job identifiers (the Pid analog).
 var jobIDs atomic.Int64
 
@@ -101,6 +111,7 @@ type Job struct {
 	limits   JobLimits
 	budget   *runtime.Budget
 	admitted func()
+	tenant   string
 
 	stream *StreamConfig
 
@@ -124,6 +135,8 @@ type Job struct {
 type JobStats struct {
 	ID     int64  `json:"id"`
 	Script string `json:"script"`
+	// Tenant is the identity the job was admitted under ("" = anonymous).
+	Tenant string `json:"tenant,omitempty"`
 	// Running reports whether the job is still executing; ExitCode and
 	// Err are meaningful only once it is false.
 	Running     bool      `json:"running"`
@@ -198,6 +211,7 @@ func (s *Session) Start(ctx context.Context, src string, stdio JobIO, opts ...St
 		limits:   cfg.limits,
 		budget:   runtime.NewBudget(blimits),
 		admitted: cfg.admitted,
+		tenant:   cfg.tenant,
 		stream:   cfg.stream,
 	}
 	s.trackJob(j)
@@ -212,7 +226,7 @@ func (j *Job) run(ctx context.Context, c *core.Compiler, dir string, vars map[st
 	if j.admitted != nil {
 		defer j.admitted()
 	} else if c.Sched != nil {
-		release, err := c.Sched.Admit(ctx)
+		release, err := c.Sched.AdmitKey(ctx, j.tenant)
 		if err != nil {
 			code := 1
 			if ctx.Err() != nil {
@@ -322,6 +336,7 @@ func (j *Job) Stats() JobStats {
 	st := JobStats{
 		ID:     j.id,
 		Script: truncateScript(j.src),
+		Tenant: j.tenant,
 		Start:  j.started,
 		Limits: j.limits,
 		Budget: j.budget.Usage(),
